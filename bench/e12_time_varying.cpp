@@ -1,0 +1,152 @@
+// Experiment E12 — time-varying option qualities (§6, future work).
+//
+// "It would also be interesting to explore the distributed learning
+// algorithms when the parameters controlling the quality of the options
+// (η_i's) are allowed to change ... (e.g., when the options represent
+// stocks)."
+//
+// Two workloads: (a) the best option rotates every L steps (switching);
+// (b) qualities drift linearly until the ranking inverts.  We report
+// dynamic regret (vs the per-step best) as a function of the change rate,
+// for the finite dynamics and the infinite reference, plus the mean
+// recovery time after a switch.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "bench_common.h"
+#include "core/experiment.h"
+#include "core/theory.h"
+#include "env/markov_rewards.h"
+#include "env/reward_model.h"
+#include "support/parallel.h"
+#include "support/stats.h"
+
+namespace {
+
+using namespace sgl;
+
+constexpr std::size_t k_options = 3;
+constexpr std::uint64_t k_agents = 5000;
+
+int run(const bench::standard_options& options) {
+  bench::print_banner(
+      "E12: Time-varying qualities — switching and drifting (Section 6)",
+      "Question: how well does the dynamics track a moving best option?  "
+      "Dynamic regret vs switch period; faster switching = harder.");
+
+  const std::vector<double> base{0.85, 0.35, 0.35};
+  const core::dynamics_params params = core::theorem_params(k_options, 0.65);
+
+  text_table table{{"workload", "period L", "T", "dyn regret (finite)",
+                    "dyn regret (infinite)", "recovery t (mean)"}};
+
+  for (const std::uint64_t period : {50ULL, 100ULL, 200ULL, 400ULL}) {
+    const std::uint64_t horizon = 3 * period;
+    core::run_config config;
+    config.horizon = horizon;
+    config.replications = options.replications;
+    config.seed = options.seed;
+    config.threads = options.threads;
+    const auto factory = [&] {
+      return std::make_unique<env::switching_rewards>(base, period);
+    };
+    const core::regret_estimate finite =
+        core::estimate_finite_regret(params, k_agents, factory, config);
+    const core::regret_estimate infinite =
+        core::estimate_infinite_regret(params, factory, config);
+
+    // Recovery time: steps after the first switch until best mass >= 0.5.
+    auto recovery = parallel_reduce<running_stats>(
+        options.replications, [] { return running_stats{}; },
+        [&](running_stats& s, std::size_t rep) {
+          rng process_gen = rng::from_stream(options.seed + 1, 2 * rep);
+          rng env_gen = rng::from_stream(options.seed + 1, 2 * rep + 1);
+          env::switching_rewards environment{base, period};
+          core::aggregate_dynamics dyn{params, k_agents};
+          std::vector<std::uint8_t> r(k_options);
+          std::uint64_t recovered_at = 2 * period;  // cap
+          for (std::uint64_t t = 1; t <= 2 * period; ++t) {
+            environment.sample(t, env_gen, r);
+            dyn.step(r, process_gen);
+            if (t >= period && recovered_at == 2 * period) {
+              const std::size_t best = environment.best_option(t);
+              if (dyn.popularity()[best] >= 0.5) recovered_at = t;
+            }
+          }
+          s.add(static_cast<double>(recovered_at - period));
+        },
+        [](running_stats& into, const running_stats& from) { into.merge(from); },
+        options.threads);
+
+    table.add_row({"switching", std::to_string(period), std::to_string(horizon),
+                   fmt_pm(finite.regret.mean, finite.regret.half_width),
+                   fmt_pm(infinite.regret.mean, infinite.regret.half_width),
+                   fmt(recovery.mean(), 1)});
+  }
+
+  // Drift workload: ranking inverts halfway through.
+  for (const std::uint64_t horizon : {200ULL, 800ULL}) {
+    core::run_config config;
+    config.horizon = horizon;
+    config.replications = options.replications;
+    config.seed = options.seed;
+    config.threads = options.threads;
+    const auto factory = [&] {
+      return std::make_unique<env::drifting_rewards>(
+          std::vector<double>{0.85, 0.35, 0.35}, std::vector<double>{0.35, 0.35, 0.85},
+          horizon);
+    };
+    const core::regret_estimate finite =
+        core::estimate_finite_regret(params, k_agents, factory, config);
+    const core::regret_estimate infinite =
+        core::estimate_infinite_regret(params, factory, config);
+    table.add_row({"drifting (invert)", "-", std::to_string(horizon),
+                   fmt_pm(finite.regret.mean, finite.regret.half_width),
+                   fmt_pm(infinite.regret.mean, infinite.regret.half_width), "-"});
+  }
+
+  // Markov regime-switching workload ("stocks"): bull/bear regimes with
+  // expected sojourn 1/(1-stay).
+  for (const double stay : {0.98, 0.99, 0.995}) {
+    constexpr std::uint64_t horizon = 1200;
+    core::run_config config;
+    config.horizon = horizon;
+    config.replications = options.replications;
+    config.seed = options.seed;
+    config.threads = options.threads;
+    const auto factory = [&] {
+      return std::make_unique<env::markov_rewards>(
+          std::vector<std::vector<double>>{{0.85, 0.35, 0.35}, {0.35, 0.85, 0.35}},
+          std::vector<std::vector<double>>{{stay, 1.0 - stay}, {1.0 - stay, stay}},
+          horizon, options.seed + 77);
+    };
+    const core::regret_estimate finite =
+        core::estimate_finite_regret(params, k_agents, factory, config);
+    const core::regret_estimate infinite =
+        core::estimate_infinite_regret(params, factory, config);
+    table.add_row({"markov (stay=" + fmt(stay, 3) + ")",
+                   fmt(1.0 / (1.0 - stay), 0), std::to_string(horizon),
+                   fmt_pm(finite.regret.mean, finite.regret.half_width),
+                   fmt_pm(infinite.regret.mean, infinite.regret.half_width), "-"});
+  }
+
+  bench::emit(table, options);
+  std::printf("Shape: dynamic regret decreases with the switch period (the "
+              "ln(1/zeta)/delta^2 re-convergence\ncost amortizes over longer "
+              "stable windows); the mu-exploration floor is what makes recovery "
+              "possible at all.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = sgl::bench::make_standard_flags(
+      "e12_time_varying", "Section 6: switching and drifting option qualities", 80);
+  sgl::bench::standard_options options;
+  int exit_code = 0;
+  if (!sgl::bench::parse_standard(flags, argc, argv, options, exit_code)) return exit_code;
+  return run(options);
+}

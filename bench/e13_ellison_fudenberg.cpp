@@ -1,0 +1,142 @@
+// Experiment E13 — the Ellison–Fudenberg word-of-mouth reduction (§2.1 ex. 2).
+//
+// The paper converts the EF model (two options, continuous Normal rewards,
+// player-specific Normal shocks, pairwise noisy comparison) into the binary
+// framework via η₁ = P[r₁>r₂], β = P[ξ > r₂−r₁ | r₁>r₂], α = … | r₂>r₁.
+//
+// We (a) print the computed reduction across shock levels, and (b) simulate
+// the shock-level model *directly* next to the reduced binary dynamics on
+// exclusive rewards, showing the two agree on popularity and regret — the
+// empirical content of "our framework applies".
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench_common.h"
+#include "core/finite_dynamics.h"
+#include "env/ef_model.h"
+#include "env/reward_model.h"
+#include "support/parallel.h"
+#include "support/rng.h"
+#include "support/stats.h"
+
+namespace {
+
+using namespace sgl;
+
+constexpr std::size_t k_agents = 500;
+constexpr std::uint64_t k_horizon = 300;
+constexpr double k_mu = 0.05;
+
+struct pair_outcome {
+  running_stats direct_mass;
+  running_stats reduced_mass;
+  running_stats direct_regret;
+  running_stats reduced_regret;
+};
+
+int run(const bench::standard_options& options) {
+  bench::print_banner(
+      "E13: Ellison-Fudenberg word-of-mouth reduction (Section 2.1, example 2)",
+      "Claim: the continuous-reward + shocks model reduces to the binary "
+      "framework with eta1 = P[r1>r2] and (alpha, beta) below; direct and "
+      "reduced simulations must agree.");
+
+  text_table reduction_table{{"shock sd", "eta1 = p", "alpha", "beta",
+                              "alpha < beta"}};
+  text_table agreement_table{{"shock sd", "late mass (direct)", "late mass (reduced)",
+                              "|diff|", "regret (direct)", "regret (reduced)"}};
+
+  for (const double shock_sd : {0.1, 0.2, 0.4}) {
+    env::ef_params ef;
+    ef.mean1 = 0.65;
+    ef.mean2 = 0.45;
+    ef.reward_sd = 0.25;
+    ef.shock_sd = shock_sd;
+    const env::ef_reduction reduced = env::reduce_ef_model(ef);
+    reduction_table.add_row({fmt(shock_sd, 2), fmt(reduced.eta1, 4),
+                             fmt(reduced.alpha, 4), fmt(reduced.beta, 4),
+                             bench::verdict(reduced.alpha < reduced.beta)});
+
+    auto outcome = parallel_reduce<pair_outcome>(
+        options.replications, [] { return pair_outcome{}; },
+        [&](pair_outcome& out, std::size_t rep) {
+          // Direct shock-level simulation.
+          env::ef_direct_dynamics direct{ef, k_agents, k_mu};
+          rng reward_gen = rng::from_stream(options.seed, 3 * rep);
+          rng pop_gen = rng::from_stream(options.seed, 3 * rep + 1);
+          running_stats late_mass;
+          double direct_reward = 0.0;
+          for (std::uint64_t t = 1; t <= k_horizon; ++t) {
+            const double q1 = direct.popularity()[0];
+            direct.step(reward_gen, pop_gen);
+            const double r1 =
+                direct.last_reward(0) > direct.last_reward(1) ? 1.0 : 0.0;
+            direct_reward += q1 * r1 + (1.0 - q1) * (1.0 - r1);
+            if (t > k_horizon / 2) late_mass.add(direct.popularity()[0]);
+          }
+          out.direct_mass.add(late_mass.mean());
+          out.direct_regret.add(reduced.eta1 -
+                                direct_reward / static_cast<double>(k_horizon));
+
+          // Reduced binary dynamics on exclusive rewards.
+          core::dynamics_params params;
+          params.num_options = 2;
+          params.mu = k_mu;
+          params.beta = reduced.beta;
+          params.alpha = reduced.alpha;
+          core::finite_dynamics binary{params, k_agents};
+          env::exclusive_rewards environment{{reduced.eta1, reduced.eta2}};
+          rng env_gen = rng::from_stream(options.seed, 3 * rep + 2);
+          rng bin_gen = rng::from_stream(options.seed + 99, rep);
+          std::vector<std::uint8_t> r(2);
+          running_stats late_reduced;
+          double reduced_reward = 0.0;
+          for (std::uint64_t t = 1; t <= k_horizon; ++t) {
+            const double q1 = binary.popularity()[0];
+            environment.sample(t, env_gen, r);
+            reduced_reward += q1 * r[0] + (1.0 - q1) * r[1];
+            binary.step(r, bin_gen);
+            if (t > k_horizon / 2) late_reduced.add(binary.popularity()[0]);
+          }
+          out.reduced_mass.add(late_reduced.mean());
+          out.reduced_regret.add(reduced.eta1 -
+                                 reduced_reward / static_cast<double>(k_horizon));
+        },
+        [](pair_outcome& into, const pair_outcome& from) {
+          into.direct_mass.merge(from.direct_mass);
+          into.reduced_mass.merge(from.reduced_mass);
+          into.direct_regret.merge(from.direct_regret);
+          into.reduced_regret.merge(from.reduced_regret);
+        },
+        options.threads);
+
+    agreement_table.add_row(
+        {fmt(shock_sd, 2),
+         fmt_pm(outcome.direct_mass.mean(), 2.0 * outcome.direct_mass.stderror()),
+         fmt_pm(outcome.reduced_mass.mean(), 2.0 * outcome.reduced_mass.stderror()),
+         fmt(std::abs(outcome.direct_mass.mean() - outcome.reduced_mass.mean()), 3),
+         fmt(outcome.direct_regret.mean(), 4), fmt(outcome.reduced_regret.mean(), 4)});
+  }
+
+  std::printf("Reduction (mean1=0.65, mean2=0.45, reward sd=0.25):\n");
+  reduction_table.print(std::cout);
+  std::printf("\nDirect vs reduced dynamics (N=%zu, T=%llu, mu=%.2f):\n", k_agents,
+              static_cast<unsigned long long>(k_horizon), k_mu);
+  bench::emit(agreement_table, options);
+  std::printf("Shape: smaller shocks -> sharper (alpha, beta) -> faster "
+              "concentration; the two simulations agree within noise at every "
+              "shock level.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = sgl::bench::make_standard_flags(
+      "e13_ellison_fudenberg", "Section 2.1 ex 2: EF reduction, direct vs reduced", 60);
+  sgl::bench::standard_options options;
+  int exit_code = 0;
+  if (!sgl::bench::parse_standard(flags, argc, argv, options, exit_code)) return exit_code;
+  return run(options);
+}

@@ -1,0 +1,154 @@
+// Experiment E16 — the deterministic special case and the proof audit (§3, §5).
+//
+// Two companion checks of the analysis machinery:
+//
+// (a) §3 notes that removing all randomness turns the dynamics into classic
+//     deterministic MWU.  The mean-field fixed point of that map predicts
+//     the steady-state population split; we print it next to the measured
+//     long-run time average of the stochastic dynamics (finite and
+//     infinite).  Agreement validates both the implementation and the
+//     "popularity = weights" reading.
+//
+// (b) §5's proof of Theorem 4.3 rests on pathwise potential bounds.  We run
+//     the proof_auditor along live trajectories and report the worst slack
+//     ever observed — a nonnegative number certifies that every proof
+//     inequality held on every step of every replication.
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench_common.h"
+#include "core/aggregate_dynamics.h"
+#include "core/infinite_dynamics.h"
+#include "core/mean_field.h"
+#include "core/proof_audit.h"
+#include "core/theory.h"
+#include "env/reward_model.h"
+#include "support/parallel.h"
+#include "support/rng.h"
+#include "support/stats.h"
+
+namespace {
+
+using namespace sgl;
+
+int run(const bench::standard_options& options) {
+  bench::print_banner(
+      "E16: Mean-field fixed point & pathwise proof audit (Sections 3, 5)",
+      "(a) The deterministic-MWU fixed point predicts the stochastic "
+      "steady state; (b) every Theorem-4.3 proof inequality holds pathwise.");
+
+  // --- (a) mean-field predictions -------------------------------------------
+  text_table prediction{{"m", "beta", "predicted best mass", "measured (infinite)",
+                         "measured (N=10^5)", "predicted regret", "measured regret"}};
+
+  for (const std::size_t m : {std::size_t{2}, std::size_t{5}}) {
+    for (const double beta : {0.55, 0.62, 0.7}) {
+      const core::dynamics_params params = core::theorem_params(m, beta);
+      const auto etas = env::two_level_etas(m, 0.85, 0.35);
+      core::mean_field_map map{params, etas};
+      map.solve_fixed_point();
+      const double predicted_mass = map.state()[0];
+      const double predicted_regret = map.steady_state_regret();
+
+      struct pair_stats {
+        running_stats infinite_mass;
+        running_stats finite_mass;
+        running_stats regret;
+      };
+      const std::uint64_t warmup = 2000;
+      const std::uint64_t horizon = 6000;
+      auto measured = parallel_reduce<pair_stats>(
+          options.replications, [] { return pair_stats{}; },
+          [&](pair_stats& s, std::size_t rep) {
+            rng env_gen = rng::from_stream(options.seed, 3 * rep);
+            rng env_gen2 = rng::from_stream(options.seed, 3 * rep);  // same rewards
+            rng process_gen = rng::from_stream(options.seed, 3 * rep + 1);
+            env::bernoulli_rewards environment{etas};
+            env::bernoulli_rewards environment2{etas};
+            core::infinite_dynamics inf{params};
+            core::aggregate_dynamics fin{params, 100000};
+            std::vector<std::uint8_t> r(m);
+            double inf_mass = 0.0;
+            double fin_mass = 0.0;
+            double reward = 0.0;
+            for (std::uint64_t t = 1; t <= horizon; ++t) {
+              environment.sample(t, env_gen, r);
+              inf.step(r);
+              if (t > warmup) {
+                inf_mass += inf.distribution()[0];
+                for (std::size_t j = 0; j < m; ++j) {
+                  reward += inf.distribution()[j] * etas[j];
+                }
+              }
+            }
+            for (std::uint64_t t = 1; t <= horizon; ++t) {
+              environment2.sample(t, env_gen2, r);
+              fin.step(r, process_gen);
+              if (t > warmup) fin_mass += fin.popularity()[0];
+            }
+            const double steps = static_cast<double>(horizon - warmup);
+            s.infinite_mass.add(inf_mass / steps);
+            s.finite_mass.add(fin_mass / steps);
+            s.regret.add(etas[0] - reward / steps);
+          },
+          [](pair_stats& into, const pair_stats& from) {
+            into.infinite_mass.merge(from.infinite_mass);
+            into.finite_mass.merge(from.finite_mass);
+            into.regret.merge(from.regret);
+          },
+          options.threads);
+
+      prediction.add_row({std::to_string(m), fmt(beta, 2), fmt(predicted_mass, 4),
+                          fmt(measured.infinite_mass.mean(), 4),
+                          fmt(measured.finite_mass.mean(), 4),
+                          fmt(predicted_regret, 4), fmt(measured.regret.mean(), 4)});
+    }
+  }
+  std::printf("(a) Mean-field fixed point vs stochastic steady state "
+              "(time-average after warm-up):\n");
+  bench::emit(prediction, options);
+
+  // --- (b) pathwise proof audit ----------------------------------------------
+  text_table audit{{"m", "beta", "trajectories", "steps each", "worst slack",
+                    "all inequalities hold"}};
+  for (const std::size_t m : {std::size_t{2}, std::size_t{10}}) {
+    for (const double beta : {0.55, 0.65, 0.73}) {
+      const core::dynamics_params params = core::theorem_params(m, beta);
+      const auto etas = env::two_level_etas(m, 0.85, 0.35);
+      auto worst = parallel_reduce<running_stats>(
+          options.replications, [] { return running_stats{}; },
+          [&](running_stats& s, std::size_t rep) {
+            core::infinite_dynamics dyn{params};
+            core::proof_auditor auditor{params};
+            env::bernoulli_rewards environment{etas};
+            rng gen = rng::from_stream(options.seed + 5, rep);
+            s.add(core::audit_run(dyn, auditor, 1000,
+                                  [&](std::uint64_t t, std::span<std::uint8_t> out) {
+                                    environment.sample(t, gen, out);
+                                  }));
+          },
+          [](running_stats& into, const running_stats& from) { into.merge(from); },
+          options.threads);
+      audit.add_row({std::to_string(m), fmt(beta, 2),
+                     std::to_string(options.replications), "1000",
+                     fmt(worst.min(), 4), bench::verdict(worst.min() >= -1e-9)});
+    }
+  }
+  std::printf("(b) Pathwise audit of the Theorem 4.3 proof inequalities "
+              "(potential upper/lower bounds +\n    the combined regret "
+              "inequality, checked at every step):\n");
+  bench::emit(audit, options);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = sgl::bench::make_standard_flags(
+      "e16_mean_field", "Mean-field predictions and the pathwise proof audit", 40);
+  sgl::bench::standard_options options;
+  int exit_code = 0;
+  if (!sgl::bench::parse_standard(flags, argc, argv, options, exit_code)) return exit_code;
+  return run(options);
+}

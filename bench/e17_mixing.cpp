@@ -1,0 +1,142 @@
+// Experiment E17 — mixing, burn-in, and where the regret lives.
+//
+// Supplementary analysis the paper's discussion implies but never plots:
+//
+//   * how long the dynamics takes to reach its steady state (burn-in) and
+//     how correlated the steady-state trajectory is (integrated
+//     autocorrelation time τ_int) as a function of β — the "speed vs
+//     steady-error" face of the δ tradeoff;
+//   * a decomposition of the steady-state regret into the structural
+//     μ-exploration floor vs genuine mis-concentration, showing that once
+//     converged, essentially *all* remaining regret is the exploration tax
+//     (so the 3δ bound's looseness is the price of the μ > 0 hypothesis).
+//
+// Uses the analysis module (autocorrelation, burn-in, block bootstrap,
+// regret decomposition) on long single trajectories.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "bench_common.h"
+#include "analysis/decomposition.h"
+#include "analysis/timeseries.h"
+#include "core/aggregate_dynamics.h"
+#include "core/theory.h"
+#include "env/reward_model.h"
+#include "support/rng.h"
+#include "support/stats.h"
+
+namespace {
+
+using namespace sgl;
+
+int run(const bench::standard_options& options) {
+  bench::print_banner(
+      "E17: Mixing time, burn-in, and regret decomposition (analysis suite)",
+      "How fast does the chain settle, how sticky is it once settled, and "
+      "how much of the steady regret is just the mu-exploration tax?");
+
+  constexpr std::size_t m = 3;
+  constexpr std::uint64_t n = 20000;
+  constexpr std::uint64_t horizon = 20000;
+  const std::vector<double> etas{0.85, 0.35, 0.35};
+
+  text_table table{{"beta", "delta", "mu", "burn-in", "tau_int", "ESS/T",
+                    "steady regret (bootstrap CI)", "exploration floor",
+                    "convergence excess"}};
+
+  for (const double beta : {0.55, 0.6, 0.65, 0.7, 0.73}) {
+    const core::dynamics_params params = core::theorem_params(m, beta);
+    rng process_gen = rng::from_stream(options.seed, 0);
+    rng env_gen = rng::from_stream(options.seed, 1);
+    env::bernoulli_rewards environment{etas};
+    core::aggregate_dynamics dyn{params, n};
+
+    std::vector<double> best_mass;
+    best_mass.reserve(horizon);
+    std::vector<std::uint8_t> r(m);
+    std::vector<double> mean_mass(m, 0.0);
+    for (std::uint64_t t = 1; t <= horizon; ++t) {
+      environment.sample(t, env_gen, r);
+      dyn.step(r, process_gen);
+      best_mass.push_back(dyn.popularity()[0]);
+    }
+
+    // Warm-up: first time the trajectory reaches the steady band (tail mean
+    // minus 3 tail sd).  The stricter analysis::burn_in ("stays inside the
+    // band forever after") is deliberately not used here: the paper notes
+    // the process "may step away significantly from Q ≈ 1 even for large t",
+    // and those excursions are steady-state behaviour, not warm-up.
+    running_stats tail;
+    for (std::size_t t = best_mass.size() - best_mass.size() / 4;
+         t < best_mass.size(); ++t) {
+      tail.add(best_mass[t]);
+    }
+    const std::size_t settle = std::min<std::size_t>(
+        analysis::hitting_time(best_mass, tail.mean() - 3.0 * tail.stddev()),
+        static_cast<std::size_t>(horizon) / 2);
+    const std::span<const double> steady{best_mass.data() + settle,
+                                         best_mass.size() - settle};
+    const double tau = analysis::integrated_autocorrelation_time(steady);
+    const double ess_fraction =
+        analysis::effective_sample_size(steady) / static_cast<double>(steady.size());
+
+    // Steady-state mean popularity vector: deterministic replay of the same
+    // trajectory (same streams), accumulating every option this time.
+    rng process_gen2 = rng::from_stream(options.seed, 0);
+    rng env_gen2 = rng::from_stream(options.seed, 1);
+    env::bernoulli_rewards environment2{etas};
+    core::aggregate_dynamics dyn2{params, n};
+    std::fill(mean_mass.begin(), mean_mass.end(), 0.0);
+    for (std::uint64_t t = 1; t <= horizon; ++t) {
+      environment2.sample(t, env_gen2, r);
+      dyn2.step(r, process_gen2);
+      if (t > settle) {
+        for (std::size_t j = 0; j < m; ++j) mean_mass[j] += dyn2.popularity()[j];
+      }
+    }
+    for (double& x : mean_mass) x /= static_cast<double>(horizon - settle);
+
+    const analysis::regret_breakdown breakdown =
+        analysis::decompose_regret(mean_mass, etas, params);
+    const mean_ci regret_ci = [&] {
+      std::vector<double> regret_series(steady.size());
+      for (std::size_t i = 0; i < steady.size(); ++i) {
+        // per-step regret given best mass q: (1-q) spread over equal gaps
+        regret_series[i] = (1.0 - steady[i]) * (0.85 - 0.35);
+      }
+      return analysis::block_bootstrap_mean(regret_series, 0.95, 0, 800,
+                                            options.seed);
+    }();
+
+    table.add_row({fmt(beta, 2), fmt(params.delta(), 3), fmt(params.mu, 4),
+                   std::to_string(settle), fmt(tau, 1), fmt(ess_fraction, 3),
+                   fmt_pm(regret_ci.mean, regret_ci.half_width, 4),
+                   fmt(breakdown.exploration_floor, 4),
+                   fmt(breakdown.convergence_excess, 4)});
+  }
+  bench::emit(table, options);
+  std::printf("N = %llu, T = %llu, eta = (0.85, 0.35, 0.35); steady statistics "
+              "computed after the detected burn-in,\nwith block-bootstrap CIs "
+              "(the trajectory is strongly autocorrelated — see tau_int).\n"
+              "Shape: larger delta = stronger drift = faster mixing (smaller "
+              "tau_int) but a bigger exploration\nfloor (mu = delta^2/6); small "
+              "beta pays almost no floor but its steady trajectory is glassy\n"
+              "(tau_int large) and its residual regret is fluctuation-driven — "
+              "the two faces of the delta knob.\n",
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(horizon));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = sgl::bench::make_standard_flags(
+      "e17_mixing", "Mixing time, burn-in, and regret decomposition", 1);
+  sgl::bench::standard_options options;
+  int exit_code = 0;
+  if (!sgl::bench::parse_standard(flags, argc, argv, options, exit_code)) return exit_code;
+  return run(options);
+}

@@ -1,0 +1,123 @@
+// Experiment E18 — decomposing the finite-population fluctuations.
+//
+// The steady-state popularity fluctuates for two distinct reasons:
+//
+//   (1) COMMON reward noise: the shared signals R^t_j buffet even the
+//       infinite-population dynamics — this component does NOT shrink
+//       with N;
+//   (2) SAMPLING noise: the per-step multinomial/binomial randomness of a
+//       finite population — this is the 1/√N component behind Lemma 4.5's
+//       δ″ = √(60 m ln N/((1−β)μN)).
+//
+// Running the finite and infinite dynamics *coupled on the same rewards*
+// (the lemma's coupling) isolates (2) as Q_best − P_best.  We report both
+// components across three decades of N and fit the log-log slope of the
+// sampling component against the CLT prediction −1/2.
+//
+// First attempt at this experiment measured sd(Q_best) alone and found it
+// flat in N — the correct reading (kept here as the headline) is that the
+// common reward noise dominates, and only the coupled difference scales.
+
+#include <cmath>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/aggregate_dynamics.h"
+#include "core/infinite_dynamics.h"
+#include "core/mean_field.h"
+#include "core/theory.h"
+#include "env/reward_model.h"
+#include "support/parallel.h"
+#include "support/rng.h"
+#include "support/stats.h"
+
+namespace {
+
+using namespace sgl;
+
+struct fluctuation_stats {
+  running_stats total;     // Q_best samples (total fluctuation)
+  running_stats sampling;  // Q_best - P_best under shared rewards
+};
+
+int run(const bench::standard_options& options) {
+  bench::print_banner(
+      "E18: Decomposing finite-population fluctuations (common vs sampling noise)",
+      "sd(Q_best) is flat in N — the shared rewards are common noise felt even "
+      "at N = inf; the coupled difference Q - P isolates the sampling noise, "
+      "which must scale like 1/sqrt(N).");
+
+  constexpr std::size_t m = 3;
+  constexpr double beta = 0.62;
+  const core::dynamics_params params = core::theorem_params(m, beta);
+  const auto etas = env::two_level_etas(m, 0.85, 0.35);
+  constexpr std::uint64_t warmup = 500;
+  constexpr std::uint64_t horizon = 4000;
+
+  core::mean_field_map map{params, etas};
+  map.solve_fixed_point();
+
+  text_table table{{"N", "mean Q_best", "sd(Q_best) total", "sd(Q-P) sampling",
+                    "sd(Q-P)*sqrt(N)", "delta''(N)"}};
+  std::vector<double> log_n;
+  std::vector<double> log_sampling_sd;
+
+  for (const std::uint64_t n : {1000ULL, 10000ULL, 100000ULL, 1000000ULL}) {
+    auto stats = parallel_reduce<fluctuation_stats>(
+        options.replications, [] { return fluctuation_stats{}; },
+        [&](fluctuation_stats& s, std::size_t rep) {
+          rng process_gen = rng::from_stream(options.seed, 2 * rep);
+          rng env_gen = rng::from_stream(options.seed, 2 * rep + 1);
+          env::bernoulli_rewards environment{etas};
+          core::aggregate_dynamics finite{params, n};
+          core::infinite_dynamics infinite{params};
+          std::vector<std::uint8_t> r(m);
+          for (std::uint64_t t = 1; t <= horizon; ++t) {
+            environment.sample(t, env_gen, r);
+            finite.step(r, process_gen);  // same rewards: Lemma 4.5's coupling
+            infinite.step(r);
+            if (t > warmup && t % 25 == 0) {  // thin the correlated series
+              s.total.add(finite.popularity()[0]);
+              s.sampling.add(finite.popularity()[0] - infinite.distribution()[0]);
+            }
+          }
+        },
+        [](fluctuation_stats& into, const fluctuation_stats& from) {
+          into.total.merge(from.total);
+          into.sampling.merge(from.sampling);
+        },
+        options.threads);
+
+    const double nd = static_cast<double>(n);
+    table.add_row({std::to_string(n), fmt(stats.total.mean(), 4),
+                   fmt_sci(stats.total.stddev(), 2),
+                   fmt_sci(stats.sampling.stddev(), 2),
+                   fmt(stats.sampling.stddev() * std::sqrt(nd), 3),
+                   fmt_sci(core::theory::delta_double_prime(m, params.mu, beta, nd), 2)});
+    log_n.push_back(std::log(nd));
+    log_sampling_sd.push_back(std::log(stats.sampling.stddev()));
+  }
+  bench::emit(table, options);
+
+  const ols_fit fit = fit_ols(log_n, log_sampling_sd);
+  std::printf("log-log fit of the SAMPLING component: sd(Q-P) ~ N^%.3f   "
+              "(CLT prediction: N^-0.5, R^2 = %.4f)\n", fit.slope, fit.r_squared);
+  std::printf("mean-field mean prediction: %.4f.\n"
+              "Shape: total fluctuation is N-independent (common reward noise "
+              "dominates); the coupled\ndifference scales as 1/sqrt(N) — the CLT "
+              "mechanism behind delta'' and hence Lemma 4.5.\n",
+              map.state()[0]);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = sgl::bench::make_standard_flags(
+      "e18_fluctuation_scaling",
+      "Common vs sampling fluctuations; sampling component ~ 1/sqrt(N)", 20);
+  sgl::bench::standard_options options;
+  int exit_code = 0;
+  if (!sgl::bench::parse_standard(flags, argc, argv, options, exit_code)) return exit_code;
+  return run(options);
+}

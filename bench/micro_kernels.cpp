@@ -1,0 +1,151 @@
+// Google-benchmark micro suite: throughput of the hot kernels behind the
+// experiment harnesses.  The headline numbers are the per-step costs of the
+// three dynamics engines — the aggregate engine's N-independence is what
+// makes the Theorem 4.4 sweeps to N = 10^6 feasible.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "algo/full_info.h"
+#include "core/aggregate_dynamics.h"
+#include "core/finite_dynamics.h"
+#include "core/infinite_dynamics.h"
+#include "core/params.h"
+#include "netsim/simulation.h"
+#include "support/distributions.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace sgl;
+
+core::dynamics_params make_params(std::size_t m) {
+  core::dynamics_params p;
+  p.num_options = m;
+  p.mu = 0.05;
+  p.beta = 0.62;
+  return p;
+}
+
+std::vector<std::uint8_t> random_rewards(std::size_t m, rng& gen) {
+  std::vector<std::uint8_t> r(m);
+  for (auto& x : r) x = gen.next_bernoulli(0.5) ? 1 : 0;
+  return r;
+}
+
+void BM_rng_next_u64(benchmark::State& state) {
+  rng gen{1};
+  for (auto _ : state) benchmark::DoNotOptimize(gen.next_u64());
+}
+BENCHMARK(BM_rng_next_u64);
+
+void BM_binomial_sample(benchmark::State& state) {
+  rng gen{2};
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(sample_binomial(gen, n, 0.37));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_binomial_sample)->Arg(16)->Arg(1024)->Arg(1 << 20);
+
+void BM_multinomial_sample(benchmark::State& state) {
+  rng gen{3};
+  const auto m = static_cast<std::size_t>(state.range(0));
+  std::vector<double> weights(m, 1.0);
+  std::vector<std::uint64_t> out(m);
+  for (auto _ : state) {
+    sample_multinomial(gen, 1000000, weights, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_multinomial_sample)->Arg(2)->Arg(10)->Arg(100);
+
+void BM_alias_sampler_draw(benchmark::State& state) {
+  rng gen{4};
+  std::vector<double> weights(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t j = 0; j < weights.size(); ++j) {
+    weights[j] = static_cast<double>(j + 1);
+  }
+  const discrete_sampler sampler{weights};
+  for (auto _ : state) benchmark::DoNotOptimize(sampler.sample(gen));
+}
+BENCHMARK(BM_alias_sampler_draw)->Arg(10)->Arg(1000);
+
+void BM_infinite_step(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  core::infinite_dynamics dyn{make_params(m)};
+  rng gen{5};
+  const auto rewards = random_rewards(m, gen);
+  for (auto _ : state) dyn.step(rewards);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_infinite_step)->Arg(2)->Arg(10)->Arg(100);
+
+void BM_aggregate_step(benchmark::State& state) {
+  // O(m) per step — note the independence from N.
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  core::aggregate_dynamics dyn{make_params(10), n};
+  rng gen{6};
+  rng reward_gen{7};
+  const auto rewards = random_rewards(10, reward_gen);
+  for (auto _ : state) dyn.step(rewards, gen);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_aggregate_step)->Arg(1000)->Arg(100000)->Arg(10000000);
+
+void BM_agent_based_step(benchmark::State& state) {
+  // O(N) per step — the price of heterogeneity/topologies.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::finite_dynamics dyn{make_params(10), n};
+  rng gen{8};
+  rng reward_gen{9};
+  const auto rewards = random_rewards(10, reward_gen);
+  for (auto _ : state) dyn.step(rewards, gen);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() *
+                                                    static_cast<std::int64_t>(n)));
+}
+BENCHMARK(BM_agent_based_step)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_hedge_update(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  algo::hedge policy{m, 0.1};
+  rng gen{10};
+  const auto rewards = random_rewards(m, gen);
+  for (auto _ : state) policy.update(rewards);
+}
+BENCHMARK(BM_hedge_update)->Arg(10)->Arg(100);
+
+/// Minimal ping-pong node for event-loop throughput.
+class pong_node final : public netsim::node {
+ public:
+  void on_start(netsim::context& ctx) override {
+    if (ctx.self() == 0) {
+      netsim::message m;
+      m.kind = 1;
+      ctx.send(1, m);
+    }
+  }
+  void on_message(netsim::context& ctx, const netsim::message& msg) override {
+    ctx.send(msg.src, msg);
+  }
+  void on_timer(netsim::context&, std::int32_t) override {}
+};
+
+void BM_netsim_event_throughput(benchmark::State& state) {
+  netsim::simulation sim{11};
+  sim.add_node(std::make_unique<pong_node>());
+  sim.add_node(std::make_unique<pong_node>());
+  netsim::link_model links;
+  links.base_latency = 1.0;
+  sim.set_link_model(links);
+  sim.start();
+  for (auto _ : state) benchmark::DoNotOptimize(sim.step_one());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_netsim_event_throughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Collective nest-site choice (the animal-behaviour motivation: Pratt et al.
+// on Temnothorax ants, Seeley & Buhrman on honey bee swarms — refs [40, 43]).
+//
+// A swarm must choose among candidate nest cavities of different quality.
+// Scouts advertise their current candidate; an uncommitted or wavering
+// scout follows a random advertiser (or explores), inspects the cavity,
+// and commits with probability increasing in the observed quality — the
+// paper's two-stage dynamics verbatim.  The swarm needs a quorum (90% on
+// one site) to lift off.
+//
+// This example also showcases heterogeneous adoption rules (§2.1: the f_i
+// "need not be identical"): some scouts are discerning, some credulous.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/finite_dynamics.h"
+#include "core/params.h"
+#include "env/reward_model.h"
+#include "support/rng.h"
+#include "support/table.h"
+
+int main() {
+  using namespace sgl;
+
+  // Five candidate cavities; site 2 is the good one (dry, small entrance).
+  const std::vector<double> site_quality{0.45, 0.5, 0.85, 0.4, 0.5};
+  constexpr std::size_t num_scouts = 300;
+  constexpr double quorum = 0.9;
+
+  core::dynamics_params params;
+  params.num_options = site_quality.size();
+  params.beta = 0.68;
+  params.alpha = -1.0;
+  params.mu = 0.04;  // independent scouting
+
+  core::finite_dynamics swarm{params, num_scouts};
+
+  // Heterogeneous scouts: 1/3 discerning (sharp alpha/beta split), 1/3
+  // average, 1/3 credulous (adopt almost anything they are shown).
+  std::vector<core::adoption_rule> scouts;
+  scouts.reserve(num_scouts);
+  for (std::size_t i = 0; i < num_scouts; ++i) {
+    if (i % 3 == 0) {
+      scouts.push_back({0.10, 0.90});  // discerning
+    } else if (i % 3 == 1) {
+      scouts.push_back({0.32, 0.68});  // average
+    } else {
+      scouts.push_back({0.55, 0.75});  // credulous
+    }
+  }
+  swarm.set_agent_rules(std::move(scouts));
+
+  env::bernoulli_rewards inspections{site_quality};
+  rng swarm_gen{21};
+  rng site_gen{23};
+
+  std::printf("Nest-site choice: %zu scouts, %zu sites, qualities "
+              "(0.45, 0.50, 0.85, 0.40, 0.50), quorum %.0f%%.\n\n",
+              num_scouts, site_quality.size(), quorum * 100.0);
+
+  text_table table{{"hour", "site 0", "site 1", "site 2*", "site 3", "site 4",
+                    "committed"}};
+  std::vector<std::uint8_t> signals(site_quality.size());
+  std::uint64_t quorum_hour = 0;
+  for (std::uint64_t hour = 1; hour <= 300; ++hour) {
+    inspections.sample(hour, site_gen, signals);
+    swarm.step(signals, swarm_gen);
+    const auto q = swarm.popularity();
+    if (hour == 1 || hour % 30 == 0) {
+      table.add_row({std::to_string(hour), fmt(q[0], 2), fmt(q[1], 2), fmt(q[2], 2),
+                     fmt(q[3], 2), fmt(q[4], 2), std::to_string(swarm.adopters())});
+    }
+    if (quorum_hour == 0 && q[2] >= quorum &&
+        swarm.adopters() > num_scouts / 2) {
+      quorum_hour = hour;
+    }
+  }
+  table.print(std::cout);
+  if (quorum_hour > 0) {
+    std::printf("\nQuorum on the best site (site 2) reached at hour %llu — "
+                "lift-off!\n", static_cast<unsigned long long>(quorum_hour));
+  } else {
+    std::printf("\nNo quorum within 300 hours (unlucky run — try another seed).\n");
+  }
+  std::printf("Even with heterogeneous scouts (discerning / average / credulous), "
+              "the swarm\nconcentrates on the best cavity, as the paper's remark on "
+              "non-identical f_i predicts.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Regime-switching markets (§6: "when the options represent stocks").
+//
+// Three investment styles whose edge depends on a hidden bull/bear regime
+// driven by a Markov chain: momentum wins in bulls, defensive wins in
+// bears, and a mediocre style never wins.  A crowd of investors runs the
+// copy-then-evaluate dynamics; we watch how quickly the crowd rotates into
+// the style that works *now*, and compare the crowd's average reward to a
+// buy-and-hold of either style and to the regime-clairvoyant oracle.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/finite_dynamics.h"
+#include "core/params.h"
+#include "env/markov_rewards.h"
+#include "support/rng.h"
+#include "support/table.h"
+
+int main() {
+  using namespace sgl;
+
+  constexpr std::uint64_t days = 1500;
+  constexpr std::size_t investors = 3000;
+
+  // Styles: momentum, defensive, mediocre.  Regimes: bull, bear.
+  const std::vector<std::vector<double>> style_edge{
+      {0.80, 0.40, 0.45},  // bull: momentum dominates
+      {0.35, 0.75, 0.45},  // bear: defensive dominates
+  };
+  // transition[k][l] = P(regime k -> regime l) per day.
+  const std::vector<std::vector<double>> transitions{
+      {0.99, 0.01},    // bulls last ~100 days
+      {0.015, 0.985},  // bears last ~67 days
+  };
+  env::markov_rewards market{style_edge, transitions, days, /*regime_seed=*/5};
+
+  const core::dynamics_params params = core::theorem_params(3, 0.65);
+  core::finite_dynamics crowd{params, investors};
+  rng crowd_gen{7};
+  rng market_gen{11};
+
+  std::printf("Regime-switching market: %zu investors, 3 styles, hidden bull/bear "
+              "chain (%llu regime changes\nover %llu days).\n\n",
+              investors, static_cast<unsigned long long>(market.num_switches()),
+              static_cast<unsigned long long>(days));
+
+  std::vector<std::uint8_t> wins(3);
+  double crowd_reward = 0.0;
+  double momentum_reward = 0.0;
+  double defensive_reward = 0.0;
+  double oracle_reward = 0.0;
+
+  text_table table{{"day", "regime", "momentum share", "defensive share",
+                    "on current best"}};
+  for (std::uint64_t day = 1; day <= days; ++day) {
+    const auto share = crowd.popularity();
+    market.sample(day, market_gen, wins);
+    for (std::size_t j = 0; j < 3; ++j) crowd_reward += share[j] * wins[j];
+    momentum_reward += wins[0];
+    defensive_reward += wins[1];
+    oracle_reward += market.best_mean(day);
+    crowd.step(wins, crowd_gen);
+
+    if (day % 250 == 0) {
+      const std::size_t best = market.best_option(day);
+      table.add_row({std::to_string(day),
+                     market.regime_at(day) == 0 ? "bull" : "bear",
+                     fmt(crowd.popularity()[0], 3), fmt(crowd.popularity()[1], 3),
+                     fmt(crowd.popularity()[best], 3)});
+    }
+  }
+  table.print(std::cout);
+
+  const double d = static_cast<double>(days);
+  std::printf("\nAverage daily win rate over %llu days:\n",
+              static_cast<unsigned long long>(days));
+  std::printf("  copy-the-crowd dynamics : %.3f\n", crowd_reward / d);
+  std::printf("  buy-and-hold momentum   : %.3f\n", momentum_reward / d);
+  std::printf("  buy-and-hold defensive  : %.3f\n", defensive_reward / d);
+  std::printf("  regime-clairvoyant oracle: %.3f\n", oracle_reward / d);
+  std::printf("\nThe crowd rotates into whichever style the regime favours within "
+              "a few dozen days of each\nswitch — no individual investor tracks "
+              "regimes, or anything at all beyond their current style.\n");
+  return 0;
+}

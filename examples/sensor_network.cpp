@@ -1,0 +1,77 @@
+// Sensor-network channel selection — the paper's converse (§1, §6):
+// "the learning dynamics in social groups considered here can inform novel,
+// low-memory, low-communication, distributed implementations of the MWU
+// algorithm in the stochastic setting; perhaps appropriate for low-power
+// devices in distributed settings such as sensor networks or the
+// internet-of-things."
+//
+// 150 battery-powered sensors on a 15x10 grid must converge on the least
+// congested of 4 radio channels.  Each node stores ONE integer (its current
+// channel), wakes once per round, asks a random grid neighbour which
+// channel it uses, senses that channel, and commits with probability
+// beta/alpha.  Links are lossy; a fifth of the fleet dies mid-run.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/params.h"
+#include "graph/graph.h"
+#include "protocol/gossip_learner.h"
+#include "support/table.h"
+
+int main() {
+  using namespace sgl;
+
+  const std::vector<double> channel_clearness{0.9, 0.55, 0.5, 0.45};
+  const graph::graph grid = graph::graph::grid(15, 10, /*wrap=*/false);
+
+  protocol::gossip_params gossip;
+  gossip.dynamics = core::theorem_params(channel_clearness.size(), 0.65);
+  gossip.round_interval = 1.0;   // one wakeup per second
+  gossip.sticky = true;          // a radio must stay on *some* channel
+
+  protocol::signal_oracle oracle{channel_clearness, /*seed=*/314};
+
+  protocol::gossip_run_config config;
+  config.num_nodes = grid.num_vertices();
+  config.rounds = 240;
+  config.seed = 2718;
+  config.topology = &grid;
+  config.links.base_latency = 0.02;
+  config.links.jitter_mean = 0.03;
+  config.links.drop_probability = 0.15;  // lossy radio links
+  config.crash_fraction = 0.2;           // battery deaths...
+  config.crash_round = 120;              // ...two minutes in
+
+  std::printf("Channel selection on a 15x10 sensor grid (%zu nodes, 4 channels,\n"
+              "clear-air probabilities 0.9/0.55/0.5/0.45, 15%% packet loss, 20%% of\n"
+              "nodes die at round 120).  Per-node state: one int.\n\n",
+              grid.num_vertices());
+
+  const protocol::gossip_run_result result =
+      protocol::run_gossip_experiment(gossip, oracle, config);
+
+  text_table table{{"round", "share on best channel", "share committed"}};
+  for (const std::uint64_t round : {1ULL, 30ULL, 60ULL, 120ULL, 121ULL, 180ULL, 240ULL}) {
+    table.add_row({std::to_string(round), fmt(result.best_fraction[round - 1], 3),
+                   fmt(result.committed_fraction[round - 1], 3)});
+  }
+  table.print(std::cout);
+
+  const double msgs_per_node_round =
+      static_cast<double>(result.net.messages_sent) /
+      (static_cast<double>(config.num_nodes) * static_cast<double>(config.rounds));
+  std::printf("\nnetwork cost: %llu messages (%.1f kB), %.2f msgs/node/round, "
+              "%.1f%% dropped\n",
+              static_cast<unsigned long long>(result.net.messages_sent),
+              static_cast<double>(result.net.bytes_sent()) / 1024.0,
+              msgs_per_node_round,
+              100.0 * static_cast<double>(result.net.messages_dropped) /
+                  static_cast<double>(result.net.messages_sent));
+  std::printf("average regret vs always-best-channel: %.4f\n", result.average_regret);
+  std::printf("\nThe fleet herds onto the clear channel and re-converges after the "
+              "crash wave,\nwith two tiny message types and no routing, tables, or "
+              "weight vectors anywhere.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Learning over a social network (§6, open problem 1): individuals can only
+// observe their network neighbours.  How much does topology matter?
+//
+// The same population and environment, four different social graphs: the
+// fully mixed baseline, a small-world network, a preferential-attachment
+// network, and two tight communities joined by a single bridge.  Watch the
+// bridged communities: the one that stumbles onto the good option early
+// converges first, and the innovation crosses the bridge late.
+
+#include <cstdio>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/finite_dynamics.h"
+#include "core/params.h"
+#include "env/reward_model.h"
+#include "graph/graph.h"
+#include "support/rng.h"
+#include "support/table.h"
+
+int main() {
+  using namespace sgl;
+
+  constexpr std::size_t population = 600;
+  const std::vector<double> etas{0.85, 0.4, 0.4};
+  const core::dynamics_params params = core::theorem_params(etas.size(), 0.65);
+
+  rng topology_gen{5};
+  struct scenario {
+    std::string name;
+    std::optional<graph::graph> g;
+  };
+  std::vector<scenario> scenarios;
+  scenarios.push_back({"fully mixed", std::nullopt});
+  scenarios.push_back(
+      {"small world (WS k=4, p=0.1)",
+       graph::graph::watts_strogatz(population, 4, 0.1, topology_gen)});
+  scenarios.push_back({"scale free (BA m=3)",
+                       graph::graph::barabasi_albert(population, 3, topology_gen)});
+  scenarios.push_back({"two communities, 1 bridge",
+                       graph::graph::two_cliques(population / 2, 1)});
+
+  std::printf("Social-network learning: %zu people, 3 options, eta = "
+              "(0.85, 0.4, 0.4), beta = 0.65.\n\n",
+              population);
+
+  text_table table{{"topology", "t=25", "t=50", "t=100", "t=200", "t=400"}};
+  for (const auto& s : scenarios) {
+    core::finite_dynamics dyn{params, population};
+    if (s.g.has_value()) dyn.set_topology(&*s.g);
+    env::bernoulli_rewards environment{etas};
+    rng process_gen{33};
+    rng env_gen{35};
+    std::vector<std::uint8_t> r(etas.size());
+    std::vector<std::string> row{s.name};
+    for (std::uint64_t t = 1; t <= 400; ++t) {
+      environment.sample(t, env_gen, r);
+      dyn.step(r, process_gen);
+      if (t == 25 || t == 50 || t == 100 || t == 200 || t == 400) {
+        row.push_back(fmt(dyn.popularity()[0], 3));
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::printf("\n(cells: share of the population on the best option)\n"
+              "Dense mixing converges fastest; the bridged communities lag — the "
+              "open problem of\nSection 6 is exactly to quantify this "
+              "topology-dependence.  Bench e11_topologies runs\nthe full sweep with "
+              "confidence intervals.\n");
+  return 0;
+}

@@ -1,0 +1,153 @@
+#include "algo/bandit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "support/distributions.h"
+
+namespace sgl::algo {
+namespace {
+
+void check_arms(std::size_t num_arms, const char* who) {
+  if (num_arms == 0) throw std::invalid_argument{std::string{who} + ": no arms"};
+}
+
+void check_arm_index(std::size_t arm, std::size_t num_arms, const char* who) {
+  if (arm >= num_arms) throw std::out_of_range{std::string{who} + ": arm out of range"};
+}
+
+}  // namespace
+
+// --- ucb1 -------------------------------------------------------------------
+
+ucb1::ucb1(std::size_t num_arms) {
+  check_arms(num_arms, "ucb1");
+  pulls_.assign(num_arms, 0);
+  wins_.assign(num_arms, 0);
+}
+
+std::size_t ucb1::select(rng& /*gen*/) {
+  // Initialization round: play each unpulled arm once, in index order.
+  for (std::size_t j = 0; j < pulls_.size(); ++j) {
+    if (pulls_[j] == 0) return j;
+  }
+  std::size_t best = 0;
+  double best_score = -1.0;
+  const double log_t = std::log(static_cast<double>(total_pulls_));
+  for (std::size_t j = 0; j < pulls_.size(); ++j) {
+    const double n = static_cast<double>(pulls_[j]);
+    const double score = static_cast<double>(wins_[j]) / n + std::sqrt(2.0 * log_t / n);
+    if (score > best_score) {
+      best_score = score;
+      best = j;
+    }
+  }
+  return best;
+}
+
+void ucb1::update(std::size_t arm, std::uint8_t reward) {
+  check_arm_index(arm, pulls_.size(), "ucb1");
+  ++pulls_[arm];
+  ++total_pulls_;
+  wins_[arm] += reward;
+}
+
+void ucb1::reset() {
+  std::fill(pulls_.begin(), pulls_.end(), 0);
+  std::fill(wins_.begin(), wins_.end(), 0);
+  total_pulls_ = 0;
+}
+
+// --- thompson_sampling --------------------------------------------------------
+
+thompson_sampling::thompson_sampling(std::size_t num_arms) {
+  check_arms(num_arms, "thompson_sampling");
+  wins_.assign(num_arms, 0);
+  losses_.assign(num_arms, 0);
+}
+
+std::size_t thompson_sampling::select(rng& gen) {
+  std::size_t best = 0;
+  double best_draw = -1.0;
+  for (std::size_t j = 0; j < wins_.size(); ++j) {
+    const double draw = sample_beta(gen, 1.0 + static_cast<double>(wins_[j]),
+                                    1.0 + static_cast<double>(losses_[j]));
+    if (draw > best_draw) {
+      best_draw = draw;
+      best = j;
+    }
+  }
+  return best;
+}
+
+void thompson_sampling::update(std::size_t arm, std::uint8_t reward) {
+  check_arm_index(arm, wins_.size(), "thompson_sampling");
+  if (reward != 0) {
+    ++wins_[arm];
+  } else {
+    ++losses_[arm];
+  }
+}
+
+void thompson_sampling::reset() {
+  std::fill(wins_.begin(), wins_.end(), 0);
+  std::fill(losses_.begin(), losses_.end(), 0);
+}
+
+// --- epsilon_greedy -----------------------------------------------------------
+
+epsilon_greedy::epsilon_greedy(std::size_t num_arms, double epsilon) : epsilon_{epsilon} {
+  check_arms(num_arms, "epsilon_greedy");
+  if (!(epsilon >= 0.0 && epsilon <= 1.0)) {
+    throw std::invalid_argument{"epsilon_greedy: epsilon outside [0,1]"};
+  }
+  pulls_.assign(num_arms, 0);
+  wins_.assign(num_arms, 0);
+}
+
+std::size_t epsilon_greedy::select(rng& gen) {
+  if (gen.next_bernoulli(epsilon_)) {
+    return static_cast<std::size_t>(gen.next_below(pulls_.size()));
+  }
+  std::size_t best = 0;
+  double best_mean = -1.0;
+  for (std::size_t j = 0; j < pulls_.size(); ++j) {
+    // Unpulled arms are optimistic (mean 1) so everything gets tried.
+    const double mean = pulls_[j] == 0 ? 1.0
+                                       : static_cast<double>(wins_[j]) /
+                                             static_cast<double>(pulls_[j]);
+    if (mean > best_mean) {
+      best_mean = mean;
+      best = j;
+    }
+  }
+  return best;
+}
+
+void epsilon_greedy::update(std::size_t arm, std::uint8_t reward) {
+  check_arm_index(arm, pulls_.size(), "epsilon_greedy");
+  ++pulls_[arm];
+  wins_[arm] += reward;
+}
+
+void epsilon_greedy::reset() {
+  std::fill(pulls_.begin(), pulls_.end(), 0);
+  std::fill(wins_.begin(), wins_.end(), 0);
+}
+
+// --- random_bandit ------------------------------------------------------------
+
+random_bandit::random_bandit(std::size_t num_arms) : arms_{num_arms} {
+  check_arms(num_arms, "random_bandit");
+}
+
+std::size_t random_bandit::select(rng& gen) {
+  return static_cast<std::size_t>(gen.next_below(arms_));
+}
+
+void random_bandit::update(std::size_t arm, std::uint8_t /*reward*/) {
+  check_arm_index(arm, arms_, "random_bandit");
+}
+
+}  // namespace sgl::algo

@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file bandit.h
+/// Single-agent stochastic-bandit baselines.  The paper's closing
+/// observation (§6): an *individual* in the group faces a multi-armed
+/// bandit, while the *group* collectively enjoys full information.
+/// Experiment E10 quantifies that contrast by pitting the social dynamics
+/// against a population of independent bandit learners.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace sgl::algo {
+
+/// A policy that pulls one arm per step and sees only that arm's reward.
+class bandit_policy {
+ public:
+  virtual ~bandit_policy() = default;
+
+  [[nodiscard]] virtual std::size_t num_arms() const noexcept = 0;
+
+  /// Chooses the arm to pull this step.
+  [[nodiscard]] virtual std::size_t select(rng& gen) = 0;
+
+  /// Observes the pulled arm's reward.
+  virtual void update(std::size_t arm, std::uint8_t reward) = 0;
+
+  virtual void reset() = 0;
+};
+
+/// UCB1 (Auer–Cesa-Bianchi–Fischer): each arm once, then
+/// argmax mean_j + √(2 ln t / pulls_j).
+class ucb1 final : public bandit_policy {
+ public:
+  explicit ucb1(std::size_t num_arms);
+
+  [[nodiscard]] std::size_t num_arms() const noexcept override { return pulls_.size(); }
+  [[nodiscard]] std::size_t select(rng& gen) override;
+  void update(std::size_t arm, std::uint8_t reward) override;
+  void reset() override;
+
+ private:
+  std::vector<std::uint64_t> pulls_;
+  std::vector<std::uint64_t> wins_;
+  std::uint64_t total_pulls_ = 0;
+};
+
+/// Thompson sampling with a Beta(1,1) prior per arm.
+class thompson_sampling final : public bandit_policy {
+ public:
+  explicit thompson_sampling(std::size_t num_arms);
+
+  [[nodiscard]] std::size_t num_arms() const noexcept override { return wins_.size(); }
+  [[nodiscard]] std::size_t select(rng& gen) override;
+  void update(std::size_t arm, std::uint8_t reward) override;
+  void reset() override;
+
+ private:
+  std::vector<std::uint64_t> wins_;
+  std::vector<std::uint64_t> losses_;
+};
+
+/// ε-greedy with a fixed exploration probability.
+class epsilon_greedy final : public bandit_policy {
+ public:
+  /// Throws std::invalid_argument unless epsilon is in [0, 1].
+  epsilon_greedy(std::size_t num_arms, double epsilon);
+
+  [[nodiscard]] std::size_t num_arms() const noexcept override { return pulls_.size(); }
+  [[nodiscard]] std::size_t select(rng& gen) override;
+  void update(std::size_t arm, std::uint8_t reward) override;
+  void reset() override;
+
+ private:
+  double epsilon_;
+  std::vector<std::uint64_t> pulls_;
+  std::vector<std::uint64_t> wins_;
+};
+
+/// Pulls uniformly at random — the floor any learner must beat.
+class random_bandit final : public bandit_policy {
+ public:
+  explicit random_bandit(std::size_t num_arms);
+
+  [[nodiscard]] std::size_t num_arms() const noexcept override { return arms_; }
+  [[nodiscard]] std::size_t select(rng& gen) override;
+  void update(std::size_t arm, std::uint8_t reward) override;
+  void reset() override {}
+
+ private:
+  std::size_t arms_;
+};
+
+}  // namespace sgl::algo

@@ -1,0 +1,61 @@
+#include "algo/exp3.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "support/distributions.h"
+
+namespace sgl::algo {
+
+exp3::exp3(std::size_t num_arms, double gamma) : gamma_{gamma} {
+  if (num_arms == 0) throw std::invalid_argument{"exp3: no arms"};
+  if (!(gamma > 0.0 && gamma <= 1.0)) {
+    throw std::invalid_argument{"exp3: gamma must be in (0,1]"};
+  }
+  log_weights_.assign(num_arms, 0.0);
+  dist_.assign(num_arms, 1.0 / static_cast<double>(num_arms));
+}
+
+void exp3::refresh() noexcept {
+  const double m = static_cast<double>(dist_.size());
+  const double peak = *std::max_element(log_weights_.begin(), log_weights_.end());
+  double total = 0.0;
+  for (std::size_t j = 0; j < dist_.size(); ++j) {
+    dist_[j] = std::exp(log_weights_[j] - peak);
+    total += dist_[j];
+  }
+  for (double& p : dist_) p = (1.0 - gamma_) * (p / total) + gamma_ / m;
+}
+
+std::size_t exp3::select(rng& gen) {
+  refresh();
+  return sample_categorical(gen, dist_);
+}
+
+void exp3::update(std::size_t arm, std::uint8_t reward) {
+  if (arm >= dist_.size()) throw std::out_of_range{"exp3: arm out of range"};
+  if (reward == 0) return;  // zero estimated reward leaves weights unchanged
+  // Importance-weighted estimate r̂ = r / p_arm, scaled by gamma/m.
+  const double p = dist_[arm];
+  log_weights_[arm] +=
+      gamma_ / static_cast<double>(dist_.size()) * (1.0 / std::max(p, 1e-12));
+}
+
+void exp3::reset() {
+  std::fill(log_weights_.begin(), log_weights_.end(), 0.0);
+  std::fill(dist_.begin(), dist_.end(), 1.0 / static_cast<double>(dist_.size()));
+}
+
+double exp3_optimal_gamma(std::size_t num_arms, std::uint64_t horizon) {
+  if (num_arms < 2 || horizon == 0) {
+    throw std::invalid_argument{"exp3_optimal_gamma: need m >= 2 and T >= 1"};
+  }
+  const double m = static_cast<double>(num_arms);
+  return std::min(1.0, std::sqrt(m * std::log(m) /
+                                 ((std::numbers::e - 1.0) *
+                                  static_cast<double>(horizon))));
+}
+
+}  // namespace sgl::algo

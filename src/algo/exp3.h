@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file exp3.h
+/// EXP3 (Auer et al.): multiplicative weights under *bandit* feedback.
+///
+/// Thematically the exact individual-level counterpart of the paper's
+/// group-level result: one agent with bandit feedback must run MWU on
+/// importance-weighted reward estimates and pays the √m price, while the
+/// population as a whole gets full-information MWU for free.  Used by
+/// experiment E10 as the "what if each individual ran MWU alone" column.
+
+#include <cstdint>
+#include <vector>
+
+#include "algo/bandit.h"
+#include "support/rng.h"
+
+namespace sgl::algo {
+
+class exp3 final : public bandit_policy {
+ public:
+  /// `gamma` in (0, 1]: exploration mix and estimate scale.  The classic
+  /// horizon tuning is gamma = min(1, √(m ln m / ((e−1) T))).
+  exp3(std::size_t num_arms, double gamma);
+
+  [[nodiscard]] std::size_t num_arms() const noexcept override { return dist_.size(); }
+  [[nodiscard]] std::size_t select(rng& gen) override;
+  void update(std::size_t arm, std::uint8_t reward) override;
+  void reset() override;
+
+  /// The sampling distribution used for the most recent select().
+  [[nodiscard]] const std::vector<double>& distribution() const noexcept { return dist_; }
+
+ private:
+  void refresh() noexcept;
+
+  double gamma_;
+  std::vector<double> log_weights_;
+  std::vector<double> dist_;
+};
+
+/// The horizon-optimal gamma for m arms over T steps.
+[[nodiscard]] double exp3_optimal_gamma(std::size_t num_arms, std::uint64_t horizon);
+
+}  // namespace sgl::algo

@@ -1,0 +1,123 @@
+#include "algo/full_info.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sgl::algo {
+
+// --- hedge ------------------------------------------------------------------
+
+hedge::hedge(std::size_t num_options, double rate) : rate_{rate} {
+  if (num_options == 0) throw std::invalid_argument{"hedge: no options"};
+  if (!(rate > 0.0)) throw std::invalid_argument{"hedge: rate must be positive"};
+  log_weights_.assign(num_options, 0.0);
+  dist_.assign(num_options, 1.0 / static_cast<double>(num_options));
+}
+
+void hedge::update(std::span<const std::uint8_t> rewards) {
+  if (rewards.size() != log_weights_.size()) {
+    throw std::invalid_argument{"hedge: reward width mismatch"};
+  }
+  for (std::size_t j = 0; j < rewards.size(); ++j) {
+    log_weights_[j] += rate_ * static_cast<double>(rewards[j]);
+  }
+  refresh_distribution();
+}
+
+void hedge::reset() {
+  std::fill(log_weights_.begin(), log_weights_.end(), 0.0);
+  std::fill(dist_.begin(), dist_.end(), 1.0 / static_cast<double>(dist_.size()));
+}
+
+void hedge::refresh_distribution() noexcept {
+  const double peak = *std::max_element(log_weights_.begin(), log_weights_.end());
+  double total = 0.0;
+  for (std::size_t j = 0; j < log_weights_.size(); ++j) {
+    dist_[j] = std::exp(log_weights_[j] - peak);
+    total += dist_[j];
+  }
+  for (double& p : dist_) p /= total;
+}
+
+double hedge_optimal_rate(std::size_t num_options, std::uint64_t horizon) {
+  if (num_options < 2 || horizon == 0) {
+    throw std::invalid_argument{"hedge_optimal_rate: need m >= 2 and T >= 1"};
+  }
+  return std::sqrt(8.0 * std::log(static_cast<double>(num_options)) /
+                   static_cast<double>(horizon));
+}
+
+// --- follow_the_leader --------------------------------------------------------
+
+follow_the_leader::follow_the_leader(std::size_t num_options) {
+  if (num_options == 0) throw std::invalid_argument{"follow_the_leader: no options"};
+  cumulative_.assign(num_options, 0);
+  dist_.assign(num_options, 1.0 / static_cast<double>(num_options));
+}
+
+void follow_the_leader::update(std::span<const std::uint8_t> rewards) {
+  if (rewards.size() != cumulative_.size()) {
+    throw std::invalid_argument{"follow_the_leader: reward width mismatch"};
+  }
+  for (std::size_t j = 0; j < rewards.size(); ++j) cumulative_[j] += rewards[j];
+  const std::size_t leader = static_cast<std::size_t>(
+      std::max_element(cumulative_.begin(), cumulative_.end()) - cumulative_.begin());
+  std::fill(dist_.begin(), dist_.end(), 0.0);
+  dist_[leader] = 1.0;
+}
+
+void follow_the_leader::reset() {
+  std::fill(cumulative_.begin(), cumulative_.end(), 0);
+  std::fill(dist_.begin(), dist_.end(), 1.0 / static_cast<double>(dist_.size()));
+}
+
+// --- uniform_policy -----------------------------------------------------------
+
+uniform_policy::uniform_policy(std::size_t num_options) {
+  if (num_options == 0) throw std::invalid_argument{"uniform_policy: no options"};
+  dist_.assign(num_options, 1.0 / static_cast<double>(num_options));
+}
+
+void uniform_policy::update(std::span<const std::uint8_t> rewards) {
+  if (rewards.size() != dist_.size()) {
+    throw std::invalid_argument{"uniform_policy: reward width mismatch"};
+  }
+}
+
+// --- replicator_map -----------------------------------------------------------
+
+replicator_map::replicator_map(std::vector<double> etas) : etas_{std::move(etas)} {
+  if (etas_.empty()) throw std::invalid_argument{"replicator_map: no options"};
+  double peak = 0.0;
+  for (const double eta : etas_) {
+    if (!(eta >= 0.0 && eta <= 1.0)) {
+      throw std::invalid_argument{"replicator_map: eta outside [0,1]"};
+    }
+    peak = std::max(peak, eta);
+  }
+  if (peak <= 0.0) throw std::invalid_argument{"replicator_map: all qualities zero"};
+  reset();
+}
+
+void replicator_map::step() {
+  double total = 0.0;
+  for (std::size_t j = 0; j < state_.size(); ++j) {
+    state_[j] *= etas_[j];
+    total += state_[j];
+  }
+  if (total <= 0.0) {
+    // All surviving mass sat on zero-quality options; the map is undefined —
+    // restart from uniform (mirrors the empty-population rule of the finite
+    // dynamics).
+    reset();
+    return;
+  }
+  for (double& x : state_) x /= total;
+}
+
+void replicator_map::reset() {
+  state_.assign(etas_.size(), 1.0 / static_cast<double>(etas_.size()));
+}
+
+}  // namespace sgl::algo

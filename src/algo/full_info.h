@@ -1,0 +1,111 @@
+#pragma once
+
+/// \file full_info.h
+/// Full-information baselines.  The paper's key observation is that the
+/// *population as a whole* plays a full-information game (every signal R^t_j
+/// is realized and, collectively, observed), so the natural yardsticks are
+/// the classic multiplicative-weights/Hedge family (Arora–Hazan–Kale) that
+/// the infinite-population dynamics approximates, including the optimally
+/// tuned learning rate the paper's conclusion mentions
+/// (regret O(√(ln m / T))).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sgl::algo {
+
+/// A policy that observes the full reward vector after each step.
+class full_info_policy {
+ public:
+  virtual ~full_info_policy() = default;
+
+  [[nodiscard]] virtual std::size_t num_options() const noexcept = 0;
+
+  /// The distribution the policy plays *this* step (before rewards arrive).
+  [[nodiscard]] virtual std::span<const double> distribution() const noexcept = 0;
+
+  /// Observes the realized reward vector of this step.
+  virtual void update(std::span<const std::uint8_t> rewards) = 0;
+
+  /// Back to the initial state.
+  virtual void reset() = 0;
+};
+
+/// Hedge / classic MWU: weights w_j ∝ exp(rate · cumulative_reward_j),
+/// maintained in log space so arbitrarily long horizons cannot underflow.
+class hedge final : public full_info_policy {
+ public:
+  /// Throws std::invalid_argument unless num_options >= 1 and rate > 0.
+  hedge(std::size_t num_options, double rate);
+
+  [[nodiscard]] std::size_t num_options() const noexcept override { return dist_.size(); }
+  [[nodiscard]] std::span<const double> distribution() const noexcept override { return dist_; }
+  void update(std::span<const std::uint8_t> rewards) override;
+  void reset() override;
+
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+
+ private:
+  void refresh_distribution() noexcept;
+
+  double rate_;
+  std::vector<double> log_weights_;
+  std::vector<double> dist_;
+};
+
+/// The horizon-tuned Hedge learning rate √(8 ln m / T), giving average
+/// regret ≤ √(ln m / (2T)).
+[[nodiscard]] double hedge_optimal_rate(std::size_t num_options, std::uint64_t horizon);
+
+/// Follow-the-leader: plays the option with the highest cumulative reward
+/// (ties to the lowest index).
+class follow_the_leader final : public full_info_policy {
+ public:
+  explicit follow_the_leader(std::size_t num_options);
+
+  [[nodiscard]] std::size_t num_options() const noexcept override { return dist_.size(); }
+  [[nodiscard]] std::span<const double> distribution() const noexcept override { return dist_; }
+  void update(std::span<const std::uint8_t> rewards) override;
+  void reset() override;
+
+ private:
+  std::vector<std::uint64_t> cumulative_;
+  std::vector<double> dist_;
+};
+
+/// Plays uniformly at random forever — the no-learning control.
+class uniform_policy final : public full_info_policy {
+ public:
+  explicit uniform_policy(std::size_t num_options);
+
+  [[nodiscard]] std::size_t num_options() const noexcept override { return dist_.size(); }
+  [[nodiscard]] std::span<const double> distribution() const noexcept override { return dist_; }
+  void update(std::span<const std::uint8_t> rewards) override;
+  void reset() override {}
+
+ private:
+  std::vector<double> dist_;
+};
+
+/// The deterministic replicator map x_j ← x_j η_j / Σ_k x_k η_k — the
+/// noise-free, infinite-population limit the paper's related work compares
+/// against (§3).  Operates directly on the expected qualities.
+class replicator_map {
+ public:
+  /// Throws std::invalid_argument unless etas are in [0,1] with a positive
+  /// maximum.
+  explicit replicator_map(std::vector<double> etas);
+
+  void step();
+  void reset();
+
+  [[nodiscard]] std::span<const double> state() const noexcept { return state_; }
+  [[nodiscard]] std::size_t num_options() const noexcept { return etas_.size(); }
+
+ private:
+  std::vector<double> etas_;
+  std::vector<double> state_;
+};
+
+}  // namespace sgl::algo

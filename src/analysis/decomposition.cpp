@@ -1,0 +1,45 @@
+#include "analysis/decomposition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sgl::analysis {
+
+regret_breakdown decompose_regret(std::span<const double> mass,
+                                  std::span<const double> etas,
+                                  const core::dynamics_params& params) {
+  if (mass.size() != etas.size() || mass.empty()) {
+    throw std::invalid_argument{"decompose_regret: size mismatch"};
+  }
+  double total_mass = 0.0;
+  for (const double q : mass) {
+    if (!(q >= -1e-12)) throw std::invalid_argument{"decompose_regret: negative mass"};
+    total_mass += q;
+  }
+  if (std::abs(total_mass - 1.0) > 1e-6) {
+    throw std::invalid_argument{"decompose_regret: mass must sum to 1"};
+  }
+
+  const std::size_t best = static_cast<std::size_t>(
+      std::max_element(etas.begin(), etas.end()) - etas.begin());
+  const double eta_best = etas[best];
+
+  regret_breakdown breakdown;
+  breakdown.per_option.assign(mass.size(), 0.0);
+  double gap_sum = 0.0;
+  for (std::size_t j = 0; j < mass.size(); ++j) {
+    if (j == best) continue;
+    const double contribution = mass[j] * (eta_best - etas[j]);
+    breakdown.per_option[j] = contribution;
+    breakdown.total += contribution;
+    gap_sum += eta_best - etas[j];
+  }
+  breakdown.exploration_floor =
+      params.mu * gap_sum / static_cast<double>(mass.size());
+  breakdown.convergence_excess =
+      std::max(0.0, breakdown.total - breakdown.exploration_floor);
+  return breakdown;
+}
+
+}  // namespace sgl::analysis

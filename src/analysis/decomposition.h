@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file decomposition.h
+/// Where does the regret actually come from?
+///
+/// For a stationary environment the per-step expected regret factors as
+///
+///   η₁ − Σ_j E[Q_j] η_j = Σ_{j≠1} E[Q_j] (η₁ − η_j),
+///
+/// i.e. a sum of per-option contributions.  On top of that, the dynamics'
+/// steady state has a structural floor: a μ-fraction of considerations are
+/// uniform exploration, so even a perfectly converged population keeps
+/// ≈ μ·(m−1)/m of its stage-1 mass off the best option.  regret_breakdown
+/// separates those pieces so benches can report "exploration tax" vs
+/// "not-yet-converged" regret — the two knobs (μ, δ) the paper discusses.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/params.h"
+
+namespace sgl::analysis {
+
+struct regret_breakdown {
+  /// Total per-step expected regret  Σ_{j≠best} mass_j · (η_best − η_j).
+  double total = 0.0;
+  /// Per-option contribution (index best = 0 by construction).
+  std::vector<double> per_option;
+  /// The structural exploration floor implied by μ alone:
+  /// μ·Σ_{j≠best}(η_best−η_j)/m — what an *ideally converged* population
+  /// with the same μ would still pay in stage-1 consideration mass.
+  double exploration_floor = 0.0;
+  /// total − exploration_floor (clamped at 0): the convergence shortfall.
+  double convergence_excess = 0.0;
+};
+
+/// Decomposes the regret of a (time-averaged or instantaneous) popularity
+/// vector against stationary qualities.  `mass` and `etas` must have equal,
+/// positive size; `mass` must be a distribution (validated loosely).
+[[nodiscard]] regret_breakdown decompose_regret(std::span<const double> mass,
+                                                std::span<const double> etas,
+                                                const core::dynamics_params& params);
+
+}  // namespace sgl::analysis

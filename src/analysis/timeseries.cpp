@@ -1,0 +1,123 @@
+#include "analysis/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sgl::analysis {
+
+std::vector<double> autocorrelation(std::span<const double> series, std::size_t max_lag) {
+  const std::size_t n = series.size();
+  if (n < 2) throw std::invalid_argument{"autocorrelation: need >= 2 points"};
+  if (max_lag >= n) throw std::invalid_argument{"autocorrelation: lag >= length"};
+
+  double mean = 0.0;
+  for (const double x : series) mean += x;
+  mean /= static_cast<double>(n);
+  double variance = 0.0;
+  for (const double x : series) variance += (x - mean) * (x - mean);
+
+  std::vector<double> rho(max_lag + 1, 0.0);
+  rho[0] = 1.0;
+  if (variance <= 0.0) return rho;  // constant series
+  for (std::size_t k = 1; k <= max_lag; ++k) {
+    double cov = 0.0;
+    for (std::size_t t = 0; t + k < n; ++t) {
+      cov += (series[t] - mean) * (series[t + k] - mean);
+    }
+    rho[k] = cov / variance;
+  }
+  return rho;
+}
+
+double integrated_autocorrelation_time(std::span<const double> series) {
+  const std::size_t n = series.size();
+  if (n < 4) return 1.0;
+  const std::size_t max_lag = std::min<std::size_t>(n / 2, 2000);
+  const std::vector<double> rho = autocorrelation(series, max_lag);
+
+  // Sokal's adaptive window: stop at the smallest W with W >= c * tau(W).
+  constexpr double c = 5.0;
+  double tau = 1.0;
+  for (std::size_t w = 1; w <= max_lag; ++w) {
+    tau += 2.0 * rho[w];
+    if (static_cast<double>(w) >= c * std::max(tau, 1.0)) break;
+  }
+  return std::max(tau, 1.0);
+}
+
+double effective_sample_size(std::span<const double> series) {
+  if (series.empty()) return 0.0;
+  return static_cast<double>(series.size()) / integrated_autocorrelation_time(series);
+}
+
+mean_ci block_bootstrap_mean(std::span<const double> series, double confidence,
+                             std::size_t block_length, std::size_t resamples,
+                             std::uint64_t seed) {
+  const std::size_t n = series.size();
+  if (n < 2) throw std::invalid_argument{"block_bootstrap_mean: need >= 2 points"};
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    throw std::invalid_argument{"block_bootstrap_mean: confidence in (0,1)"};
+  }
+  if (resamples < 10) throw std::invalid_argument{"block_bootstrap_mean: resamples >= 10"};
+  if (block_length == 0) {
+    block_length = static_cast<std::size_t>(
+        std::ceil(std::pow(static_cast<double>(n), 1.0 / 3.0)));
+  }
+  block_length = std::min(block_length, n);
+
+  double true_mean = 0.0;
+  for (const double x : series) true_mean += x;
+  true_mean /= static_cast<double>(n);
+
+  rng gen = rng::from_stream(seed, 0xb007ULL);
+  const std::size_t blocks_per_resample = (n + block_length - 1) / block_length;
+  const std::size_t start_range = n - block_length + 1;
+
+  std::vector<double> means;
+  means.reserve(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double total = 0.0;
+    std::size_t taken = 0;
+    for (std::size_t b = 0; b < blocks_per_resample && taken < n; ++b) {
+      const std::size_t start = static_cast<std::size_t>(gen.next_below(start_range));
+      for (std::size_t i = 0; i < block_length && taken < n; ++i, ++taken) {
+        total += series[start + i];
+      }
+    }
+    means.push_back(total / static_cast<double>(n));
+  }
+  std::sort(means.begin(), means.end());
+  const double tail = (1.0 - confidence) / 2.0;
+  const double lo = quantile(means, tail);
+  const double hi = quantile(means, 1.0 - tail);
+  return {.mean = true_mean, .half_width = (hi - lo) / 2.0};
+}
+
+std::size_t hitting_time(std::span<const double> series, double threshold) {
+  for (std::size_t t = 0; t < series.size(); ++t) {
+    if (series[t] >= threshold) return t;
+  }
+  return series.size();
+}
+
+std::size_t burn_in(std::span<const double> series, double band) {
+  const std::size_t n = series.size();
+  if (n < 4) return 0;
+  if (!(band > 0.0)) throw std::invalid_argument{"burn_in: band must be positive"};
+
+  double tail_mean = 0.0;
+  const std::size_t tail_start = n - n / 4;
+  for (std::size_t t = tail_start; t < n; ++t) tail_mean += series[t];
+  tail_mean /= static_cast<double>(n - tail_start);
+
+  // Scan backwards for the last excursion outside the band.
+  for (std::size_t t = n; t-- > 0;) {
+    if (std::abs(series[t] - tail_mean) > band) {
+      return t + 1 == n ? n : t + 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace sgl::analysis

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file timeseries.h
+/// Time-series statistics for stochastic-process experiments.
+///
+/// The dynamics' popularity trajectory is a strongly autocorrelated
+/// sequence, so naive "mean ± z·sd/√T" intervals on time averages are
+/// wrong.  This module provides the standard corrections used throughout
+/// the benches and tests:
+///   * empirical autocorrelation function and the integrated
+///     autocorrelation time τ_int (Sokal windowing),
+///   * effective sample size T/τ_int,
+///   * moving-block bootstrap confidence intervals for time averages,
+///   * burn-in detection (first time the series enters and stays inside a
+///     band around its tail mean),
+///   * hitting times.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/rng.h"
+#include "support/stats.h"
+
+namespace sgl::analysis {
+
+/// Empirical autocorrelation ρ̂(k) for k = 0..max_lag (ρ̂(0) = 1).
+/// Preconditions: series.size() >= 2, max_lag < series.size(); a constant
+/// series returns ρ̂(k) = 0 for k >= 1.
+[[nodiscard]] std::vector<double> autocorrelation(std::span<const double> series,
+                                                  std::size_t max_lag);
+
+/// Integrated autocorrelation time τ_int = 1 + 2·Σ_{k≥1} ρ̂(k), truncated
+/// with Sokal's adaptive window (smallest W with W >= c·τ_int(W), c = 5).
+/// Always >= 1.
+[[nodiscard]] double integrated_autocorrelation_time(std::span<const double> series);
+
+/// Effective number of independent samples: T / τ_int.
+[[nodiscard]] double effective_sample_size(std::span<const double> series);
+
+/// Moving-block bootstrap CI for the mean of a stationary series.
+/// `block_length` 0 picks ceil(T^{1/3}) (the standard rate); resampling is
+/// deterministic under `seed`.
+[[nodiscard]] mean_ci block_bootstrap_mean(std::span<const double> series,
+                                           double confidence = 0.95,
+                                           std::size_t block_length = 0,
+                                           std::size_t resamples = 2000,
+                                           std::uint64_t seed = 1);
+
+/// First index t with series[t] >= threshold (rising) — or series.size()
+/// when never hit.
+[[nodiscard]] std::size_t hitting_time(std::span<const double> series, double threshold);
+
+/// Burn-in estimate: the first index after which the series stays within
+/// ±band of the mean of its final quarter.  Returns series.size() when the
+/// series never settles.
+[[nodiscard]] std::size_t burn_in(std::span<const double> series, double band);
+
+}  // namespace sgl::analysis

@@ -1,0 +1,88 @@
+#include "core/aggregate_dynamics.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "support/distributions.h"
+
+namespace sgl::core {
+
+aggregate_dynamics::aggregate_dynamics(const dynamics_params& params,
+                                       std::uint64_t num_agents)
+    : params_{params}, num_agents_{num_agents} {
+  params_.validate();
+  if (num_agents_ == 0) throw std::invalid_argument{"aggregate_dynamics: no agents"};
+  popularity_.assign(params_.num_options, 0.0);
+  stage_weights_.assign(params_.num_options, 0.0);
+  stage_counts_.assign(params_.num_options, 0);
+  adopter_counts_.assign(params_.num_options, 0);
+  reset();
+}
+
+void aggregate_dynamics::reset() {
+  const double uniform = 1.0 / static_cast<double>(params_.num_options);
+  std::fill(popularity_.begin(), popularity_.end(), uniform);
+  std::fill(stage_counts_.begin(), stage_counts_.end(), 0);
+  std::fill(adopter_counts_.begin(), adopter_counts_.end(), 0);
+  adopters_ = 0;
+  empty_steps_ = 0;
+  steps_ = 0;
+}
+
+void aggregate_dynamics::reset(std::span<const std::uint64_t> adopter_counts) {
+  if (adopter_counts.size() != params_.num_options) {
+    throw std::invalid_argument{"aggregate_dynamics::reset: size mismatch"};
+  }
+  const std::uint64_t total = std::accumulate(adopter_counts.begin(), adopter_counts.end(),
+                                              std::uint64_t{0});
+  if (total > num_agents_) {
+    throw std::invalid_argument{"aggregate_dynamics::reset: more adopters than agents"};
+  }
+  reset();
+  std::copy(adopter_counts.begin(), adopter_counts.end(), adopter_counts_.begin());
+  adopters_ = total;
+  if (total > 0) {
+    for (std::size_t j = 0; j < popularity_.size(); ++j) {
+      popularity_[j] = static_cast<double>(adopter_counts_[j]) / static_cast<double>(total);
+    }
+  }
+}
+
+void aggregate_dynamics::step(std::span<const std::uint8_t> rewards, rng& gen) {
+  const std::size_t m = params_.num_options;
+  if (rewards.size() != m) {
+    throw std::invalid_argument{"aggregate_dynamics::step: reward width mismatch"};
+  }
+  const double mu = params_.mu;
+  const double alpha = params_.resolved_alpha();
+  const double beta = params_.beta;
+
+  // Stage 1: S ~ Multinomial(N, (1−μ)Q + μ/m).
+  for (std::size_t j = 0; j < m; ++j) {
+    stage_weights_[j] = (1.0 - mu) * popularity_[j] + mu / static_cast<double>(m);
+  }
+  sample_multinomial(gen, num_agents_, stage_weights_, stage_counts_);
+
+  // Stage 2: D_j ~ Binomial(S_j, β^{R_j} α^{1−R_j}).
+  adopters_ = 0;
+  for (std::size_t j = 0; j < m; ++j) {
+    const double adopt_p = rewards[j] != 0 ? beta : alpha;
+    adopter_counts_[j] = sample_binomial(gen, stage_counts_[j], adopt_p);
+    adopters_ += adopter_counts_[j];
+  }
+
+  if (adopters_ == 0) {
+    const double uniform = 1.0 / static_cast<double>(m);
+    std::fill(popularity_.begin(), popularity_.end(), uniform);
+    ++empty_steps_;
+  } else {
+    for (std::size_t j = 0; j < m; ++j) {
+      popularity_[j] = static_cast<double>(adopter_counts_[j]) /
+                       static_cast<double>(adopters_);
+    }
+  }
+  ++steps_;
+}
+
+}  // namespace sgl::core

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file coupling.h
+/// The coupling of Lemma 4.5: run the finite-population dynamics Q^t and
+/// the infinite-population dynamics P^t on the *same* realized reward
+/// sequence {R^t} and measure how far the trajectories drift apart.
+///
+/// The lemma guarantees, with probability ≥ 1 − 6tm/N¹⁰, that
+///   1/(1+δ_t) ≤ P^t_j / Q^t_j ≤ 1 + δ_t       with δ_t = 5^t δ″,
+/// i.e. the ratio deviation  max_j max(P_j/Q_j, Q_j/P_j) − 1  stays below
+/// δ_t.  estimate_coupling reports that deviation per step (mean over
+/// replications, plus the fraction of replications within the bound).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/params.h"
+#include "support/stats.h"
+
+namespace sgl::core {
+
+struct coupling_estimate {
+  /// δ_t = 5^t δ″ for t = 1..horizon (index t−1); +inf once it overflows.
+  std::vector<double> bound;
+
+  /// Ratio deviation max_j (max(P_j/Q_j, Q_j/P_j) − 1) after step t,
+  /// averaged over replications.  Deviations are capped at
+  /// `deviation_cap` (a popularity hitting exactly 0 makes the raw ratio
+  /// infinite); `capped_fraction` reports how often that happened.
+  series_stats deviation;
+
+  /// Fraction of replications whose deviation was within the lemma bound
+  /// at step t (1.0 whenever bound[t−1] = +inf).
+  series_stats within_bound;
+
+  double deviation_cap = 0.0;
+  double capped_fraction = 0.0;
+  std::uint64_t replications = 0;
+
+  explicit coupling_estimate(std::size_t horizon)
+      : bound(horizon), deviation{horizon}, within_bound{horizon} {}
+};
+
+/// Runs the coupled pair.  The finite side uses the aggregate engine
+/// (homogeneous mixed case — the lemma's setting).
+[[nodiscard]] coupling_estimate estimate_coupling(const dynamics_params& params,
+                                                  std::uint64_t num_agents,
+                                                  const env_factory& make_env,
+                                                  const run_config& config,
+                                                  double deviation_cap = 10.0);
+
+}  // namespace sgl::core

@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file experiment.h
+/// Monte-Carlo estimation of the paper's performance measures.
+///
+/// Both regret definitions (§2.2) are expectations over the joint law of
+/// the process and the rewards:
+///
+///   Regret_N(T) = η₁ − (1/T) Σ_{t=1..T} Σ_j E[Q^{t−1}_j R^t_j],
+///   Regret_∞(T) = η₁ − (1/T) Σ_{t=1..T} Σ_j E[P^{t−1}_j R^t_j],
+///
+/// estimated here by averaging the realized per-step group reward
+/// Σ_j Q^{t−1}_j R^t_j over independent replications (each replication gets
+/// its own derived RNG streams; see parallel.h for determinism).  For
+/// non-stationary environments the benchmark is the per-step best mean
+/// Σ_t η_best(t)/T, which coincides with η₁ in the stationary case.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/aggregate_dynamics.h"
+#include "core/finite_dynamics.h"
+#include "core/infinite_dynamics.h"
+#include "core/params.h"
+#include "env/reward_model.h"
+#include "graph/graph.h"
+#include "support/stats.h"
+
+namespace sgl::core {
+
+/// Builds a fresh environment instance; called once per replication so that
+/// replications are independent and thread-safe.
+using env_factory = std::function<std::unique_ptr<env::reward_model>()>;
+
+/// Common Monte-Carlo knobs.
+struct run_config {
+  std::uint64_t horizon = 1000;     ///< T
+  std::uint64_t replications = 100;
+  std::uint64_t seed = 1;
+  unsigned threads = 0;             ///< 0 = hardware concurrency
+};
+
+/// Which finite engine to use (identical law in the homogeneous mixed case).
+enum class finite_engine {
+  aggregate,    ///< O(m) per step; homogeneous + fully mixed only
+  agent_based,  ///< O(N) per step; supports rules/topology
+};
+
+/// End-of-horizon scalar estimates with 95% confidence intervals.
+struct regret_estimate {
+  mean_ci regret;            ///< (1/T)Σ_t η_best(t) − average reward
+  mean_ci average_reward;    ///< (1/T)Σ_t Σ_j Q^{t−1}_j R^t_j
+  mean_ci best_mass;         ///< (1/T)Σ_t Q^{t−1}_{best(t)}  (Thm 4.3 pt 2)
+  mean_ci final_best_mass;   ///< Q^T_{best(T)}
+  double empty_step_fraction = 0.0;  ///< fraction of steps nobody adopted
+  std::uint64_t replications = 0;
+};
+
+/// Per-step curves averaged over replications.  Index t−1 holds the value
+/// after step t.
+struct trajectory_estimate {
+  series_stats running_regret;  ///< regret of the prefix [1..t]
+  series_stats best_mass;       ///< Q^t_{best(t)} after step t
+  series_stats min_popularity;  ///< min_j Q^t_j after step t
+
+  explicit trajectory_estimate(std::size_t horizon)
+      : running_regret{horizon}, best_mass{horizon}, min_popularity{horizon} {}
+};
+
+/// Regret of the infinite-population dynamics (stochastic MWU).  `start`
+/// optionally overrides the uniform initial distribution (Theorem 4.6).
+[[nodiscard]] regret_estimate estimate_infinite_regret(const dynamics_params& params,
+                                                       const env_factory& make_env,
+                                                       const run_config& config,
+                                                       std::span<const double> start = {});
+
+/// Regret of the finite-population dynamics.  `topology` (borrowed, may be
+/// nullptr) forces the agent-based engine.
+[[nodiscard]] regret_estimate estimate_finite_regret(
+    const dynamics_params& params, std::uint64_t num_agents, const env_factory& make_env,
+    const run_config& config, finite_engine engine = finite_engine::aggregate,
+    const graph::graph* topology = nullptr);
+
+/// Full curves for the infinite dynamics.
+[[nodiscard]] trajectory_estimate collect_infinite_trajectory(
+    const dynamics_params& params, const env_factory& make_env, const run_config& config,
+    std::span<const double> start = {});
+
+/// Full curves for the finite dynamics.
+[[nodiscard]] trajectory_estimate collect_finite_trajectory(
+    const dynamics_params& params, std::uint64_t num_agents, const env_factory& make_env,
+    const run_config& config, finite_engine engine = finite_engine::aggregate,
+    const graph::graph* topology = nullptr);
+
+}  // namespace sgl::core

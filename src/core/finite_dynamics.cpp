@@ -1,0 +1,128 @@
+#include "core/finite_dynamics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/distributions.h"
+
+namespace sgl::core {
+
+finite_dynamics::finite_dynamics(const dynamics_params& params, std::size_t num_agents)
+    : params_{params} {
+  params_.validate();
+  if (num_agents == 0) throw std::invalid_argument{"finite_dynamics: no agents"};
+  choices_.assign(num_agents, -1);
+  previous_choices_.assign(num_agents, -1);
+  popularity_.assign(params_.num_options, 0.0);
+  adopter_counts_.assign(params_.num_options, 0);
+  stage_counts_.assign(params_.num_options, 0);
+  reset();
+}
+
+void finite_dynamics::set_agent_rules(std::vector<adoption_rule> rules) {
+  if (rules.size() != choices_.size()) {
+    throw std::invalid_argument{"finite_dynamics::set_agent_rules: size mismatch"};
+  }
+  for (const auto& rule : rules) {
+    if (!(rule.alpha >= 0.0 && rule.alpha <= rule.beta && rule.beta <= 1.0)) {
+      throw std::invalid_argument{
+          "finite_dynamics::set_agent_rules: need 0 <= alpha <= beta <= 1"};
+    }
+  }
+  rules_ = std::move(rules);
+}
+
+void finite_dynamics::set_topology(const graph::graph* topology) {
+  if (topology != nullptr && topology->num_vertices() != choices_.size()) {
+    throw std::invalid_argument{"finite_dynamics::set_topology: vertex count != agents"};
+  }
+  topology_ = topology;
+}
+
+void finite_dynamics::reset() {
+  std::fill(choices_.begin(), choices_.end(), -1);
+  std::fill(previous_choices_.begin(), previous_choices_.end(), -1);
+  const double uniform = 1.0 / static_cast<double>(params_.num_options);
+  std::fill(popularity_.begin(), popularity_.end(), uniform);
+  std::fill(adopter_counts_.begin(), adopter_counts_.end(), 0);
+  std::fill(stage_counts_.begin(), stage_counts_.end(), 0);
+  adopters_ = 0;
+  empty_steps_ = 0;
+  steps_ = 0;
+}
+
+void finite_dynamics::step(std::span<const std::uint8_t> rewards, rng& gen) {
+  const std::size_t m = params_.num_options;
+  if (rewards.size() != m) {
+    throw std::invalid_argument{"finite_dynamics::step: reward width mismatch"};
+  }
+
+  // Network mode reads last step's choices while this step's are written.
+  previous_choices_ = choices_;
+
+  // Stage 1 sampler for the fully mixed case: popularity-proportional
+  // (identical in law to "copy a uniformly random adopter").
+  std::optional<discrete_sampler> by_popularity;
+  if (topology_ == nullptr && m > 1) by_popularity.emplace(popularity_);
+
+  std::fill(stage_counts_.begin(), stage_counts_.end(), 0);
+  std::fill(adopter_counts_.begin(), adopter_counts_.end(), 0);
+
+  const double mu = params_.mu;
+  const adoption_rule homogeneous{params_.resolved_alpha(), params_.beta};
+
+  for (std::size_t i = 0; i < choices_.size(); ++i) {
+    // --- Stage 1: pick an option to consider. ---
+    std::size_t considered;
+    if (m == 1) {
+      considered = 0;
+    } else if (gen.next_bernoulli(mu)) {
+      considered = static_cast<std::size_t>(gen.next_below(m));
+    } else if (topology_ == nullptr) {
+      considered = by_popularity->sample(gen);
+    } else {
+      // Sample a *committed* companion, matching the mean-field rule where
+      // popularity is the distribution among adopters: bounded rejection
+      // over uniform neighbour draws (16 attempts make the residual
+      // fallback probability negligible for any committed fraction that
+      // matters), then the uniform-option fallback.
+      const auto neighbours = topology_->neighbors(static_cast<graph::graph::vertex>(i));
+      std::int32_t observed = -1;
+      if (!neighbours.empty()) {
+        for (int attempt = 0; attempt < 16 && observed < 0; ++attempt) {
+          const auto pick = neighbours[gen.next_below(neighbours.size())];
+          observed = previous_choices_[pick];
+        }
+      }
+      considered = observed >= 0 ? static_cast<std::size_t>(observed)
+                                 : static_cast<std::size_t>(gen.next_below(m));
+    }
+    ++stage_counts_[considered];
+
+    // --- Stage 2: adopt or sit out. ---
+    const adoption_rule& rule = rules_.empty() ? homogeneous : rules_[i];
+    const double adopt_p = rewards[considered] != 0 ? rule.beta : rule.alpha;
+    if (gen.next_bernoulli(adopt_p)) {
+      choices_[i] = static_cast<std::int32_t>(considered);
+      ++adopter_counts_[considered];
+    } else {
+      choices_[i] = -1;
+    }
+  }
+
+  adopters_ = 0;
+  for (const std::uint64_t d : adopter_counts_) adopters_ += d;
+  if (adopters_ == 0) {
+    const double uniform = 1.0 / static_cast<double>(m);
+    std::fill(popularity_.begin(), popularity_.end(), uniform);
+    ++empty_steps_;
+  } else {
+    for (std::size_t j = 0; j < m; ++j) {
+      popularity_[j] = static_cast<double>(adopter_counts_[j]) /
+                       static_cast<double>(adopters_);
+    }
+  }
+  ++steps_;
+}
+
+}  // namespace sgl::core

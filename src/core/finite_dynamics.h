@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file finite_dynamics.h
+/// The agent-based finite-population dynamics — the paper's actual object
+/// of study (§2.1).  Every individual is simulated explicitly, so the
+/// engine supports the full generality of the model:
+///
+///   * heterogeneous adoption functions f_i = (α_i, β_i)  (§2.1 keeps them
+///     identical "for simplicity in the exposition ... not essential");
+///   * sampling restricted to a social network's neighbours (§6, open
+///     problem 1) instead of the whole group;
+///   * individuals sitting out (adopting nothing) for a step.
+///
+/// For the homogeneous, fully mixed case prefer aggregate_dynamics — same
+/// distribution over trajectories, O(m) per step instead of O(N).
+///
+/// Semantics pinned down beyond the paper's text (documented in DESIGN.md):
+///   * If nobody adopted at step t, popularity Q^t is *uniform* (matching
+///     the Q⁰ convention); such steps are counted in empty_steps().
+///   * In network mode, an individual samples a uniform *committed*
+///     neighbour (bounded rejection over uniform neighbour draws — the
+///     network analogue of popularity being the distribution among
+///     adopters); if no committed neighbour is found (isolated vertex, or
+///     the whole neighbourhood sat out), it falls back to a uniform random
+///     option, mirroring the uniform empty-population rule.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/params.h"
+#include "graph/graph.h"
+#include "support/rng.h"
+
+namespace sgl::core {
+
+/// Per-agent adoption probabilities (α_i ≤ β_i enforced at set time).
+struct adoption_rule {
+  double alpha = 0.0;
+  double beta = 1.0;
+};
+
+class finite_dynamics {
+ public:
+  /// Homogeneous population of `num_agents` with the rule implied by
+  /// `params`.  Throws std::invalid_argument on invalid parameters or
+  /// num_agents == 0.
+  finite_dynamics(const dynamics_params& params, std::size_t num_agents);
+
+  /// Installs per-agent adoption rules (size must equal num_agents; each
+  /// must satisfy 0 ≤ α_i ≤ β_i ≤ 1).  Replaces the homogeneous rule.
+  void set_agent_rules(std::vector<adoption_rule> rules);
+
+  /// Restricts sampling to `topology` (num_vertices must equal num_agents).
+  /// The graph is borrowed: the caller keeps it alive while in use.
+  /// Pass nullptr to return to full mixing.
+  void set_topology(const graph::graph* topology);
+
+  /// Everybody back to the initial state (no choices, uniform popularity).
+  void reset();
+
+  /// Advances one step given the realized signals R^{t+1} (size m).
+  void step(std::span<const std::uint8_t> rewards, rng& gen);
+
+  /// Q^t: popularity over options (uniform before the first step and after
+  /// empty steps).
+  [[nodiscard]] std::span<const double> popularity() const noexcept { return popularity_; }
+
+  /// Current choice of each agent; -1 means sitting out.
+  [[nodiscard]] std::span<const std::int32_t> choices() const noexcept { return choices_; }
+
+  /// D^t_j: number of agents committed to option j after the last step.
+  [[nodiscard]] std::span<const std::uint64_t> adopter_counts() const noexcept {
+    return adopter_counts_;
+  }
+
+  /// S^t_j: number of agents who *considered* option j in stage 1 of the
+  /// last step (Proposition 4.1's quantity).
+  [[nodiscard]] std::span<const std::uint64_t> stage_counts() const noexcept {
+    return stage_counts_;
+  }
+
+  /// Total number of committed agents after the last step.
+  [[nodiscard]] std::uint64_t adopters() const noexcept { return adopters_; }
+
+  /// Steps on which nobody adopted.
+  [[nodiscard]] std::uint64_t empty_steps() const noexcept { return empty_steps_; }
+
+  [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
+  [[nodiscard]] std::size_t num_agents() const noexcept { return choices_.size(); }
+  [[nodiscard]] const dynamics_params& params() const noexcept { return params_; }
+
+ private:
+  dynamics_params params_;
+  const graph::graph* topology_ = nullptr;
+  std::vector<adoption_rule> rules_;  // empty = homogeneous params_ rule
+  std::vector<std::int32_t> choices_;
+  std::vector<std::int32_t> previous_choices_;  // network mode reads these
+  std::vector<double> popularity_;
+  std::vector<std::uint64_t> adopter_counts_;
+  std::vector<std::uint64_t> stage_counts_;
+  std::uint64_t adopters_ = 0;
+  std::uint64_t empty_steps_ = 0;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace sgl::core

@@ -1,0 +1,89 @@
+#include "core/mean_field.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sgl::core {
+
+mean_field_map::mean_field_map(const dynamics_params& params, std::vector<double> etas)
+    : params_{params}, etas_{std::move(etas)} {
+  params_.validate();
+  if (etas_.size() != params_.num_options) {
+    throw std::invalid_argument{"mean_field_map: eta size mismatch"};
+  }
+  const double alpha = params_.resolved_alpha();
+  gains_.resize(etas_.size());
+  double peak = 0.0;
+  for (std::size_t j = 0; j < etas_.size(); ++j) {
+    if (!(etas_[j] >= 0.0 && etas_[j] <= 1.0)) {
+      throw std::invalid_argument{"mean_field_map: eta outside [0,1]"};
+    }
+    gains_[j] = params_.beta * etas_[j] + alpha * (1.0 - etas_[j]);
+    peak = std::max(peak, gains_[j]);
+  }
+  if (peak <= 0.0) throw std::invalid_argument{"mean_field_map: all gains zero"};
+  reset();
+}
+
+void mean_field_map::reset() {
+  state_.assign(etas_.size(), 1.0 / static_cast<double>(etas_.size()));
+  steps_ = 0;
+}
+
+void mean_field_map::reset(std::span<const double> start) {
+  if (start.size() != etas_.size()) {
+    throw std::invalid_argument{"mean_field_map: start size mismatch"};
+  }
+  double total = 0.0;
+  for (const double x : start) {
+    if (!(x >= 0.0)) throw std::invalid_argument{"mean_field_map: negative mass"};
+    total += x;
+  }
+  if (total <= 0.0) throw std::invalid_argument{"mean_field_map: zero mass"};
+  state_.resize(etas_.size());
+  for (std::size_t j = 0; j < state_.size(); ++j) state_[j] = start[j] / total;
+  steps_ = 0;
+}
+
+void mean_field_map::step() {
+  const double m = static_cast<double>(state_.size());
+  const double mu = params_.mu;
+  double z = 0.0;
+  for (std::size_t j = 0; j < state_.size(); ++j) {
+    state_[j] = ((1.0 - mu) * state_[j] + mu / m) * gains_[j];
+    z += state_[j];
+  }
+  for (double& x : state_) x /= z;
+  ++steps_;
+}
+
+std::uint64_t mean_field_map::solve_fixed_point(double tolerance,
+                                                std::uint64_t max_iterations) {
+  std::vector<double> previous(state_.size());
+  for (std::uint64_t it = 1; it <= max_iterations; ++it) {
+    previous = state_;
+    step();
+    double change = 0.0;
+    for (std::size_t j = 0; j < state_.size(); ++j) {
+      change += std::abs(state_[j] - previous[j]);
+    }
+    if (change < tolerance) return it;
+  }
+  throw std::runtime_error{"mean_field_map::solve_fixed_point: did not converge"};
+}
+
+double mean_field_map::expected_reward() const noexcept {
+  double total = 0.0;
+  for (std::size_t j = 0; j < state_.size(); ++j) total += state_[j] * etas_[j];
+  return total;
+}
+
+double mean_field_map::steady_state_regret() const {
+  mean_field_map copy{params_, etas_};
+  copy.solve_fixed_point();
+  const double best = *std::max_element(etas_.begin(), etas_.end());
+  return best - copy.expected_reward();
+}
+
+}  // namespace sgl::core

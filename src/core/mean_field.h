@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file mean_field.h
+/// The fully deterministic limit of the dynamics (§3): "The MWU algorithm
+/// ... can also be seen as a special case of our distributed learning
+/// dynamics if we remove the randomness from both the sampling and adopting
+/// steps and the rewards."
+///
+/// Replacing the stochastic signal R^t_j by its mean η_j turns eq. (1) into
+/// the deterministic map
+///
+///   x_j ← ((1−μ)x_j + μ/m) · g_j / Z,     g_j = β·η_j + α·(1−η_j),
+///
+/// a mixed multiplicative-weights / Perron iteration whose fixed point is
+/// the steady-state population split the stochastic dynamics fluctuates
+/// around.  We provide the map, its fixed point (by iteration — the map is
+/// a contraction for μ > 0), and the induced steady-state regret, which
+/// benches use as the "theory prediction" column next to simulations.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/params.h"
+
+namespace sgl::core {
+
+class mean_field_map {
+ public:
+  /// Throws std::invalid_argument on invalid params, eta size mismatch,
+  /// etas outside [0,1], or an all-zero gain vector.
+  mean_field_map(const dynamics_params& params, std::vector<double> etas);
+
+  /// One application of the map to the internal state.
+  void step();
+
+  /// Current state x^t (a distribution; starts uniform).
+  [[nodiscard]] std::span<const double> state() const noexcept { return state_; }
+
+  /// Restarts from the uniform state.
+  void reset();
+
+  /// Restart from an arbitrary distribution.
+  void reset(std::span<const double> start);
+
+  /// Iterates to the fixed point (L1 change < tolerance); returns the
+  /// number of iterations used.  Throws std::runtime_error if it fails to
+  /// converge within max_iterations (cannot happen for μ > 0).
+  std::uint64_t solve_fixed_point(double tolerance = 1e-13,
+                                  std::uint64_t max_iterations = 1000000);
+
+  /// The per-step multiplicative gain g_j = β η_j + α (1−η_j).
+  [[nodiscard]] double gain(std::size_t option) const { return gains_.at(option); }
+
+  /// Expected per-step group reward at the current state: Σ_j x_j η_j.
+  [[nodiscard]] double expected_reward() const noexcept;
+
+  /// Steady-state regret prediction: η_max − expected_reward() at the
+  /// fixed point of a fresh copy (does not disturb this object).
+  [[nodiscard]] double steady_state_regret() const;
+
+  [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
+
+ private:
+  dynamics_params params_;
+  std::vector<double> etas_;
+  std::vector<double> gains_;
+  std::vector<double> state_;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace sgl::core

@@ -1,0 +1,50 @@
+#include "core/params.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace sgl::core {
+
+double dynamics_params::delta() const {
+  if (!(beta > 0.0 && beta < 1.0)) {
+    throw std::domain_error{"dynamics_params::delta: requires 0 < beta < 1"};
+  }
+  return std::log(beta / (1.0 - beta));
+}
+
+bool dynamics_params::satisfies_theorem_conditions() const noexcept {
+  constexpr double beta_cap = std::numbers::e / (std::numbers::e + 1.0);
+  if (!(beta > 0.5 && beta <= beta_cap + 1e-12)) return false;
+  if (std::abs(resolved_alpha() - (1.0 - beta)) > 1e-12) return false;
+  const double d = std::log(beta / (1.0 - beta));
+  return mu > 0.0 && 6.0 * mu <= d * d + 1e-12;
+}
+
+void dynamics_params::validate() const {
+  if (num_options == 0) throw std::invalid_argument{"dynamics_params: need m >= 1"};
+  if (!(mu >= 0.0 && mu <= 1.0)) throw std::invalid_argument{"dynamics_params: mu outside [0,1]"};
+  if (!(beta >= 0.0 && beta <= 1.0)) {
+    throw std::invalid_argument{"dynamics_params: beta outside [0,1]"};
+  }
+  const double a = resolved_alpha();
+  if (!(a >= 0.0 && a <= beta)) {
+    throw std::invalid_argument{"dynamics_params: need 0 <= alpha <= beta"};
+  }
+}
+
+dynamics_params theorem_params(std::size_t num_options, double beta) {
+  dynamics_params params;
+  params.num_options = num_options;
+  params.beta = beta;
+  params.alpha = -1.0;
+  const double d = params.delta();
+  params.mu = d * d / 6.0;
+  params.validate();
+  if (!params.satisfies_theorem_conditions()) {
+    throw std::invalid_argument{"theorem_params: beta outside (1/2, e/(e+1)]"};
+  }
+  return params;
+}
+
+}  // namespace sgl::core

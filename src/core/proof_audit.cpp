@@ -1,0 +1,77 @@
+#include "core/proof_audit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace sgl::core {
+
+proof_auditor::proof_auditor(const dynamics_params& params) : params_{params} {
+  params_.validate();
+  if (!(params_.beta > 0.5 && params_.beta < 1.0)) {
+    throw std::invalid_argument{"proof_auditor: needs 1/2 < beta < 1"};
+  }
+  if (std::abs(params_.resolved_alpha() - (1.0 - params_.beta)) > 1e-12) {
+    throw std::invalid_argument{"proof_auditor: needs alpha = 1 - beta"};
+  }
+  if (!(params_.mu > 0.0 && params_.mu <= 0.5)) {
+    throw std::invalid_argument{"proof_auditor: needs 0 < mu <= 1/2"};
+  }
+  delta_ = params_.delta();
+  if (delta_ > 1.0 + 1e-12) {
+    // The combined inequality's constants use e^delta - 1 <= delta + delta^2,
+    // valid only up to beta = e/(e+1).
+    throw std::invalid_argument{"proof_auditor: needs beta <= e/(e+1)"};
+  }
+  const double exp_delta_minus_one = std::expm1(delta_);
+  delta_prime_ = (1.0 - params_.mu) * exp_delta_minus_one / (1.0 + params_.mu * delta_);
+}
+
+void proof_auditor::observe(std::span<const double> pre_step_distribution,
+                            std::span<const std::uint8_t> rewards,
+                            double log_potential_after) {
+  const std::size_t m = params_.num_options;
+  if (pre_step_distribution.size() != m || rewards.size() != m) {
+    throw std::invalid_argument{"proof_auditor::observe: width mismatch"};
+  }
+  ++steps_;
+  comparator_reward_ += static_cast<double>(rewards[0]);
+  double inner = 0.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    inner += pre_step_distribution[j] * static_cast<double>(rewards[j]);
+  }
+  group_reward_ += inner;
+
+  const double t = static_cast<double>(steps_);
+  const double mu = params_.mu;
+  const double beta = params_.beta;
+  const double log_m = std::log(static_cast<double>(m));
+  const double exp_delta_minus_one = std::expm1(delta_);
+
+  // Upper potential bound (§5, the chain ending in Φ^0 = m):
+  //   ln Φ^T <= ln m + T [ln(1-β) + ln(1 + μ(e^δ − 1))] + δ' Σ ⟨P, R⟩.
+  const double upper = log_m +
+                       t * (std::log(1.0 - beta) + std::log1p(mu * exp_delta_minus_one)) +
+                       delta_prime_ * group_reward_;
+  // Lower potential bound (keep only option 1's weight):
+  //   ln Φ^T >= T [ln(1-β) + ln(1-μ)] + δ Σ R^t_1.
+  const double lower = t * (std::log(1.0 - beta) + std::log1p(-mu)) +
+                       delta_ * comparator_reward_;
+  // Combined pathwise regret inequality:
+  //   δ (Σ R^t_1 − Σ ⟨P,R⟩) <= ln m + (δ² + 6μ) T.
+  const double lhs = delta_ * (comparator_reward_ - group_reward_);
+  const double rhs = log_m + (delta_ * delta_ + 6.0 * mu) * t;
+
+  slacks_.upper_potential = upper - log_potential_after;
+  slacks_.lower_potential = log_potential_after - lower;
+  slacks_.regret_inequality = rhs - lhs;
+
+  worst_slack_ = steps_ == 1
+                     ? std::min({slacks_.upper_potential, slacks_.lower_potential,
+                                 slacks_.regret_inequality})
+                     : std::min({worst_slack_, slacks_.upper_potential,
+                                 slacks_.lower_potential, slacks_.regret_inequality});
+}
+
+}  // namespace sgl::core

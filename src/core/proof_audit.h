@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file proof_audit.h
+/// Pathwise verification of the Theorem 4.3 proof (§5).
+///
+/// The proof bounds the potential Φ^T = Σ_j W^T_j between
+///
+///   upper:  ln Φ^T ≤ T·ln(1−β) + T·ln(1+μ(e^δ−1)) + ln m + δ′·Σ_t⟨P^{t−1},R^t⟩
+///   lower:  ln Φ^T ≥ T·ln(1−β) + T·ln(1−μ) + δ·Σ_t R^t_1
+///
+/// with δ′ = (1−μ)(e^δ−1)/(1+μδ), and combines them into the pathwise
+/// regret inequality
+///
+///   δ·( Σ_t R^t_1 − Σ_t ⟨P^{t−1}, R^t⟩ ) ≤ ln m + (δ² + 6μ)·T.
+///
+/// These are *deterministic* statements: they hold for every realization of
+/// the rewards, not just in expectation.  proof_auditor replays them
+/// alongside an infinite_dynamics run and reports the slack in each
+/// inequality, so a single failed step pinpoints either a simulator bug or
+/// a misreading of the paper.  (Requires the theorem regime: α = 1−β,
+/// ½ < β < 1, μ ≤ ½ — checked at construction.)
+
+#include <cstdint>
+#include <span>
+
+#include "core/infinite_dynamics.h"
+#include "core/params.h"
+
+namespace sgl::core {
+
+/// Slacks (bound minus realized value, ≥ 0 when the inequality holds) after
+/// the most recent step.
+struct proof_slacks {
+  double upper_potential = 0.0;  ///< upper bound − ln Φ^t
+  double lower_potential = 0.0;  ///< ln Φ^t − lower bound
+  double regret_inequality = 0.0;  ///< rhs − lhs of the combined inequality
+  [[nodiscard]] bool all_hold(double tolerance = 1e-9) const noexcept {
+    return upper_potential >= -tolerance && lower_potential >= -tolerance &&
+           regret_inequality >= -tolerance;
+  }
+};
+
+/// Replays the proof's three inequalities along a trajectory.  Drive it
+/// with the same reward vectors fed to the dynamics, in the same order.
+class proof_auditor {
+ public:
+  /// Throws std::invalid_argument outside the proof's parameter regime
+  /// (needs α = 1−β, 0 < β < 1 with β > ½, 0 < μ ≤ ½).
+  explicit proof_auditor(const dynamics_params& params);
+
+  /// Observes one step: `pre_step_distribution` is P^{t−1} (before the
+  /// update), `rewards` is R^t.  Call infinite_dynamics::step with the same
+  /// rewards, then pass its *previous* distribution here — or use audit_run
+  /// below which wires the order correctly.
+  void observe(std::span<const double> pre_step_distribution,
+               std::span<const std::uint8_t> rewards, double log_potential_after);
+
+  /// Slacks after the last observed step.
+  [[nodiscard]] const proof_slacks& slacks() const noexcept { return slacks_; }
+
+  /// Worst (most negative) slack seen so far across all steps.
+  [[nodiscard]] double worst_slack() const noexcept { return worst_slack_; }
+
+  [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
+
+  /// Σ_t R^t_1 so far (reward of the best-in-hindsight option index 0 —
+  /// the audit follows the paper in designating option 1 as the comparator).
+  [[nodiscard]] double comparator_reward() const noexcept { return comparator_reward_; }
+
+  /// Σ_t ⟨P^{t−1}, R^t⟩ so far — the group's realized reward.
+  [[nodiscard]] double group_reward() const noexcept { return group_reward_; }
+
+ private:
+  dynamics_params params_;
+  double delta_ = 0.0;
+  double delta_prime_ = 0.0;
+  double comparator_reward_ = 0.0;
+  double group_reward_ = 0.0;
+  proof_slacks slacks_;
+  double worst_slack_ = 0.0;
+  std::uint64_t steps_ = 0;
+};
+
+/// Convenience: runs `dynamics` for `horizon` steps against rewards drawn
+/// from `sample_rewards(t, out)` and audits every step.  Returns the worst
+/// slack (≥ 0 means every proof inequality held pathwise).
+template <typename SampleRewards>
+[[nodiscard]] double audit_run(infinite_dynamics& dynamics, proof_auditor& auditor,
+                               std::uint64_t horizon, SampleRewards sample_rewards) {
+  std::vector<double> previous(dynamics.distribution().begin(),
+                               dynamics.distribution().end());
+  std::vector<std::uint8_t> rewards(dynamics.params().num_options, 0);
+  for (std::uint64_t t = 1; t <= horizon; ++t) {
+    previous.assign(dynamics.distribution().begin(), dynamics.distribution().end());
+    sample_rewards(t, std::span<std::uint8_t>{rewards});
+    dynamics.step(rewards);
+    auditor.observe(previous, rewards, dynamics.log_potential());
+  }
+  return auditor.worst_slack();
+}
+
+}  // namespace sgl::core

@@ -1,0 +1,139 @@
+#include "env/ef_model.h"
+
+#include <cmath>
+#include <functional>
+#include <numbers>
+#include <stdexcept>
+
+#include "support/distributions.h"
+#include "support/stats.h"
+
+namespace sgl::env {
+namespace {
+
+/// Adaptive Simpson quadrature on [a, b].
+double adaptive_simpson(const std::function<double(double)>& f, double a, double b,
+                        double fa, double fm, double fb, double whole, double tolerance,
+                        int depth) {
+  const double m = 0.5 * (a + b);
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double left = (m - a) / 6.0 * (fa + 4.0 * flm + fm);
+  const double right = (b - m) / 6.0 * (fm + 4.0 * frm + fb);
+  const double delta = left + right - whole;
+  if (depth <= 0 || std::abs(delta) <= 15.0 * tolerance) {
+    return left + right + delta / 15.0;
+  }
+  return adaptive_simpson(f, a, m, fa, flm, fm, left, tolerance / 2.0, depth - 1) +
+         adaptive_simpson(f, m, b, fm, frm, fb, right, tolerance / 2.0, depth - 1);
+}
+
+double integrate(const std::function<double(double)>& f, double a, double b,
+                 double tolerance = 1e-10) {
+  const double m = 0.5 * (a + b);
+  const double fa = f(a);
+  const double fm = f(m);
+  const double fb = f(b);
+  const double whole = (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+  return adaptive_simpson(f, a, b, fa, fm, fb, whole, tolerance, 40);
+}
+
+double normal_pdf(double x, double mean, double sd) {
+  const double z = (x - mean) / sd;
+  return std::exp(-0.5 * z * z) / (sd * std::sqrt(2.0 * std::numbers::pi));
+}
+
+}  // namespace
+
+void ef_params::validate() const {
+  if (!(reward_sd > 0.0)) throw std::invalid_argument{"ef_params: reward_sd must be > 0"};
+  if (!(shock_sd > 0.0)) throw std::invalid_argument{"ef_params: shock_sd must be > 0"};
+  if (!(mean1 > mean2)) throw std::invalid_argument{"ef_params: option 1 must be better"};
+}
+
+double ef_win_probability(const ef_params& params) {
+  params.validate();
+  // D = r1 - r2 ~ Normal(mean1 - mean2, 2 * reward_sd^2).
+  const double diff_sd = params.reward_sd * std::numbers::sqrt2;
+  return normal_cdf((params.mean1 - params.mean2) / diff_sd);
+}
+
+ef_reduction reduce_ef_model(const ef_params& params) {
+  params.validate();
+  const double diff_mean = params.mean1 - params.mean2;
+  const double diff_sd = params.reward_sd * std::numbers::sqrt2;
+  const double xi_sd = 2.0 * params.shock_sd;  // ξ ~ Normal(0, 4 shock_sd^2)
+
+  // beta = E[ P(ξ > -D) | D > 0 ] = ∫_0^∞ φ_D(x) Φ(x/ξ_sd) dx / P(D > 0),
+  // alpha = E[ P(ξ >  D') | D' > 0 ] with D' = r2 - r1, by symmetry
+  //       = ∫_0^∞ φ_{-D}(x) Φ(-x/ξ_sd) dx / P(D < 0).
+  const double span = 10.0 * diff_sd + std::abs(diff_mean);
+
+  const auto beta_integrand = [&](double x) {
+    return normal_pdf(x, diff_mean, diff_sd) * normal_cdf(x / xi_sd);
+  };
+  const auto alpha_integrand = [&](double x) {
+    return normal_pdf(-x, diff_mean, diff_sd) * normal_cdf(-x / xi_sd);
+  };
+
+  const double p = ef_win_probability(params);
+  ef_reduction reduced;
+  reduced.eta1 = p;
+  reduced.eta2 = 1.0 - p;
+  reduced.beta = integrate(beta_integrand, 0.0, span) / p;
+  reduced.alpha = integrate(alpha_integrand, 0.0, span) / (1.0 - p);
+  return reduced;
+}
+
+ef_direct_dynamics::ef_direct_dynamics(const ef_params& params, std::size_t num_agents,
+                                       double mu)
+    : params_{params},
+      num_agents_{num_agents},
+      mu_{mu},
+      popularity_(2, 0.5),
+      last_rewards_(2, 0.0) {
+  params_.validate();
+  if (num_agents_ == 0) throw std::invalid_argument{"ef_direct_dynamics: no agents"};
+  if (!(mu_ >= 0.0 && mu_ <= 1.0)) {
+    throw std::invalid_argument{"ef_direct_dynamics: mu outside [0,1]"};
+  }
+}
+
+void ef_direct_dynamics::step(rng& reward_gen, rng& population_gen) {
+  // One shared continuous reward draw per option per step.
+  last_rewards_[0] = sample_normal(reward_gen, params_.mean1, params_.reward_sd);
+  last_rewards_[1] = sample_normal(reward_gen, params_.mean2, params_.reward_sd);
+
+  const double xi_sd = 2.0 * params_.shock_sd;
+  // P[adopt option j | considered j] = P[r_j + ε + ε' > r_k + ε + ε']
+  //                                  = Φ((r_j − r_k) / ξ_sd).
+  const double adopt1 = normal_cdf((last_rewards_[0] - last_rewards_[1]) / xi_sd);
+  const double adopt_probability[2] = {adopt1, 1.0 - adopt1};
+
+  std::uint64_t committed[2] = {0, 0};
+  for (std::size_t i = 0; i < num_agents_; ++i) {
+    std::size_t considered;
+    if (population_gen.next_bernoulli(mu_)) {
+      considered = static_cast<std::size_t>(population_gen.next_below(2));
+    } else {
+      considered = population_gen.next_bernoulli(popularity_[0]) ? 0 : 1;
+    }
+    if (population_gen.next_bernoulli(adopt_probability[considered])) {
+      ++committed[considered];
+    }
+  }
+
+  adopters_ = committed[0] + committed[1];
+  if (adopters_ == 0) {
+    popularity_[0] = 0.5;
+    popularity_[1] = 0.5;
+  } else {
+    popularity_[0] = static_cast<double>(committed[0]) / static_cast<double>(adopters_);
+    popularity_[1] = 1.0 - popularity_[0];
+  }
+  ++steps_;
+}
+
+}  // namespace sgl::env

@@ -1,0 +1,74 @@
+#include "env/markov_rewards.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "support/distributions.h"
+
+namespace sgl::env {
+
+markov_rewards::markov_rewards(std::vector<std::vector<double>> regime_etas,
+                               std::vector<std::vector<double>> transition,
+                               std::uint64_t horizon, std::uint64_t regime_seed)
+    : regime_etas_{std::move(regime_etas)} {
+  if (regime_etas_.empty()) throw std::invalid_argument{"markov_rewards: no regimes"};
+  const std::size_t k = regime_etas_.size();
+  const std::size_t m = regime_etas_[0].size();
+  if (m == 0) throw std::invalid_argument{"markov_rewards: no options"};
+  for (const auto& etas : regime_etas_) {
+    if (etas.size() != m) throw std::invalid_argument{"markov_rewards: ragged regimes"};
+    for (const double eta : etas) {
+      if (!(eta >= 0.0 && eta <= 1.0)) {
+        throw std::invalid_argument{"markov_rewards: eta outside [0,1]"};
+      }
+    }
+  }
+  if (transition.size() != k) {
+    throw std::invalid_argument{"markov_rewards: transition rows != regimes"};
+  }
+  for (const auto& row : transition) {
+    if (row.size() != k) {
+      throw std::invalid_argument{"markov_rewards: transition not square"};
+    }
+    double total = 0.0;
+    for (const double p : row) {
+      if (!(p >= 0.0)) throw std::invalid_argument{"markov_rewards: negative rate"};
+      total += p;
+    }
+    if (std::abs(total - 1.0) > 1e-9) {
+      throw std::invalid_argument{"markov_rewards: transition rows must sum to 1"};
+    }
+  }
+  if (horizon == 0) throw std::invalid_argument{"markov_rewards: zero horizon"};
+
+  // Pre-draw the regime path.
+  rng gen = rng::from_stream(regime_seed, 0x5eedULL);
+  path_.resize(horizon);
+  std::uint32_t state = 0;
+  for (std::uint64_t t = 0; t < horizon; ++t) {
+    path_[t] = state;
+    const auto next =
+        static_cast<std::uint32_t>(sample_categorical(gen, transition[state]));
+    if (next != state) ++switches_;
+    state = next;
+  }
+}
+
+std::size_t markov_rewards::regime_at(std::uint64_t t) const {
+  const std::uint64_t index = t == 0 ? 0 : t - 1;
+  if (index >= path_.size()) return path_.back();
+  return path_[index];
+}
+
+void markov_rewards::sample(std::uint64_t t, rng& gen, std::span<std::uint8_t> out) {
+  const auto& etas = regime_etas_[regime_at(t)];
+  for (std::size_t j = 0; j < etas.size(); ++j) {
+    out[j] = gen.next_bernoulli(etas[j]) ? 1 : 0;
+  }
+}
+
+double markov_rewards::mean(std::uint64_t t, std::size_t option) const {
+  return regime_etas_[regime_at(t)].at(option);
+}
+
+}  // namespace sgl::env

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file markov_rewards.h
+/// Regime-switching qualities (§6: "when the parameters controlling the
+/// quality of the options are allowed to change ... e.g., when the options
+/// represent stocks").
+///
+/// A hidden Markov chain over K regimes advances once per step; regime k
+/// carries its own quality vector η^(k).  So options' qualities move
+/// *jointly* — the bull/bear structure real option sets have — unlike the
+/// deterministic rotation of switching_rewards.
+///
+/// To fit the reward_model interface (mean(t, j) must be a function of t),
+/// the regime path is pre-drawn at construction from its own seed: the
+/// environment is a deterministic non-stationary schedule of Bernoulli
+/// parameters, independent of the signal noise drawn at sample() time.
+
+#include <cstdint>
+#include <vector>
+
+#include "env/reward_model.h"
+
+namespace sgl::env {
+
+class markov_rewards final : public reward_model {
+ public:
+  /// `regime_etas[k][j]`: quality of option j in regime k (all in [0,1]).
+  /// `transition[k][l]`: probability of moving k→l each step (rows sum
+  /// to 1).  The regime path is drawn for `horizon` steps from
+  /// `regime_seed` (steps beyond the horizon hold the last regime).
+  /// Starts in regime 0.
+  markov_rewards(std::vector<std::vector<double>> regime_etas,
+                 std::vector<std::vector<double>> transition, std::uint64_t horizon,
+                 std::uint64_t regime_seed);
+
+  [[nodiscard]] std::size_t num_options() const noexcept override {
+    return regime_etas_[0].size();
+  }
+  void sample(std::uint64_t t, rng& gen, std::span<std::uint8_t> out) override;
+  [[nodiscard]] double mean(std::uint64_t t, std::size_t option) const override;
+  [[nodiscard]] bool is_stationary() const noexcept override { return false; }
+
+  /// Regime active at step t.
+  [[nodiscard]] std::size_t regime_at(std::uint64_t t) const;
+  [[nodiscard]] std::size_t num_regimes() const noexcept { return regime_etas_.size(); }
+  /// Number of regime changes along the pre-drawn path.
+  [[nodiscard]] std::uint64_t num_switches() const noexcept { return switches_; }
+
+ private:
+  std::vector<std::vector<double>> regime_etas_;
+  std::vector<std::uint32_t> path_;  // regime per step, index t-1
+  std::uint64_t switches_ = 0;
+};
+
+}  // namespace sgl::env

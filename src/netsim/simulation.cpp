@@ -1,0 +1,216 @@
+#include "netsim/simulation.h"
+
+#include <stdexcept>
+
+#include "support/distributions.h"
+
+namespace sgl::netsim {
+
+void link_model::validate() const {
+  if (!(base_latency >= 0.0)) throw std::invalid_argument{"link_model: negative latency"};
+  if (!(jitter_mean >= 0.0)) throw std::invalid_argument{"link_model: negative jitter"};
+  if (!(drop_probability >= 0.0 && drop_probability <= 1.0)) {
+    throw std::invalid_argument{"link_model: drop probability outside [0,1]"};
+  }
+}
+
+// --- context ----------------------------------------------------------------
+
+double context::now() const noexcept { return sim_.now_; }
+node_id context::self() const noexcept { return self_; }
+rng& context::gen() noexcept { return sim_.node_gens_[self_]; }
+
+void context::send(node_id dst, message msg) {
+  msg.src = self_;
+  msg.dst = dst;
+  sim_.enqueue_message(self_, dst, msg);
+}
+
+void context::set_timer(double delay, std::int32_t timer_id) {
+  sim_.enqueue_timer(self_, delay, timer_id);
+}
+
+std::span<const node_id> context::neighbors() const noexcept {
+  if (sim_.topology_ != nullptr) {
+    const auto nbrs = sim_.topology_->neighbors(self_);
+    return {nbrs.data(), nbrs.size()};
+  }
+  return sim_.all_others_[self_];
+}
+
+std::size_t context::num_nodes() const noexcept { return sim_.nodes_.size(); }
+
+// --- simulation ---------------------------------------------------------------
+
+simulation::simulation(std::uint64_t seed)
+    : net_gen_{rng::from_stream(seed, 0xfeedULL)}, seed_{seed} {}
+
+node_id simulation::add_node(std::unique_ptr<node> n) {
+  require_started(false, "add_node");
+  if (n == nullptr) throw std::invalid_argument{"simulation::add_node: null node"};
+  const node_id id = static_cast<node_id>(nodes_.size());
+  nodes_.push_back(std::move(n));
+  node_gens_.push_back(rng::from_stream(seed_, 0x1000ULL + id));
+  alive_.push_back(true);
+  epoch_.push_back(0);
+  return id;
+}
+
+void simulation::set_link_model(const link_model& links) {
+  links.validate();
+  links_ = links;
+}
+
+void simulation::require_started(bool started, const char* who) const {
+  if (started_ != started) {
+    throw std::logic_error{std::string{"simulation::"} + who +
+                           (started ? ": not started yet" : ": already started")};
+  }
+}
+
+void simulation::start() {
+  require_started(false, "start");
+  if (nodes_.empty()) throw std::logic_error{"simulation::start: no nodes"};
+  if (topology_ != nullptr && topology_->num_vertices() != nodes_.size()) {
+    throw std::invalid_argument{"simulation::start: topology vertex count != node count"};
+  }
+  if (topology_ == nullptr) {
+    all_others_.resize(nodes_.size());
+    for (node_id v = 0; v < nodes_.size(); ++v) {
+      all_others_[v].reserve(nodes_.size() - 1);
+      for (node_id w = 0; w < nodes_.size(); ++w) {
+        if (w != v) all_others_[v].push_back(w);
+      }
+    }
+  }
+  started_ = true;
+  for (node_id id = 0; id < nodes_.size(); ++id) {
+    context ctx{*this, id};
+    nodes_[id]->on_start(ctx);
+  }
+}
+
+void simulation::enqueue_message(node_id src, node_id dst, const message& msg) {
+  require_started(true, "send");
+  if (dst >= nodes_.size()) throw std::out_of_range{"simulation::send: bad destination"};
+  if (dst == src) throw std::logic_error{"simulation::send: self-send"};
+  if (topology_ != nullptr && !topology_->has_edge(src, dst)) {
+    throw std::logic_error{"simulation::send: destination is not a neighbour"};
+  }
+  ++stats_.messages_sent;
+  if (net_gen_.next_bernoulli(links_.drop_probability)) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  double latency = links_.base_latency;
+  if (links_.jitter_mean > 0.0) {
+    latency += sample_exponential(net_gen_, 1.0 / links_.jitter_mean);
+  }
+  event ev;
+  ev.time = now_ + latency;
+  ev.seq = next_seq_++;
+  ev.kind = event_kind::deliver;
+  ev.dst = dst;
+  ev.msg = msg;
+  queue_.push(ev);
+}
+
+void simulation::enqueue_timer(node_id dst, double delay, std::int32_t timer_id) {
+  require_started(true, "set_timer");
+  if (!(delay > 0.0)) throw std::invalid_argument{"simulation::set_timer: delay must be > 0"};
+  event ev;
+  ev.time = now_ + delay;
+  ev.seq = next_seq_++;
+  ev.kind = event_kind::timer;
+  ev.dst = dst;
+  ev.epoch = epoch_[dst];
+  ev.timer_id = timer_id;
+  queue_.push(ev);
+}
+
+void simulation::partition(std::span<const node_id> group_a) {
+  side_a_.assign(nodes_.size(), false);
+  for (const node_id id : group_a) {
+    if (id >= nodes_.size()) throw std::out_of_range{"simulation::partition: bad id"};
+    side_a_[id] = true;
+  }
+  partitioned_ = true;
+}
+
+void simulation::heal_partition() noexcept { partitioned_ = false; }
+
+void simulation::dispatch(const event& ev) {
+  now_ = ev.time;
+  if (ev.kind == event_kind::deliver) {
+    if (!alive_[ev.dst]) {
+      ++stats_.messages_dropped;
+      return;
+    }
+    if (partitioned_ && side_a_[ev.msg.src] != side_a_[ev.dst]) {
+      ++stats_.messages_dropped;  // crosses the cut
+      return;
+    }
+    ++stats_.messages_delivered;
+    context ctx{*this, ev.dst};
+    nodes_[ev.dst]->on_message(ctx, ev.msg);
+  } else {
+    // Timers set before a crash are stale in the new epoch.
+    if (!alive_[ev.dst] || ev.epoch != epoch_[ev.dst]) return;
+    ++stats_.timers_fired;
+    context ctx{*this, ev.dst};
+    nodes_[ev.dst]->on_timer(ctx, ev.timer_id);
+  }
+}
+
+bool simulation::step_one() {
+  require_started(true, "step_one");
+  if (queue_.empty()) return false;
+  const event ev = queue_.top();
+  queue_.pop();
+  dispatch(ev);
+  return true;
+}
+
+void simulation::run_until(double t_end) {
+  require_started(true, "run_until");
+  if (t_end < now_) throw std::invalid_argument{"simulation::run_until: time moves forward"};
+  while (!queue_.empty() && queue_.top().time <= t_end) {
+    const event ev = queue_.top();
+    queue_.pop();
+    dispatch(ev);
+  }
+  now_ = t_end;
+}
+
+void simulation::crash_node(node_id id) {
+  if (id >= nodes_.size()) throw std::out_of_range{"simulation::crash_node: bad id"};
+  if (!alive_[id]) return;
+  alive_[id] = false;
+  ++epoch_[id];
+}
+
+void simulation::restart_node(node_id id) {
+  require_started(true, "restart_node");
+  if (id >= nodes_.size()) throw std::out_of_range{"simulation::restart_node: bad id"};
+  if (alive_[id]) return;
+  alive_[id] = true;
+  context ctx{*this, id};
+  nodes_[id]->on_start(ctx);
+}
+
+bool simulation::is_alive(node_id id) const {
+  if (id >= nodes_.size()) throw std::out_of_range{"simulation::is_alive: bad id"};
+  return alive_[id];
+}
+
+node& simulation::get_node(node_id id) {
+  if (id >= nodes_.size()) throw std::out_of_range{"simulation::get_node: bad id"};
+  return *nodes_[id];
+}
+
+const node& simulation::get_node(node_id id) const {
+  if (id >= nodes_.size()) throw std::out_of_range{"simulation::get_node: bad id"};
+  return *nodes_[id];
+}
+
+}  // namespace sgl::netsim

@@ -1,0 +1,197 @@
+#pragma once
+
+/// \file simulation.h
+/// A deterministic discrete-event network simulator.
+///
+/// The paper's converse reading (§1, §6) is that the social dynamics is a
+/// distributed, essentially memoryless implementation of MWU "perhaps
+/// appropriate for low-power devices in distributed settings such as sensor
+/// networks or the internet-of-things".  This module is the substrate that
+/// claim is tested on: nodes exchanging small messages over lossy,
+/// latency-ridden asynchronous links, with crash/restart fault injection.
+///
+/// Determinism: events are ordered by (time, sequence number); every node
+/// owns an RNG stream derived from (seed, node id) and the network owns its
+/// own stream for latency/drops, so runs are reproducible bit-for-bit.
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "support/rng.h"
+
+namespace sgl::netsim {
+
+using node_id = std::uint32_t;
+
+/// A small fixed-layout message.  Protocols define `kind` and the operand
+/// meanings; `wire_bytes` approximates the on-air cost of one message
+/// (src + dst + kind + two operands).
+struct message {
+  node_id src = 0;
+  node_id dst = 0;
+  std::int32_t kind = 0;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+
+  static constexpr std::uint64_t wire_bytes = 28;
+};
+
+/// Per-link behaviour: delivery latency = base + Exponential(jitter_mean)
+/// (jitter_mean = 0 disables jitter), and i.i.d. Bernoulli loss.
+struct link_model {
+  double base_latency = 1.0;
+  double jitter_mean = 0.0;
+  double drop_probability = 0.0;
+
+  /// Throws std::invalid_argument on negative latencies or p outside [0,1].
+  void validate() const;
+};
+
+/// Counters exposed by simulation::stats().
+struct network_stats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;   ///< lost in transit or dst crashed
+  std::uint64_t timers_fired = 0;
+
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept {
+    return messages_sent * message::wire_bytes;
+  }
+};
+
+class simulation;
+
+/// The capability surface a node sees during a callback.
+class context {
+ public:
+  /// Simulated time now.
+  [[nodiscard]] double now() const noexcept;
+  /// The node being called.
+  [[nodiscard]] node_id self() const noexcept;
+  /// This node's private RNG stream.
+  [[nodiscard]] rng& gen() noexcept;
+  /// Sends to `dst` (must be a topology neighbour when a topology is set;
+  /// throws std::logic_error otherwise).  src is filled in automatically.
+  void send(node_id dst, message msg);
+  /// Schedules on_timer(timer_id) after `delay` (> 0) simulated seconds.
+  void set_timer(double delay, std::int32_t timer_id);
+  /// Neighbour list under the current topology (all other nodes if none).
+  [[nodiscard]] std::span<const node_id> neighbors() const noexcept;
+  [[nodiscard]] std::size_t num_nodes() const noexcept;
+
+ private:
+  friend class simulation;
+  context(simulation& sim, node_id self) noexcept : sim_{sim}, self_{self} {}
+  simulation& sim_;
+  node_id self_;
+};
+
+/// Base class for protocol participants.
+class node {
+ public:
+  virtual ~node() = default;
+  /// Called at simulation start and on restart after a crash.
+  virtual void on_start(context& ctx) = 0;
+  virtual void on_message(context& ctx, const message& msg) = 0;
+  virtual void on_timer(context& ctx, std::int32_t timer_id) = 0;
+};
+
+class simulation {
+ public:
+  explicit simulation(std::uint64_t seed);
+
+  simulation(const simulation&) = delete;
+  simulation& operator=(const simulation&) = delete;
+
+  /// Adds a node before start(); returns its id (dense, starting at 0).
+  node_id add_node(std::unique_ptr<node> n);
+
+  /// Restricts connectivity (borrowed; vertex count must match node count
+  /// at start()).  Without a topology every node can reach every other.
+  void set_topology(const graph::graph* topology) noexcept { topology_ = topology; }
+
+  void set_link_model(const link_model& links);
+
+  /// Calls on_start on every node.  Must be called exactly once, after all
+  /// add_node calls.
+  void start();
+
+  /// Processes events until the queue is empty or the next event is later
+  /// than `t_end`; the clock then advances to exactly t_end.
+  void run_until(double t_end);
+
+  /// Processes a single event; returns false when the queue is empty.
+  bool step_one();
+
+  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return nodes_.size(); }
+  [[nodiscard]] const network_stats& stats() const noexcept { return stats_; }
+
+  /// Fault injection.  Crashing drops the node's queued timers and any
+  /// messages delivered while down; restart re-runs on_start.
+  void crash_node(node_id id);
+  void restart_node(node_id id);
+  [[nodiscard]] bool is_alive(node_id id) const;
+
+  /// Network partition: messages crossing between `group_a` and its
+  /// complement are dropped at delivery time (in-flight ones included).
+  /// Nodes keep running and can talk within their side.  heal_partition()
+  /// restores full connectivity.
+  void partition(std::span<const node_id> group_a);
+  void heal_partition() noexcept;
+  [[nodiscard]] bool is_partitioned() const noexcept { return partitioned_; }
+
+  /// Direct access for inspection/tests (caller downcasts).
+  [[nodiscard]] node& get_node(node_id id);
+  [[nodiscard]] const node& get_node(node_id id) const;
+
+ private:
+  friend class context;
+
+  enum class event_kind : std::uint8_t { deliver, timer };
+
+  struct event {
+    double time = 0.0;
+    std::uint64_t seq = 0;  ///< FIFO tie-break for simultaneous events
+    event_kind kind = event_kind::deliver;
+    node_id dst = 0;
+    std::uint64_t epoch = 0;  ///< timers die when the node's epoch changes
+    message msg;
+    std::int32_t timer_id = 0;
+  };
+
+  struct event_later {
+    bool operator()(const event& x, const event& y) const noexcept {
+      if (x.time != y.time) return x.time > y.time;
+      return x.seq > y.seq;
+    }
+  };
+
+  void dispatch(const event& ev);
+  void enqueue_message(node_id src, node_id dst, const message& msg);
+  void enqueue_timer(node_id dst, double delay, std::int32_t timer_id);
+  void require_started(bool started, const char* who) const;
+
+  std::vector<std::unique_ptr<node>> nodes_;
+  std::vector<rng> node_gens_;
+  std::vector<bool> alive_;
+  std::vector<bool> side_a_;  ///< partition membership (meaningful when partitioned_)
+  bool partitioned_ = false;
+  std::vector<std::uint64_t> epoch_;  ///< bumped on crash; stale timers ignored
+  std::vector<std::vector<node_id>> all_others_;  ///< neighbour lists sans topology
+  const graph::graph* topology_ = nullptr;
+  link_model links_;
+  rng net_gen_;
+  std::priority_queue<event, std::vector<event>, event_later> queue_;
+  std::uint64_t next_seq_ = 0;
+  double now_ = 0.0;
+  bool started_ = false;
+  network_stats stats_;
+  std::uint64_t seed_;
+};
+
+}  // namespace sgl::netsim

@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file gossip_learner.h
+/// The paper's converse, made executable: the finite-population learning
+/// dynamics as a real gossip protocol in which every node stores exactly
+/// ONE integer (its current choice) and exchanges two tiny message types.
+///
+///   round r (every round_interval seconds, per node):
+///     with prob. μ   — consider a uniformly random option (self-exploration)
+///     otherwise      — SAMPLE_REQ to a uniformly random neighbour
+///   on SAMPLE_REQ    — reply SAMPLE_REPLY carrying my current choice
+///   on SAMPLE_REPLY  — consider the carried option; if the neighbour was
+///                      uncommitted, retry another random neighbour (up to
+///                      max_retries — the protocol analogue of popularity
+///                      being the distribution among *adopters*), then fall
+///                      back to a uniform option
+///   consider(j)      — sense the shared signal R^r_j; commit to j with
+///                      probability β (good signal) / α (bad); otherwise
+///                      sit out (or keep the old choice in sticky mode).
+///
+/// This is a faithful asynchronous port of §2.1's two-stage dynamics: the
+/// popularity vector is never materialized anywhere — it exists only as
+/// the empirical distribution of the nodes' single-integer states, exactly
+/// the "weights as popularity" reading of the MWU connection.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/params.h"
+#include "netsim/simulation.h"
+#include "support/rng.h"
+
+namespace sgl::protocol {
+
+/// Shared signal oracle: R^r_j as a pure function of (seed, round, option),
+/// Bernoulli(η_j).  Every node sensing option j during round r sees the
+/// same realization — the paper's shared R^t_j — without any global
+/// coordination in the protocol itself.
+class signal_oracle {
+ public:
+  /// Throws std::invalid_argument if any η is outside [0,1] or none given.
+  signal_oracle(std::vector<double> etas, std::uint64_t seed);
+
+  [[nodiscard]] std::uint8_t signal(std::uint64_t round, std::size_t option) const;
+  [[nodiscard]] std::size_t num_options() const noexcept { return etas_.size(); }
+  [[nodiscard]] std::span<const double> etas() const noexcept { return etas_; }
+  [[nodiscard]] std::size_t best_option() const noexcept;
+
+ private:
+  std::vector<double> etas_;
+  std::uint64_t seed_;
+};
+
+/// Protocol knobs.
+struct gossip_params {
+  core::dynamics_params dynamics;  ///< m, μ, α, β (validated at node start)
+  double round_interval = 1.0;     ///< seconds between a node's wakeups
+  bool sticky = false;  ///< keep the previous choice instead of sitting out
+  std::uint32_t max_retries = 4;   ///< re-asks after an uncommitted reply
+
+  /// Throws std::invalid_argument on a non-positive round interval.
+  void validate() const;
+};
+
+/// One protocol participant.  State: a single int (plus borrowed config).
+class gossip_learner final : public netsim::node {
+ public:
+  static constexpr std::int32_t k_sample_request = 1;
+  static constexpr std::int32_t k_sample_reply = 2;
+  static constexpr std::int32_t k_round_timer = 7;
+
+  /// `oracle` is borrowed and must outlive the simulation.
+  gossip_learner(const gossip_params& params, const signal_oracle* oracle);
+
+  void on_start(netsim::context& ctx) override;
+  void on_message(netsim::context& ctx, const netsim::message& msg) override;
+  void on_timer(netsim::context& ctx, std::int32_t timer_id) override;
+
+  /// Current choice; -1 while sitting out.
+  [[nodiscard]] std::int32_t choice() const noexcept { return choice_; }
+
+ private:
+  void consider(netsim::context& ctx, std::size_t option);
+  void send_sample_request(netsim::context& ctx);
+  [[nodiscard]] std::uint64_t current_round(const netsim::context& ctx) const noexcept;
+
+  gossip_params params_;
+  const signal_oracle* oracle_;
+  std::int32_t choice_ = -1;
+  std::uint32_t retries_left_ = 0;
+};
+
+/// End-to-end experiment runner used by bench e14 and the sensor-network
+/// example: builds a simulation over `num_nodes` gossip learners, runs
+/// `rounds` rounds, snapshots popularity each round.
+struct gossip_run_result {
+  std::vector<double> best_fraction;       ///< per round: committed on best / committed
+  std::vector<double> committed_fraction;  ///< per round: committed / alive
+  netsim::network_stats net;
+  double average_regret = 0.0;  ///< η_best − mean_t Σ_j Q^{t−1}_j R^t_j
+};
+
+struct gossip_run_config {
+  std::size_t num_nodes = 100;
+  std::uint64_t rounds = 200;
+  std::uint64_t seed = 1;
+  netsim::link_model links;
+  const graph::graph* topology = nullptr;  ///< borrowed; nullptr = complete
+  double crash_fraction = 0.0;   ///< fraction of nodes crashed mid-run
+  std::uint64_t crash_round = 0; ///< when (0 disables even if fraction > 0)
+  /// Split-brain injection: at partition_round the first half of the nodes
+  /// is cut off from the second half; at heal_round the cut is removed.
+  /// 0 disables.
+  std::uint64_t partition_round = 0;
+  std::uint64_t heal_round = 0;
+};
+
+[[nodiscard]] gossip_run_result run_gossip_experiment(const gossip_params& params,
+                                                      const signal_oracle& oracle,
+                                                      const gossip_run_config& config);
+
+}  // namespace sgl::protocol

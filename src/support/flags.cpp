@@ -1,0 +1,180 @@
+#include "support/flags.h"
+
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+
+namespace sgl {
+namespace {
+
+const char* type_name(const std::variant<std::int64_t, double, bool, std::string>& v) {
+  switch (v.index()) {
+    case 0: return "int";
+    case 1: return "float";
+    case 2: return "bool";
+    default: return "string";
+  }
+}
+
+std::string value_to_string(const std::variant<std::int64_t, double, bool, std::string>& v) {
+  switch (v.index()) {
+    case 0: return std::to_string(std::get<std::int64_t>(v));
+    case 1: {
+      char buffer[32];
+      std::snprintf(buffer, sizeof buffer, "%g", std::get<double>(v));
+      return buffer;
+    }
+    case 2: return std::get<bool>(v) ? "true" : "false";
+    default: return std::get<std::string>(v);
+  }
+}
+
+}  // namespace
+
+flag_set::flag_set(std::string program_name, std::string description)
+    : program_name_{std::move(program_name)}, description_{std::move(description)} {}
+
+void flag_set::add(const std::string& name, value default_value, const std::string& help) {
+  if (name.empty() || name.starts_with("-")) {
+    throw std::invalid_argument{"flag_set: bad flag name '" + name + "'"};
+  }
+  const auto [it, inserted] =
+      entries_.emplace(name, entry{default_value, default_value, help});
+  if (!inserted) throw std::invalid_argument{"flag_set: duplicate flag '" + name + "'"};
+}
+
+void flag_set::add_int64(const std::string& name, std::int64_t default_value,
+                         const std::string& help) {
+  add(name, default_value, help);
+}
+void flag_set::add_double(const std::string& name, double default_value,
+                          const std::string& help) {
+  add(name, default_value, help);
+}
+void flag_set::add_bool(const std::string& name, bool default_value, const std::string& help) {
+  add(name, default_value, help);
+}
+void flag_set::add_string(const std::string& name, std::string default_value,
+                          const std::string& help) {
+  add(name, std::move(default_value), help);
+}
+
+const flag_set::entry& flag_set::find(const std::string& name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::invalid_argument{"flag_set: unregistered flag '" + name + "'"};
+  }
+  return it->second;
+}
+
+std::int64_t flag_set::get_int64(const std::string& name) const {
+  return std::get<std::int64_t>(find(name).current);
+}
+double flag_set::get_double(const std::string& name) const {
+  const auto& v = find(name).current;
+  if (std::holds_alternative<std::int64_t>(v)) {
+    return static_cast<double>(std::get<std::int64_t>(v));
+  }
+  return std::get<double>(v);
+}
+bool flag_set::get_bool(const std::string& name) const {
+  return std::get<bool>(find(name).current);
+}
+const std::string& flag_set::get_string(const std::string& name) const {
+  return std::get<std::string>(find(name).current);
+}
+
+bool flag_set::assign(entry& e, const std::string& text) {
+  switch (e.current.index()) {
+    case 0: {
+      std::int64_t parsed = 0;
+      const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), parsed);
+      if (ec != std::errc{} || ptr != text.data() + text.size()) return false;
+      e.current = parsed;
+      return true;
+    }
+    case 1: {
+      try {
+        std::size_t consumed = 0;
+        const double parsed = std::stod(text, &consumed);
+        if (consumed != text.size()) return false;
+        e.current = parsed;
+        return true;
+      } catch (const std::exception&) {
+        return false;
+      }
+    }
+    case 2: {
+      if (text == "true" || text == "1" || text == "yes") {
+        e.current = true;
+        return true;
+      }
+      if (text == "false" || text == "0" || text == "no") {
+        e.current = false;
+        return true;
+      }
+      return false;
+    }
+    default:
+      e.current = text;
+      return true;
+  }
+}
+
+parse_status flag_set::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return parse_status::help;
+    }
+    if (!arg.starts_with("--")) {
+      std::fprintf(stderr, "%s: unexpected positional argument '%s'\n", program_name_.c_str(),
+                   arg.c_str());
+      return parse_status::error;
+    }
+    arg.erase(0, 2);
+    std::string text;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      text = arg.substr(eq + 1);
+      arg.erase(eq);
+      has_value = true;
+    }
+    const auto it = entries_.find(arg);
+    if (it == entries_.end()) {
+      std::fprintf(stderr, "%s: unknown flag '--%s' (try --help)\n", program_name_.c_str(),
+                   arg.c_str());
+      return parse_status::error;
+    }
+    entry& e = it->second;
+    if (!has_value) {
+      if (std::holds_alternative<bool>(e.current)) {
+        e.current = true;  // bare boolean flag
+        continue;
+      }
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: flag '--%s' expects a value\n", program_name_.c_str(),
+                     arg.c_str());
+        return parse_status::error;
+      }
+      text = argv[++i];
+    }
+    if (!assign(e, text)) {
+      std::fprintf(stderr, "%s: bad %s value '%s' for flag '--%s'\n", program_name_.c_str(),
+                   type_name(e.current), text.c_str(), arg.c_str());
+      return parse_status::error;
+    }
+  }
+  return parse_status::ok;
+}
+
+void flag_set::print_usage() const {
+  std::printf("%s — %s\n\nflags:\n", program_name_.c_str(), description_.c_str());
+  for (const auto& [name, e] : entries_) {
+    std::printf("  --%-18s %-7s %s (default: %s)\n", name.c_str(), type_name(e.default_value),
+                e.help.c_str(), value_to_string(e.default_value).c_str());
+  }
+}
+
+}  // namespace sgl

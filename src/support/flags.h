@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file flags.h
+/// A small command-line flag parser for the bench and example binaries.
+/// Supports `--name value`, `--name=value`, bare boolean `--name`, and
+/// `--help`.  Unknown flags are an error so typos never silently fall back
+/// to defaults.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+
+namespace sgl {
+
+enum class parse_status {
+  ok,          ///< Parsed; run the program.
+  help,        ///< --help was requested; usage already printed.
+  error,       ///< Bad input; message already printed to stderr.
+};
+
+class flag_set {
+ public:
+  flag_set(std::string program_name, std::string description);
+
+  /// Registers a flag.  Names must be unique and non-empty (no leading "--").
+  void add_int64(const std::string& name, std::int64_t default_value, const std::string& help);
+  void add_double(const std::string& name, double default_value, const std::string& help);
+  void add_bool(const std::string& name, bool default_value, const std::string& help);
+  void add_string(const std::string& name, std::string default_value, const std::string& help);
+
+  /// Parses argv.  Returns parse_status; on `error` / `help` the caller
+  /// should exit.
+  [[nodiscard]] parse_status parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::int64_t get_int64(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+  [[nodiscard]] const std::string& get_string(const std::string& name) const;
+
+  /// Prints usage to stdout.
+  void print_usage() const;
+
+ private:
+  using value = std::variant<std::int64_t, double, bool, std::string>;
+
+  struct entry {
+    value current;
+    value default_value;
+    std::string help;
+  };
+
+  void add(const std::string& name, value default_value, const std::string& help);
+  [[nodiscard]] const entry& find(const std::string& name) const;
+  [[nodiscard]] bool assign(entry& e, const std::string& text);
+
+  std::string program_name_;
+  std::string description_;
+  std::map<std::string, entry> entries_;
+};
+
+}  // namespace sgl

@@ -1,0 +1,140 @@
+#include "support/gof.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace sgl {
+namespace {
+
+constexpr int k_max_iterations = 500;
+constexpr double k_epsilon = 1e-14;
+
+/// P(a, x) by the power series, good for x < a + 1.
+double gamma_p_series(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double term = sum;
+  for (int i = 0; i < k_max_iterations; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::abs(term) < std::abs(sum) * k_epsilon) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/// Q(a, x) by the continued fraction (modified Lentz), good for x >= a + 1.
+double gamma_q_continued_fraction(double a, double x) {
+  constexpr double tiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= k_max_iterations; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::abs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < k_epsilon) break;
+  }
+  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+
+}  // namespace
+
+double regularized_gamma_p(double a, double x) {
+  if (!(a > 0.0) || x < 0.0) {
+    throw std::invalid_argument{"regularized_gamma_p: need a > 0, x >= 0"};
+  }
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return gamma_p_series(a, x);
+  return 1.0 - gamma_q_continued_fraction(a, x);
+}
+
+double chi_square_cdf(double x, double dof) {
+  if (x <= 0.0) return 0.0;
+  return regularized_gamma_p(dof / 2.0, x / 2.0);
+}
+
+gof_result chi_square_test(std::span<const std::uint64_t> observed,
+                           std::span<const double> expected_probability,
+                           double min_expected) {
+  if (observed.size() != expected_probability.size() || observed.size() < 2) {
+    throw std::invalid_argument{"chi_square_test: need matching sizes >= 2"};
+  }
+  std::uint64_t n = 0;
+  for (const std::uint64_t o : observed) n += o;
+  if (n == 0) throw std::invalid_argument{"chi_square_test: no observations"};
+
+  // Pool sparse bins left-to-right so every pooled bin has expected mass
+  // >= min_expected (the last pool absorbs any remainder).
+  std::vector<double> pooled_expected;
+  std::vector<double> pooled_observed;
+  double acc_e = 0.0;
+  double acc_o = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    acc_e += expected_probability[i] * static_cast<double>(n);
+    acc_o += static_cast<double>(observed[i]);
+    if (acc_e >= min_expected) {
+      pooled_expected.push_back(acc_e);
+      pooled_observed.push_back(acc_o);
+      acc_e = 0.0;
+      acc_o = 0.0;
+    }
+  }
+  if (acc_e > 0.0 || acc_o > 0.0) {
+    if (pooled_expected.empty()) {
+      pooled_expected.push_back(acc_e);
+      pooled_observed.push_back(acc_o);
+    } else {
+      pooled_expected.back() += acc_e;
+      pooled_observed.back() += acc_o;
+    }
+  }
+  if (pooled_expected.size() < 2) {
+    // Everything pooled into one bin: the test is vacuous.
+    return {.statistic = 0.0, .p_value = 1.0};
+  }
+
+  double stat = 0.0;
+  for (std::size_t i = 0; i < pooled_expected.size(); ++i) {
+    const double diff = pooled_observed[i] - pooled_expected[i];
+    stat += diff * diff / pooled_expected[i];
+  }
+  const double dof = static_cast<double>(pooled_expected.size() - 1);
+  return {.statistic = stat, .p_value = 1.0 - chi_square_cdf(stat, dof)};
+}
+
+gof_result ks_test_from_cdf(std::span<const double> cdf_at_sorted_data) {
+  const std::size_t n = cdf_at_sorted_data.size();
+  if (n == 0) throw std::invalid_argument{"ks_test_from_cdf: empty sample"};
+  double d = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double f = cdf_at_sorted_data[i];
+    const double lo = static_cast<double>(i) / static_cast<double>(n);
+    const double hi = static_cast<double>(i + 1) / static_cast<double>(n);
+    d = std::max({d, std::abs(f - lo), std::abs(hi - f)});
+  }
+  // Asymptotic Kolmogorov p-value with the Stephens finite-n correction.
+  const double sqrt_n = std::sqrt(static_cast<double>(n));
+  const double lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+  double p = 0.0;
+  double sign = 1.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term = std::exp(-2.0 * lambda * lambda * static_cast<double>(j) *
+                                 static_cast<double>(j));
+    p += sign * term;
+    sign = -sign;
+    if (term < 1e-12) break;
+  }
+  return {.statistic = d, .p_value = std::clamp(2.0 * p, 0.0, 1.0)};
+}
+
+}  // namespace sgl

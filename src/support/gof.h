@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file gof.h
+/// Goodness-of-fit machinery backing the statistical test suite: chi-square
+/// tests that the samplers in distributions.h produce the distributions they
+/// claim, Kolmogorov–Smirnov tests for continuous laws, and the special
+/// functions (regularized incomplete gamma) they need.
+
+#include <cstdint>
+#include <span>
+
+namespace sgl {
+
+/// Regularized lower incomplete gamma P(a, x) (series + continued fraction,
+/// Numerical-Recipes style).  Preconditions: a > 0, x >= 0.
+[[nodiscard]] double regularized_gamma_p(double a, double x);
+
+/// Chi-square CDF with k degrees of freedom.
+[[nodiscard]] double chi_square_cdf(double x, double dof);
+
+/// Result of a hypothesis test: the statistic and its asymptotic p-value.
+struct gof_result {
+  double statistic = 0.0;
+  double p_value = 1.0;
+};
+
+/// Pearson chi-square test of observed counts against expected *probabilities*
+/// (which must sum to ~1).  Bins with expected count below `min_expected`
+/// are pooled into their right neighbour to keep the asymptotics honest.
+/// Preconditions: observed.size() == expected_probability.size() >= 2.
+[[nodiscard]] gof_result chi_square_test(std::span<const std::uint64_t> observed,
+                                         std::span<const double> expected_probability,
+                                         double min_expected = 5.0);
+
+/// One-sample Kolmogorov–Smirnov test against a CDF sampled at the data
+/// points: caller supplies `cdf_at_data[i]` = F(sorted_data[i]).
+/// Uses the asymptotic Kolmogorov distribution for the p-value.
+[[nodiscard]] gof_result ks_test_from_cdf(std::span<const double> cdf_at_sorted_data);
+
+}  // namespace sgl

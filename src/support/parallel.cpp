@@ -1,0 +1,50 @@
+#include "support/parallel.h"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sgl {
+
+unsigned default_thread_count() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1U : hw;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn, unsigned threads) {
+  if (begin >= end) return;
+  const std::size_t count = end - begin;
+  if (threads == 0) threads = default_thread_count();
+  threads = static_cast<unsigned>(std::min<std::size_t>(threads, count));
+  if (threads <= 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  const std::size_t chunk = (count + threads - 1) / threads;
+  {
+    std::vector<std::jthread> workers;
+    workers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      const std::size_t lo = begin + static_cast<std::size_t>(t) * chunk;
+      const std::size_t hi = std::min(end, lo + chunk);
+      if (lo >= hi) break;
+      workers.emplace_back([&, lo, hi] {
+        try {
+          for (std::size_t i = lo; i < hi; ++i) fn(i);
+        } catch (...) {
+          const std::scoped_lock lock{error_mutex};
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+  }  // join
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace sgl

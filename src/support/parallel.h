@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file parallel.h
+/// Deterministic replication-level parallelism.  The experiment harnesses
+/// run hundreds of independent Monte-Carlo replications; each replication
+/// derives its own RNG stream from (master seed, replication index), and
+/// reductions run over a *fixed* shard decomposition merged in shard order —
+/// so results are bit-identical regardless of thread count or scheduling.
+/// Parallelism only changes wall-clock time.
+
+#include <cstddef>
+#include <functional>
+
+namespace sgl {
+
+/// Number of worker threads to use by default (hardware concurrency,
+/// at least 1).
+[[nodiscard]] unsigned default_thread_count() noexcept;
+
+/// Runs fn(i) for every i in [begin, end), statically partitioned into
+/// contiguous chunks across `threads` workers (0 = auto).  Rethrows the
+/// first exception thrown by any invocation.  fn must be safe to call
+/// concurrently for distinct i.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn, unsigned threads = 0);
+
+/// Sharded map-reduce over [0, count): the index range is split into
+/// `shard_count` contiguous blocks (independent of the thread count), each
+/// block is folded sequentially into its own Shard with fold(shard, i), and
+/// the shards are combined in block order with merge(accumulator, shard).
+/// Because the decomposition and merge order are fixed, the result is
+/// deterministic for any number of threads.
+template <typename Shard, typename MakeShard, typename Fold, typename Merge>
+[[nodiscard]] Shard parallel_reduce(std::size_t count, MakeShard make_shard, Fold fold,
+                                    Merge merge, unsigned threads = 0,
+                                    std::size_t shard_count = 64);
+
+}  // namespace sgl
+
+// --- implementation --------------------------------------------------------
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sgl {
+
+template <typename Shard, typename MakeShard, typename Fold, typename Merge>
+Shard parallel_reduce(std::size_t count, MakeShard make_shard, Fold fold, Merge merge,
+                      unsigned threads, std::size_t shard_count) {
+  if (shard_count == 0) shard_count = 1;
+  shard_count = std::min(shard_count, std::max<std::size_t>(count, 1));
+  if (threads == 0) threads = default_thread_count();
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>({threads, shard_count, std::max<std::size_t>(count, 1)}));
+
+  std::vector<Shard> shards;
+  shards.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) shards.push_back(make_shard());
+
+  const std::size_t chunk = (count + shard_count - 1) / shard_count;
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  {
+    std::atomic<std::size_t> next_shard{0};
+    std::vector<std::jthread> workers;
+    workers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      workers.emplace_back([&] {
+        for (;;) {
+          const std::size_t s = next_shard.fetch_add(1, std::memory_order_relaxed);
+          if (s >= shard_count) return;
+          const std::size_t lo = s * chunk;
+          const std::size_t hi = std::min(count, lo + chunk);
+          try {
+            for (std::size_t i = lo; i < hi; ++i) fold(shards[s], i);
+          } catch (...) {
+            const std::scoped_lock lock{error_mutex};
+            if (!first_error) first_error = std::current_exception();
+            return;
+          }
+        }
+      });
+    }
+  }  // join
+  if (first_error) std::rethrow_exception(first_error);
+
+  Shard result = std::move(shards[0]);
+  for (std::size_t s = 1; s < shards.size(); ++s) merge(result, shards[s]);
+  return result;
+}
+
+}  // namespace sgl

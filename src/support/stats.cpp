@@ -1,0 +1,185 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace sgl {
+
+void running_stats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void running_stats::merge(const running_stats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double running_stats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double running_stats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double running_stats::stderror() const noexcept {
+  if (count_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+mean_ci confidence_interval(const running_stats& s, double confidence) {
+  if (confidence <= 0.0 || confidence >= 1.0) {
+    throw std::invalid_argument{"confidence_interval: confidence must be in (0,1)"};
+  }
+  const double z = normal_quantile(0.5 + confidence / 2.0);
+  return {.mean = s.mean(), .half_width = z * s.stderror()};
+}
+
+double normal_quantile(double p) {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::invalid_argument{"normal_quantile: p must be in (0,1)"};
+  }
+  // Acklam's rational approximation.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  static constexpr double p_low = 0.02425;
+
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - p_low) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+double normal_cdf(double x) noexcept { return 0.5 * std::erfc(-x / std::numbers::sqrt2); }
+
+double quantile(std::span<const double> values, double q) {
+  if (values.empty()) throw std::invalid_argument{"quantile: empty sample"};
+  if (!(q >= 0.0 && q <= 1.0)) throw std::invalid_argument{"quantile: q must be in [0,1]"};
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double h = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(h));
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = h - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+histogram::histogram(double lo, double hi, std::size_t bins) : lo_{lo} {
+  if (!(hi > lo) || bins == 0) {
+    throw std::invalid_argument{"histogram: need hi > lo and bins > 0"};
+  }
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0);
+}
+
+void histogram::add(double x) noexcept {
+  auto idx = static_cast<std::int64_t>(std::floor((x - lo_) / width_));
+  idx = std::clamp<std::int64_t>(idx, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double histogram::bin_center(std::size_t i) const noexcept {
+  return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+double histogram::bin_mass(std::size_t i) const noexcept {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[i]) / static_cast<double>(total_);
+}
+
+series_stats::series_stats(std::size_t length) : per_index_(length) {
+  if (length == 0) throw std::invalid_argument{"series_stats: zero length"};
+}
+
+void series_stats::add_series(std::span<const double> series) {
+  if (series.size() != per_index_.size()) {
+    throw std::invalid_argument{"series_stats: length mismatch"};
+  }
+  for (std::size_t i = 0; i < series.size(); ++i) per_index_[i].add(series[i]);
+}
+
+void series_stats::merge(const series_stats& other) {
+  if (other.per_index_.size() != per_index_.size()) {
+    throw std::invalid_argument{"series_stats: merge length mismatch"};
+  }
+  for (std::size_t i = 0; i < per_index_.size(); ++i) per_index_[i].merge(other.per_index_[i]);
+}
+
+std::uint64_t series_stats::replications() const noexcept { return per_index_[0].count(); }
+
+mean_ci series_stats::ci(std::size_t i, double confidence) const {
+  return confidence_interval(per_index_[i], confidence);
+}
+
+ols_fit fit_ols(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2) {
+    throw std::invalid_argument{"fit_ols: need matching sizes >= 2"};
+  }
+  const double n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0) throw std::invalid_argument{"fit_ols: x is constant"};
+  ols_fit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = (syy <= 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+}  // namespace sgl

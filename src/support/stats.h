@@ -1,0 +1,121 @@
+#pragma once
+
+/// \file stats.h
+/// Streaming statistics used by the experiment harnesses: every regret /
+/// trajectory quantity in the paper is an expectation, which we estimate
+/// over independent replications and report with confidence intervals.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sgl {
+
+/// Numerically stable streaming moments (Welford), mergeable across
+/// parallel shards (Chan et al. pairwise update).
+class running_stats {
+ public:
+  void add(double x) noexcept;
+
+  /// Merges another accumulator into this one (order-independent up to
+  /// floating-point rounding).
+  void merge(const running_stats& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+  /// Unbiased sample variance; 0 when count < 2.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean; 0 when count < 2.
+  [[nodiscard]] double stderror() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A mean with a symmetric normal-approximation confidence interval.
+struct mean_ci {
+  double mean = 0.0;
+  double half_width = 0.0;
+  [[nodiscard]] double lo() const noexcept { return mean - half_width; }
+  [[nodiscard]] double hi() const noexcept { return mean + half_width; }
+};
+
+/// Two-sided normal CI at `confidence` (e.g. 0.95) for the mean of `s`.
+[[nodiscard]] mean_ci confidence_interval(const running_stats& s, double confidence = 0.95);
+
+/// Inverse standard-normal CDF (Acklam's rational approximation,
+/// |error| < 1.2e-9).  Precondition: 0 < p < 1.
+[[nodiscard]] double normal_quantile(double p);
+
+/// Standard normal CDF.
+[[nodiscard]] double normal_cdf(double x) noexcept;
+
+/// Type-7 (linear interpolation) sample quantile, q in [0, 1].
+/// Copies and sorts; intended for end-of-run reporting, not hot loops.
+[[nodiscard]] double quantile(std::span<const double> values, double q);
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped into the
+/// first/last bin so mass is never silently dropped.
+class histogram {
+ public:
+  histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin_count(std::size_t i) const noexcept { return counts_[i]; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  /// Midpoint of bin i.
+  [[nodiscard]] double bin_center(std::size_t i) const noexcept;
+  /// Empirical probability mass of bin i.
+  [[nodiscard]] double bin_mass(std::size_t i) const noexcept;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Per-time-index statistics across replications: replication r contributes
+/// a whole series x_r[0..len), and we expose mean/CI at each index.  This is
+/// how E[Q^t_j], Regret(T) curves, and coupling ratios are aggregated.
+class series_stats {
+ public:
+  explicit series_stats(std::size_t length);
+
+  /// Adds one replication's series (must have exactly `length()` entries).
+  void add_series(std::span<const double> series);
+
+  /// Merges a shard built over the same length.
+  void merge(const series_stats& other);
+
+  [[nodiscard]] std::size_t length() const noexcept { return per_index_.size(); }
+  [[nodiscard]] std::uint64_t replications() const noexcept;
+  [[nodiscard]] double mean(std::size_t i) const noexcept { return per_index_[i].mean(); }
+  [[nodiscard]] mean_ci ci(std::size_t i, double confidence = 0.95) const;
+  [[nodiscard]] const running_stats& at(std::size_t i) const noexcept { return per_index_[i]; }
+
+ private:
+  std::vector<running_stats> per_index_;
+};
+
+/// Ordinary least squares y = slope * x + intercept.
+struct ols_fit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Fits OLS; requires x.size() == y.size() >= 2 and non-constant x.
+[[nodiscard]] ols_fit fit_ols(std::span<const double> x, std::span<const double> y);
+
+}  // namespace sgl

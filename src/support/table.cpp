@@ -1,0 +1,100 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace sgl {
+
+std::string fmt(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", precision, value);
+  return buffer;
+}
+
+std::string fmt_sci(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*e", precision, value);
+  return buffer;
+}
+
+std::string fmt_pm(double mean, double half_width, int precision) {
+  return fmt(mean, precision) + " ± " + fmt(half_width, precision);
+}
+
+text_table::text_table(std::vector<std::string> header) : header_{std::move(header)} {
+  if (header_.empty()) throw std::invalid_argument{"text_table: empty header"};
+}
+
+void text_table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument{"text_table: row width mismatch"};
+  }
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+
+/// Display width in code points (the ± glyph is 2 bytes of UTF-8 but one
+/// column); counting non-continuation bytes is enough for our cells.
+std::size_t display_width(const std::string& s) noexcept {
+  std::size_t w = 0;
+  for (const char c : s) {
+    if ((static_cast<unsigned char>(c) & 0xc0U) != 0x80U) ++w;
+  }
+  return w;
+}
+
+}  // namespace
+
+void text_table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = display_width(header_[c]);
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], display_width(row[c]));
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::size_t pad = width[c] - display_width(row[c]);
+      os << (c == 0 ? "" : "  ") << std::string(pad, ' ') << row[c];
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c == 0 ? 0 : 2);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void text_table::write_csv(std::ostream& os) const {
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  };
+  write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+}  // namespace sgl

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file table.h
+/// Column-aligned text tables and CSV export.  Every bench binary prints the
+/// table/figure series it reproduces through this, so the console output and
+/// the machine-readable artifact always agree.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sgl {
+
+/// Fixed-precision decimal formatting ("0.0427").
+[[nodiscard]] std::string fmt(double value, int precision = 4);
+
+/// Scientific formatting ("1.25e+06").
+[[nodiscard]] std::string fmt_sci(double value, int precision = 2);
+
+/// "mean ± half_width" with a fixed precision.
+[[nodiscard]] std::string fmt_pm(double mean, double half_width, int precision = 4);
+
+/// A simple right-aligned table with a header row.
+class text_table {
+ public:
+  explicit text_table(std::vector<std::string> header);
+
+  /// Adds one row; must have the same number of cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return header_.size(); }
+
+  /// Pretty-prints with aligned columns and a rule under the header.
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (quotes cells containing separators/quotes).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sgl

@@ -1,0 +1,115 @@
+#include "core/coupling.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/theory.h"
+#include "env/reward_model.h"
+
+namespace sgl::core {
+namespace {
+
+env_factory bernoulli_factory(std::vector<double> etas) {
+  return [etas] { return std::make_unique<env::bernoulli_rewards>(etas); };
+}
+
+TEST(estimate_coupling, bound_vector_matches_theory) {
+  const dynamics_params params = theorem_params(3, 0.62);
+  run_config config;
+  config.horizon = 5;
+  config.replications = 5;
+  config.seed = 1;
+  const coupling_estimate est =
+      estimate_coupling(params, 100000, bernoulli_factory({0.8, 0.4, 0.4}), config);
+  for (std::uint64_t t = 1; t <= 5; ++t) {
+    EXPECT_DOUBLE_EQ(est.bound[t - 1],
+                     theory::coupling_bound(t, 3, params.mu, params.beta, 1e5));
+  }
+  EXPECT_EQ(est.replications, 5U);
+}
+
+TEST(estimate_coupling, deviation_shrinks_with_population) {
+  const dynamics_params params = theorem_params(2, 0.62);
+  run_config config;
+  config.horizon = 10;
+  config.replications = 60;
+  config.seed = 2;
+  const auto factory = bernoulli_factory({0.8, 0.4});
+
+  const coupling_estimate small = estimate_coupling(params, 500, factory, config);
+  const coupling_estimate large = estimate_coupling(params, 200000, factory, config);
+  // At every step the mean deviation must be clearly smaller for larger N.
+  for (std::size_t t = 0; t < 10; ++t) {
+    EXPECT_LT(large.deviation.mean(t), small.deviation.mean(t) + 1e-12) << "t=" << t;
+  }
+  EXPECT_LT(large.deviation.mean(9), 0.05);
+}
+
+TEST(estimate_coupling, deviation_grows_with_time) {
+  const dynamics_params params = theorem_params(2, 0.62);
+  run_config config;
+  config.horizon = 40;
+  config.replications = 60;
+  config.seed = 3;
+  const coupling_estimate est =
+      estimate_coupling(params, 5000, bernoulli_factory({0.8, 0.4}), config);
+  // Early deviation is tiny; it grows (on average) as trajectories decouple.
+  EXPECT_LT(est.deviation.mean(0), est.deviation.mean(39));
+}
+
+TEST(estimate_coupling, lemma_bound_holds_with_high_probability) {
+  // In the lemma's own regime (large N, t small enough that 5^t δ″ < 1) the
+  // empirical violation rate must be far below the union-bound budget.
+  const dynamics_params params = theorem_params(2, 0.6);
+  run_config config;
+  config.horizon = 4;
+  config.replications = 200;
+  config.seed = 4;
+  const double n = 1e6;
+  const coupling_estimate est =
+      estimate_coupling(params, static_cast<std::uint64_t>(n),
+                        bernoulli_factory({0.8, 0.4}), config);
+  for (std::size_t t = 0; t < 4; ++t) {
+    if (std::isinf(est.bound[t]) || est.bound[t] >= 1.0) continue;
+    EXPECT_GT(est.within_bound.mean(t), 0.99) << "t=" << t;
+  }
+}
+
+TEST(estimate_coupling, caps_extreme_deviation) {
+  // mu = 0 with alpha = 0 can zero out an option in the finite process while
+  // the infinite one keeps mass: the ratio explodes and must be capped.
+  dynamics_params params;
+  params.num_options = 2;
+  params.mu = 0.0;
+  params.beta = 1.0;
+  params.alpha = 0.0;
+  run_config config;
+  config.horizon = 30;
+  config.replications = 40;
+  config.seed = 5;
+  const coupling_estimate est =
+      estimate_coupling(params, 10, bernoulli_factory({0.9, 0.1}), config, 7.5);
+  EXPECT_DOUBLE_EQ(est.deviation_cap, 7.5);
+  for (std::size_t t = 0; t < est.deviation.length(); ++t) {
+    EXPECT_LE(est.deviation.mean(t), 7.5 + 1e-9);
+  }
+  EXPECT_GT(est.capped_fraction, 0.0);
+}
+
+TEST(estimate_coupling, rejects_bad_input) {
+  const dynamics_params params = theorem_params(2, 0.6);
+  run_config config;
+  config.horizon = 0;
+  EXPECT_THROW(
+      estimate_coupling(params, 100, bernoulli_factory({0.8, 0.4}), config),
+      std::invalid_argument);
+  config.horizon = 5;
+  EXPECT_THROW(
+      estimate_coupling(params, 100, bernoulli_factory({0.8, 0.4}), config, -1.0),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sgl::core

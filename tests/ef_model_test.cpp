@@ -1,0 +1,146 @@
+#include "env/ef_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/distributions.h"
+#include "support/rng.h"
+#include "support/stats.h"
+
+namespace sgl::env {
+namespace {
+
+ef_params default_params() {
+  ef_params p;
+  p.mean1 = 0.6;
+  p.mean2 = 0.4;
+  p.reward_sd = 0.3;
+  p.shock_sd = 0.2;
+  return p;
+}
+
+TEST(ef_params, validation) {
+  ef_params p = default_params();
+  EXPECT_NO_THROW(p.validate());
+  p.reward_sd = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = default_params();
+  p.shock_sd = -1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = default_params();
+  p.mean1 = p.mean2;  // option 1 must be strictly better
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(ef_win_probability, closed_form_matches_monte_carlo) {
+  const ef_params p = default_params();
+  const double analytic = ef_win_probability(p);
+  rng gen{1};
+  int wins = 0;
+  constexpr int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double r1 = sample_normal(gen, p.mean1, p.reward_sd);
+    const double r2 = sample_normal(gen, p.mean2, p.reward_sd);
+    if (r1 > r2) ++wins;
+  }
+  EXPECT_NEAR(analytic, wins / static_cast<double>(n), 0.005);
+  EXPECT_GT(analytic, 0.5);  // option 1 is better
+}
+
+TEST(reduce_ef_model, produces_valid_framework_parameters) {
+  const ef_reduction r = reduce_ef_model(default_params());
+  EXPECT_NEAR(r.eta1 + r.eta2, 1.0, 1e-12);
+  EXPECT_GT(r.eta1, r.eta2);
+  EXPECT_GT(r.beta, r.alpha) << "the paper's conversion requires alpha < beta";
+  EXPECT_GT(r.beta, 0.5);  // ξ symmetric around 0, conditioning on a good draw
+  EXPECT_LT(r.alpha, 0.5);
+  EXPECT_GT(r.alpha, 0.0);
+  EXPECT_LT(r.beta, 1.0);
+}
+
+TEST(reduce_ef_model, matches_monte_carlo_conditional_probabilities) {
+  const ef_params p = default_params();
+  const ef_reduction reduced = reduce_ef_model(p);
+
+  // Estimate beta = P[xi > r2 - r1 | r1 > r2] directly.
+  rng gen{2};
+  const double xi_sd = 2.0 * p.shock_sd;
+  running_stats beta_est;
+  running_stats alpha_est;
+  for (int i = 0; i < 300000; ++i) {
+    const double r1 = sample_normal(gen, p.mean1, p.reward_sd);
+    const double r2 = sample_normal(gen, p.mean2, p.reward_sd);
+    const double xi = sample_normal(gen, 0.0, xi_sd);
+    if (r1 > r2) {
+      beta_est.add(xi > r2 - r1 ? 1.0 : 0.0);
+    } else {
+      alpha_est.add(xi > r2 - r1 ? 1.0 : 0.0);
+    }
+  }
+  EXPECT_NEAR(reduced.beta, beta_est.mean(), 0.01);
+  EXPECT_NEAR(reduced.alpha, alpha_est.mean(), 0.01);
+}
+
+TEST(reduce_ef_model, symmetric_shock_limits) {
+  // Tiny shocks: adoption is almost deterministic in the comparison
+  // (beta -> 1, alpha -> 0).  Huge shocks: adoption is a coin flip.
+  ef_params sharp = default_params();
+  sharp.shock_sd = 1e-3;
+  const ef_reduction r_sharp = reduce_ef_model(sharp);
+  EXPECT_GT(r_sharp.beta, 0.99);
+  EXPECT_LT(r_sharp.alpha, 0.01);
+
+  ef_params noisy = default_params();
+  noisy.shock_sd = 50.0;
+  const ef_reduction r_noisy = reduce_ef_model(noisy);
+  EXPECT_NEAR(r_noisy.beta, 0.5, 0.02);
+  EXPECT_NEAR(r_noisy.alpha, 0.5, 0.02);
+}
+
+TEST(ef_direct_dynamics, popularity_stays_on_simplex) {
+  ef_direct_dynamics dyn{default_params(), 200, 0.05};
+  rng rewards{3};
+  rng population{4};
+  for (int t = 0; t < 50; ++t) {
+    dyn.step(rewards, population);
+    const auto& q = dyn.popularity();
+    EXPECT_NEAR(q[0] + q[1], 1.0, 1e-12);
+    EXPECT_GE(q[0], 0.0);
+    EXPECT_LE(q[0], 1.0);
+    EXPECT_LE(dyn.adopters(), 200U);
+  }
+  EXPECT_EQ(dyn.steps(), 50U);
+}
+
+TEST(ef_direct_dynamics, converges_towards_better_option) {
+  ef_direct_dynamics dyn{default_params(), 500, 0.05};
+  rng rewards{5};
+  rng population{6};
+  running_stats late_popularity;
+  for (int t = 0; t < 400; ++t) {
+    dyn.step(rewards, population);
+    if (t >= 200) late_popularity.add(dyn.popularity()[0]);
+  }
+  EXPECT_GT(late_popularity.mean(), 0.6)
+      << "option 1 (better mean reward) should dominate on average";
+}
+
+TEST(ef_direct_dynamics, exposes_last_rewards) {
+  ef_direct_dynamics dyn{default_params(), 10, 0.0};
+  rng rewards{7};
+  rng population{8};
+  dyn.step(rewards, population);
+  // Rewards should be plausible draws from the configured normals.
+  EXPECT_LT(std::abs(dyn.last_reward(0) - 0.6), 5.0 * 0.3);
+  EXPECT_LT(std::abs(dyn.last_reward(1) - 0.4), 5.0 * 0.3);
+  EXPECT_THROW((void)dyn.last_reward(2), std::out_of_range);
+}
+
+TEST(ef_direct_dynamics, validates_construction) {
+  EXPECT_THROW((ef_direct_dynamics{default_params(), 0, 0.1}), std::invalid_argument);
+  EXPECT_THROW((ef_direct_dynamics{default_params(), 10, 1.5}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sgl::env

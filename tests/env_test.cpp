@@ -1,0 +1,187 @@
+#include "env/reward_model.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "support/rng.h"
+#include "support/stats.h"
+
+namespace sgl::env {
+namespace {
+
+// --- bernoulli_rewards ------------------------------------------------------------
+
+TEST(bernoulli_rewards, frequencies_match_etas) {
+  bernoulli_rewards model{{0.9, 0.5, 0.1}};
+  rng gen{1};
+  std::vector<std::uint8_t> r(3);
+  std::vector<running_stats> stats(3);
+  for (int t = 1; t <= 50000; ++t) {
+    model.sample(static_cast<std::uint64_t>(t), gen, r);
+    for (std::size_t j = 0; j < 3; ++j) stats[j].add(r[j]);
+  }
+  EXPECT_NEAR(stats[0].mean(), 0.9, 0.01);
+  EXPECT_NEAR(stats[1].mean(), 0.5, 0.01);
+  EXPECT_NEAR(stats[2].mean(), 0.1, 0.01);
+}
+
+TEST(bernoulli_rewards, means_and_best) {
+  bernoulli_rewards model{{0.3, 0.8, 0.5}};
+  EXPECT_EQ(model.num_options(), 3U);
+  EXPECT_DOUBLE_EQ(model.mean(1, 0), 0.3);
+  EXPECT_DOUBLE_EQ(model.mean(99, 1), 0.8);
+  EXPECT_EQ(model.best_option(1), 1U);
+  EXPECT_DOUBLE_EQ(model.best_mean(1), 0.8);
+  EXPECT_TRUE(model.is_stationary());
+}
+
+TEST(bernoulli_rewards, best_option_ties_to_lowest_index) {
+  bernoulli_rewards model{{0.5, 0.5}};
+  EXPECT_EQ(model.best_option(1), 0U);
+}
+
+TEST(bernoulli_rewards, deterministic_extremes) {
+  bernoulli_rewards model{{1.0, 0.0}};
+  rng gen{2};
+  std::vector<std::uint8_t> r(2);
+  for (int t = 1; t <= 100; ++t) {
+    model.sample(static_cast<std::uint64_t>(t), gen, r);
+    EXPECT_EQ(r[0], 1);
+    EXPECT_EQ(r[1], 0);
+  }
+}
+
+TEST(bernoulli_rewards, validates_input) {
+  EXPECT_THROW(bernoulli_rewards{std::vector<double>{}}, std::invalid_argument);
+  EXPECT_THROW((bernoulli_rewards{{0.5, 1.5}}), std::invalid_argument);
+  EXPECT_THROW((bernoulli_rewards{{-0.1}}), std::invalid_argument);
+}
+
+// --- exclusive_rewards ------------------------------------------------------------
+
+TEST(exclusive_rewards, exactly_one_winner_every_step) {
+  exclusive_rewards model{{0.7, 0.2, 0.1}};
+  rng gen{3};
+  std::vector<std::uint8_t> r(3);
+  for (int t = 1; t <= 2000; ++t) {
+    model.sample(static_cast<std::uint64_t>(t), gen, r);
+    EXPECT_EQ(std::accumulate(r.begin(), r.end(), 0), 1);
+  }
+}
+
+TEST(exclusive_rewards, winner_frequencies) {
+  exclusive_rewards model{{0.7, 0.3}};
+  rng gen{4};
+  std::vector<std::uint8_t> r(2);
+  running_stats first;
+  for (int t = 1; t <= 50000; ++t) {
+    model.sample(static_cast<std::uint64_t>(t), gen, r);
+    first.add(r[0]);
+  }
+  EXPECT_NEAR(first.mean(), 0.7, 0.01);
+  EXPECT_DOUBLE_EQ(model.mean(1, 0), 0.7);
+  EXPECT_DOUBLE_EQ(model.mean(1, 1), 0.3);
+}
+
+TEST(exclusive_rewards, requires_probability_vector) {
+  EXPECT_THROW((exclusive_rewards{{0.5, 0.6}}), std::invalid_argument);
+  EXPECT_THROW((exclusive_rewards{{0.2, 0.2}}), std::invalid_argument);
+}
+
+// --- switching_rewards -------------------------------------------------------------
+
+TEST(switching_rewards, rotates_best_every_period) {
+  switching_rewards model{{0.8, 0.4, 0.4}, 10};
+  // t in [0,10): identity; t in [10,20): shift by one.
+  EXPECT_DOUBLE_EQ(model.mean(5, 0), 0.8);
+  EXPECT_DOUBLE_EQ(model.mean(5, 1), 0.4);
+  EXPECT_EQ(model.best_option(5), 0U);
+  EXPECT_DOUBLE_EQ(model.mean(15, 2), 0.8);  // base[(2 + 1) % 3] = base[0]
+  EXPECT_EQ(model.best_option(15), 2U);
+  EXPECT_EQ(model.best_option(25), 1U);
+  EXPECT_EQ(model.best_option(35), 0U);  // full cycle
+  EXPECT_FALSE(model.is_stationary());
+}
+
+TEST(switching_rewards, sampling_tracks_current_means) {
+  switching_rewards model{{1.0, 0.0}, 5};
+  rng gen{5};
+  std::vector<std::uint8_t> r(2);
+  model.sample(2, gen, r);
+  EXPECT_EQ(r[0], 1);
+  EXPECT_EQ(r[1], 0);
+  model.sample(7, gen, r);  // shifted: option 1 now has quality 1
+  EXPECT_EQ(r[0], 0);
+  EXPECT_EQ(r[1], 1);
+}
+
+TEST(switching_rewards, rejects_zero_period) {
+  EXPECT_THROW((switching_rewards{{0.5, 0.4}, 0}), std::invalid_argument);
+}
+
+// --- drifting_rewards --------------------------------------------------------------
+
+TEST(drifting_rewards, interpolates_linearly) {
+  drifting_rewards model{{0.0, 1.0}, {1.0, 0.0}, 11};
+  EXPECT_DOUBLE_EQ(model.mean(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(model.mean(6, 0), 0.5);
+  EXPECT_DOUBLE_EQ(model.mean(11, 0), 1.0);
+  EXPECT_DOUBLE_EQ(model.mean(999, 0), 1.0);  // clamps at end
+  EXPECT_DOUBLE_EQ(model.mean(6, 1), 0.5);
+  EXPECT_FALSE(model.is_stationary());
+}
+
+TEST(drifting_rewards, best_option_crosses_over) {
+  drifting_rewards model{{0.9, 0.1}, {0.1, 0.9}, 101};
+  EXPECT_EQ(model.best_option(1), 0U);
+  EXPECT_EQ(model.best_option(101), 1U);
+}
+
+TEST(drifting_rewards, validates_input) {
+  EXPECT_THROW((drifting_rewards{{0.5}, {0.5, 0.5}, 10}), std::invalid_argument);
+  EXPECT_THROW((drifting_rewards{{0.5}, {0.5}, 1}), std::invalid_argument);
+}
+
+// --- schedule_rewards --------------------------------------------------------------
+
+TEST(schedule_rewards, replays_and_wraps) {
+  schedule_rewards model{{{1, 0}, {0, 1}, {1, 1}}};
+  rng gen{6};
+  std::vector<std::uint8_t> r(2);
+  model.sample(1, gen, r);
+  EXPECT_EQ(r[0], 1);
+  EXPECT_EQ(r[1], 0);
+  model.sample(2, gen, r);
+  EXPECT_EQ(r[0], 0);
+  EXPECT_EQ(r[1], 1);
+  model.sample(4, gen, r);  // wraps to row 0
+  EXPECT_EQ(r[0], 1);
+  EXPECT_EQ(r[1], 0);
+}
+
+TEST(schedule_rewards, mean_is_column_frequency) {
+  schedule_rewards model{{{1, 0}, {0, 1}, {1, 1}, {1, 0}}};
+  EXPECT_DOUBLE_EQ(model.mean(1, 0), 0.75);
+  EXPECT_DOUBLE_EQ(model.mean(1, 1), 0.5);
+}
+
+TEST(schedule_rewards, validates_table) {
+  EXPECT_THROW(schedule_rewards{std::vector<std::vector<std::uint8_t>>{}},
+               std::invalid_argument);
+  EXPECT_THROW((schedule_rewards{{{1, 0}, {1}}}), std::invalid_argument);
+  EXPECT_THROW((schedule_rewards{{{2, 0}}}), std::invalid_argument);
+}
+
+// --- two_level_etas ----------------------------------------------------------------
+
+TEST(two_level_etas, builds_canonical_vector) {
+  const auto etas = two_level_etas(4, 0.75, 0.5);
+  EXPECT_EQ(etas, (std::vector<double>{0.75, 0.5, 0.5, 0.5}));
+  EXPECT_THROW(two_level_etas(0, 0.5, 0.5), std::invalid_argument);
+  EXPECT_THROW(two_level_etas(2, 1.5, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sgl::env

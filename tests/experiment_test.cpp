@@ -1,0 +1,218 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/infinite_dynamics.h"
+#include "core/params.h"
+#include "env/reward_model.h"
+#include "graph/graph.h"
+
+namespace sgl::core {
+namespace {
+
+env_factory bernoulli_factory(std::vector<double> etas) {
+  return [etas] { return std::make_unique<env::bernoulli_rewards>(etas); };
+}
+
+env_factory schedule_factory(std::vector<std::vector<std::uint8_t>> table) {
+  return [table] { return std::make_unique<env::schedule_rewards>(table); };
+}
+
+dynamics_params make_params(std::size_t m, double mu, double beta) {
+  dynamics_params p;
+  p.num_options = m;
+  p.mu = mu;
+  p.beta = beta;
+  return p;
+}
+
+TEST(estimate_infinite_regret, deterministic_schedule_matches_direct_simulation) {
+  // On a fixed schedule the infinite dynamics is deterministic, so the
+  // harness must reproduce a hand-rolled simulation exactly.
+  const dynamics_params params = make_params(2, 0.1, 0.6);
+  const std::vector<std::vector<std::uint8_t>> table{{1, 0}, {1, 1}, {0, 1}, {1, 0}};
+  run_config config;
+  config.horizon = 12;
+  config.replications = 3;  // identical replications — CI must collapse
+  config.seed = 42;
+
+  const regret_estimate est =
+      estimate_infinite_regret(params, schedule_factory(table), config);
+
+  // Direct simulation.
+  infinite_dynamics dyn{params};
+  env::schedule_rewards environment{table};
+  rng dummy{0};
+  std::vector<std::uint8_t> r(2);
+  double reward_sum = 0.0;
+  double best_mean_sum = 0.0;
+  for (std::uint64_t t = 1; t <= config.horizon; ++t) {
+    const auto p = dyn.distribution();
+    environment.sample(t, dummy, r);
+    reward_sum += p[0] * r[0] + p[1] * r[1];
+    best_mean_sum += environment.best_mean(t);
+    dyn.step(r);
+  }
+  const double expected_regret =
+      (best_mean_sum - reward_sum) / static_cast<double>(config.horizon);
+
+  EXPECT_NEAR(est.regret.mean, expected_regret, 1e-12);
+  EXPECT_NEAR(est.regret.half_width, 0.0, 1e-12);  // deterministic
+  EXPECT_EQ(est.replications, 3U);
+}
+
+TEST(estimate_infinite_regret, thread_count_does_not_change_result) {
+  const dynamics_params params = theorem_params(4, 0.62);
+  run_config config;
+  config.horizon = 60;
+  config.replications = 40;
+  config.seed = 7;
+
+  config.threads = 1;
+  const regret_estimate one =
+      estimate_infinite_regret(params, bernoulli_factory({0.8, 0.4, 0.4, 0.4}), config);
+  config.threads = 8;
+  const regret_estimate eight =
+      estimate_infinite_regret(params, bernoulli_factory({0.8, 0.4, 0.4, 0.4}), config);
+
+  EXPECT_DOUBLE_EQ(one.regret.mean, eight.regret.mean);
+  EXPECT_DOUBLE_EQ(one.best_mass.mean, eight.best_mass.mean);
+  EXPECT_DOUBLE_EQ(one.average_reward.mean, eight.average_reward.mean);
+}
+
+TEST(estimate_infinite_regret, nonuniform_start_biases_early_mass) {
+  const dynamics_params params = theorem_params(2, 0.6);
+  run_config config;
+  config.horizon = 5;
+  config.replications = 200;
+  config.seed = 11;
+  const auto factory = bernoulli_factory({0.8, 0.4});
+
+  const std::vector<double> hostile{0.02, 0.98};  // nearly all mass on the bad option
+  const regret_estimate uniform = estimate_infinite_regret(params, factory, config);
+  const regret_estimate biased =
+      estimate_infinite_regret(params, factory, config, hostile);
+  EXPECT_GT(biased.regret.mean, uniform.regret.mean);
+  EXPECT_LT(biased.best_mass.mean, uniform.best_mass.mean);
+}
+
+TEST(estimate_finite_regret, engines_agree_within_noise) {
+  const dynamics_params params = theorem_params(3, 0.65);
+  run_config config;
+  config.horizon = 80;
+  config.replications = 150;
+  config.seed = 13;
+  const auto factory = bernoulli_factory({0.8, 0.4, 0.4});
+
+  const regret_estimate agg =
+      estimate_finite_regret(params, 300, factory, config, finite_engine::aggregate);
+  const regret_estimate agent =
+      estimate_finite_regret(params, 300, factory, config, finite_engine::agent_based);
+  EXPECT_NEAR(agg.regret.mean, agent.regret.mean,
+              agg.regret.half_width + agent.regret.half_width + 0.01);
+}
+
+TEST(estimate_finite_regret, learning_beats_no_learning) {
+  // beta = alpha (signal-blind adoption) must do worse than the real rule
+  // on the same environment.
+  run_config config;
+  config.horizon = 150;
+  config.replications = 80;
+  config.seed = 17;
+  const auto factory = bernoulli_factory({0.9, 0.3});
+
+  const dynamics_params learning = theorem_params(2, 0.65);
+  dynamics_params blind = learning;
+  blind.alpha = blind.beta;  // adopt regardless of the signal
+
+  const regret_estimate with_signal =
+      estimate_finite_regret(learning, 500, factory, config);
+  const regret_estimate without_signal =
+      estimate_finite_regret(blind, 500, factory, config);
+  EXPECT_LT(with_signal.regret.mean + with_signal.regret.half_width,
+            without_signal.regret.mean - without_signal.regret.half_width);
+}
+
+TEST(estimate_finite_regret, topology_runs_and_converges) {
+  const dynamics_params params = theorem_params(2, 0.62);
+  rng topo_gen{99};
+  const graph::graph g = graph::graph::watts_strogatz(150, 3, 0.1, topo_gen);
+  run_config config;
+  config.horizon = 200;
+  config.replications = 30;
+  config.seed = 19;
+  const regret_estimate est =
+      estimate_finite_regret(params, 150, bernoulli_factory({0.85, 0.35}), config,
+                             finite_engine::agent_based, &g);
+  EXPECT_GT(est.final_best_mass.mean, 0.5);
+  EXPECT_LT(est.regret.mean, 0.5);
+}
+
+TEST(estimate_regret, rejects_bad_configs) {
+  const dynamics_params params = make_params(2, 0.1, 0.6);
+  run_config config;
+  config.horizon = 0;
+  EXPECT_THROW(
+      estimate_infinite_regret(params, bernoulli_factory({0.5, 0.5}), config),
+      std::invalid_argument);
+  config.horizon = 10;
+  config.replications = 0;
+  EXPECT_THROW(
+      estimate_finite_regret(params, 10, bernoulli_factory({0.5, 0.5}), config),
+      std::invalid_argument);
+  config.replications = 1;
+  EXPECT_THROW(
+      estimate_infinite_regret(params, bernoulli_factory({0.5, 0.5, 0.5}), config),
+      std::invalid_argument);  // m mismatch
+}
+
+TEST(collect_trajectories, curve_shapes_and_lengths) {
+  const dynamics_params params = theorem_params(3, 0.62);
+  run_config config;
+  config.horizon = 120;
+  config.replications = 60;
+  config.seed = 23;
+  const auto factory = bernoulli_factory({0.8, 0.4, 0.4});
+
+  const trajectory_estimate inf = collect_infinite_trajectory(params, factory, config);
+  EXPECT_EQ(inf.running_regret.length(), 120U);
+  EXPECT_EQ(inf.best_mass.length(), 120U);
+  EXPECT_EQ(inf.running_regret.replications(), 60U);
+  // Learning: late best-mass above early best-mass.
+  EXPECT_GT(inf.best_mass.mean(119), inf.best_mass.mean(0) + 0.2);
+  // Regret curve settles below its early value.
+  EXPECT_LT(inf.running_regret.mean(119), inf.running_regret.mean(5));
+
+  const trajectory_estimate fin =
+      collect_finite_trajectory(params, 400, factory, config);
+  EXPECT_EQ(fin.best_mass.length(), 120U);
+  EXPECT_GT(fin.best_mass.mean(119), 0.5);
+  // min popularity stays strictly positive thanks to exploration.
+  EXPECT_GT(fin.min_popularity.mean(119), 0.0);
+}
+
+TEST(collect_trajectories, switching_environment_tracks_new_best) {
+  // After the switch the dynamics must recover mass on the new best option.
+  dynamics_params params = theorem_params(2, 0.65);
+  run_config config;
+  config.horizon = 300;
+  config.replications = 40;
+  config.seed = 29;
+  const auto factory = [] {
+    return std::make_unique<env::switching_rewards>(std::vector<double>{0.85, 0.35}, 150);
+  };
+  const trajectory_estimate curves =
+      collect_finite_trajectory(params, 400, factory, config);
+  // At t=150 the best option flips; best_mass (computed against the
+  // *current* best) dips right after the switch and then recovers.
+  EXPECT_GT(curves.best_mass.mean(140), 0.6);
+  EXPECT_LT(curves.best_mass.mean(149), 0.5);
+  EXPECT_GT(curves.best_mass.mean(295), 0.6);
+}
+
+}  // namespace
+}  // namespace sgl::core

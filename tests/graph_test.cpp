@@ -1,0 +1,216 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "support/rng.h"
+
+namespace sgl::graph {
+namespace {
+
+// --- construction ----------------------------------------------------------------
+
+TEST(graph_build, dedupes_and_symmetrizes) {
+  const std::vector<graph::edge> edges{{0, 1}, {1, 0}, {0, 1}, {1, 2}};
+  const graph g{3, edges};
+  EXPECT_EQ(g.num_edges(), 2U);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 1));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(graph_build, neighbor_lists_are_sorted) {
+  const std::vector<graph::edge> edges{{3, 0}, {1, 0}, {2, 0}};
+  const graph g{4, edges};
+  const auto nbrs = g.neighbors(0);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(g.degree(0), 3U);
+}
+
+TEST(graph_build, rejects_bad_edges) {
+  EXPECT_THROW((graph{2, std::vector<graph::edge>{{0, 0}}}), std::invalid_argument);
+  EXPECT_THROW((graph{2, std::vector<graph::edge>{{0, 5}}}), std::invalid_argument);
+  EXPECT_THROW((graph{0, std::vector<graph::edge>{}}), std::invalid_argument);
+}
+
+TEST(graph_build, out_of_range_queries_throw) {
+  const graph g{2, std::vector<graph::edge>{{0, 1}}};
+  EXPECT_THROW((void)g.degree(5), std::out_of_range);
+  EXPECT_THROW((void)g.neighbors(5), std::out_of_range);
+}
+
+TEST(graph_build, edgeless_graph) {
+  const graph g{3, std::vector<graph::edge>{}};
+  EXPECT_EQ(g.num_edges(), 0U);
+  EXPECT_EQ(g.degree(1), 0U);
+  EXPECT_FALSE(g.is_connected());
+  EXPECT_EQ(g.min_degree(), 0U);
+}
+
+// --- generators -------------------------------------------------------------------
+
+TEST(complete_graph, structure) {
+  const graph g = graph::complete(6);
+  EXPECT_EQ(g.num_vertices(), 6U);
+  EXPECT_EQ(g.num_edges(), 15U);
+  EXPECT_EQ(g.min_degree(), 5U);
+  EXPECT_EQ(g.max_degree(), 5U);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_DOUBLE_EQ(g.average_degree(), 5.0);
+}
+
+TEST(complete_graph, singleton) {
+  const graph g = graph::complete(1);
+  EXPECT_EQ(g.num_vertices(), 1U);
+  EXPECT_EQ(g.num_edges(), 0U);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(ring_graph, structure) {
+  const graph g = graph::ring(8);
+  EXPECT_EQ(g.num_edges(), 8U);
+  EXPECT_EQ(g.min_degree(), 2U);
+  EXPECT_EQ(g.max_degree(), 2U);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_TRUE(g.has_edge(7, 0));
+}
+
+TEST(ring_graph, degenerate_sizes) {
+  const graph pair = graph::ring(2);
+  EXPECT_EQ(pair.num_edges(), 1U);  // a single edge, not a double edge
+  EXPECT_TRUE(pair.is_connected());
+  const graph single = graph::ring(1);
+  EXPECT_EQ(single.num_edges(), 0U);
+}
+
+TEST(grid_graph, lattice_structure) {
+  const graph g = graph::grid(3, 4, false);
+  EXPECT_EQ(g.num_vertices(), 12U);
+  // 3 rows * 3 horizontal + 2 * 4 vertical = 9 + 8.
+  EXPECT_EQ(g.num_edges(), 17U);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.degree(0), 2U);   // corner
+  EXPECT_EQ(g.degree(5), 4U);   // interior
+}
+
+TEST(grid_graph, torus_is_regular) {
+  const graph g = graph::grid(4, 5, true);
+  EXPECT_EQ(g.min_degree(), 4U);
+  EXPECT_EQ(g.max_degree(), 4U);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(grid_graph, rejects_empty) {
+  EXPECT_THROW(graph::grid(0, 3, false), std::invalid_argument);
+}
+
+TEST(star_graph, structure) {
+  const graph g = graph::star(7);
+  EXPECT_EQ(g.num_edges(), 6U);
+  EXPECT_EQ(g.degree(0), 6U);
+  EXPECT_EQ(g.degree(3), 1U);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(erdos_renyi, edge_density_matches_p) {
+  rng gen{1};
+  const std::size_t n = 200;
+  const double p = 0.1;
+  const graph g = graph::erdos_renyi(n, p, gen);
+  const double expected = p * static_cast<double>(n * (n - 1) / 2);
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, 4.0 * std::sqrt(expected));
+}
+
+TEST(erdos_renyi, extremes) {
+  rng gen{2};
+  EXPECT_EQ(graph::erdos_renyi(20, 0.0, gen).num_edges(), 0U);
+  EXPECT_EQ(graph::erdos_renyi(20, 1.0, gen).num_edges(), 190U);
+  EXPECT_THROW(graph::erdos_renyi(5, 1.5, gen), std::invalid_argument);
+}
+
+TEST(watts_strogatz, no_rewiring_is_ring_lattice) {
+  rng gen{3};
+  const graph g = graph::watts_strogatz(20, 3, 0.0, gen);
+  EXPECT_EQ(g.num_edges(), 60U);  // n * k
+  EXPECT_EQ(g.min_degree(), 6U);
+  EXPECT_EQ(g.max_degree(), 6U);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(watts_strogatz, rewiring_preserves_edge_count) {
+  rng gen{4};
+  const graph g = graph::watts_strogatz(50, 2, 0.3, gen);
+  EXPECT_EQ(g.num_edges(), 100U);
+  EXPECT_EQ(g.num_vertices(), 50U);
+}
+
+TEST(watts_strogatz, validates_parameters) {
+  rng gen{5};
+  EXPECT_THROW(graph::watts_strogatz(2, 1, 0.1, gen), std::invalid_argument);
+  EXPECT_THROW(graph::watts_strogatz(10, 5, 0.1, gen), std::invalid_argument);
+  EXPECT_THROW(graph::watts_strogatz(10, 0, 0.1, gen), std::invalid_argument);
+  EXPECT_THROW(graph::watts_strogatz(10, 2, 1.5, gen), std::invalid_argument);
+}
+
+TEST(barabasi_albert, size_and_connectivity) {
+  rng gen{6};
+  const std::size_t n = 100;
+  const std::size_t attach = 3;
+  const graph g = graph::barabasi_albert(n, attach, gen);
+  EXPECT_EQ(g.num_vertices(), n);
+  // Seed clique: C(4,2)=6 edges; then (n - attach - 1) * attach.
+  EXPECT_EQ(g.num_edges(), 6U + (n - attach - 1) * attach);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_GE(g.min_degree(), attach);
+}
+
+TEST(barabasi_albert, hubs_emerge) {
+  rng gen{7};
+  const graph g = graph::barabasi_albert(300, 2, gen);
+  // Preferential attachment should create at least one vertex with degree
+  // far above the mean (~4).
+  EXPECT_GE(g.max_degree(), 12U);
+}
+
+TEST(barabasi_albert, validates_parameters) {
+  rng gen{8};
+  EXPECT_THROW(graph::barabasi_albert(3, 3, gen), std::invalid_argument);
+  EXPECT_THROW(graph::barabasi_albert(10, 0, gen), std::invalid_argument);
+}
+
+TEST(two_cliques, bottleneck_structure) {
+  const graph g = graph::two_cliques(5, 1);
+  EXPECT_EQ(g.num_vertices(), 10U);
+  EXPECT_EQ(g.num_edges(), 2U * 10U + 1U);  // two K5s + bridge
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_TRUE(g.has_edge(0, 5));  // the bridge
+  EXPECT_FALSE(g.has_edge(1, 6));
+}
+
+TEST(two_cliques, multiple_bridges) {
+  const graph g = graph::two_cliques(4, 3);
+  EXPECT_EQ(g.num_edges(), 2U * 6U + 3U);
+  EXPECT_TRUE(g.has_edge(2, 6));
+}
+
+TEST(two_cliques, validates_parameters) {
+  EXPECT_THROW(graph::two_cliques(1, 1), std::invalid_argument);
+  EXPECT_THROW(graph::two_cliques(4, 0), std::invalid_argument);
+  EXPECT_THROW(graph::two_cliques(4, 5), std::invalid_argument);
+}
+
+// --- connectivity -----------------------------------------------------------------
+
+TEST(is_connected, detects_split_components) {
+  const graph g{4, std::vector<graph::edge>{{0, 1}, {2, 3}}};
+  EXPECT_FALSE(g.is_connected());
+  const graph joined{4, std::vector<graph::edge>{{0, 1}, {2, 3}, {1, 2}}};
+  EXPECT_TRUE(joined.is_connected());
+}
+
+}  // namespace
+}  // namespace sgl::graph

@@ -1,0 +1,390 @@
+#include "netsim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace sgl::netsim {
+namespace {
+
+/// Test node that logs everything it sees and can be scripted.
+class probe : public node {
+ public:
+  void on_start(context& ctx) override {
+    ++starts;
+    if (timer_on_start > 0.0) ctx.set_timer(timer_on_start, 1);
+    if (peer_to_ping != static_cast<node_id>(-1)) {
+      message m;
+      m.kind = 42;
+      m.a = payload;
+      ctx.send(peer_to_ping, m);
+    }
+  }
+  void on_message(context& ctx, const message& msg) override {
+    received.push_back(msg);
+    receive_times.push_back(ctx.now());
+    if (echo && msg.kind == 42) {
+      message m;
+      m.kind = 43;
+      m.a = msg.a + 1;
+      ctx.send(msg.src, m);
+    }
+  }
+  void on_timer(context& ctx, std::int32_t timer_id) override {
+    timer_log.push_back({ctx.now(), timer_id});
+    if (rearm && timer_id == 1) ctx.set_timer(timer_on_start, 1);
+  }
+
+  int starts = 0;
+  double timer_on_start = 0.0;
+  bool rearm = false;
+  bool echo = false;
+  node_id peer_to_ping = static_cast<node_id>(-1);
+  std::int64_t payload = 0;
+  std::vector<message> received;
+  std::vector<double> receive_times;
+  std::vector<std::pair<double, std::int32_t>> timer_log;
+};
+
+TEST(link_model, validation) {
+  link_model links;
+  EXPECT_NO_THROW(links.validate());
+  links.drop_probability = 1.5;
+  EXPECT_THROW(links.validate(), std::invalid_argument);
+  links = link_model{};
+  links.base_latency = -1.0;
+  EXPECT_THROW(links.validate(), std::invalid_argument);
+}
+
+TEST(simulation, message_round_trip_with_fixed_latency) {
+  simulation sim{1};
+  auto a = std::make_unique<probe>();
+  auto b = std::make_unique<probe>();
+  probe* pa = a.get();
+  probe* pb = b.get();
+  pa->peer_to_ping = 1;
+  pa->payload = 10;
+  pb->echo = true;
+  sim.add_node(std::move(a));
+  sim.add_node(std::move(b));
+  link_model links;
+  links.base_latency = 2.0;
+  sim.set_link_model(links);
+  sim.start();
+  sim.run_until(10.0);
+
+  ASSERT_EQ(pb->received.size(), 1U);
+  EXPECT_EQ(pb->received[0].kind, 42);
+  EXPECT_EQ(pb->received[0].a, 10);
+  EXPECT_EQ(pb->received[0].src, 0U);
+  EXPECT_DOUBLE_EQ(pb->receive_times[0], 2.0);
+
+  ASSERT_EQ(pa->received.size(), 1U);
+  EXPECT_EQ(pa->received[0].kind, 43);
+  EXPECT_EQ(pa->received[0].a, 11);
+  EXPECT_DOUBLE_EQ(pa->receive_times[0], 4.0);
+
+  EXPECT_EQ(sim.stats().messages_sent, 2U);
+  EXPECT_EQ(sim.stats().messages_delivered, 2U);
+  EXPECT_EQ(sim.stats().messages_dropped, 0U);
+  EXPECT_EQ(sim.stats().bytes_sent(), 2U * message::wire_bytes);
+}
+
+TEST(simulation, timers_fire_in_order_and_rearm) {
+  simulation sim{2};
+  auto n = std::make_unique<probe>();
+  probe* p = n.get();
+  p->timer_on_start = 1.5;
+  p->rearm = true;
+  sim.add_node(std::move(n));
+  sim.start();
+  sim.run_until(7.0);
+  ASSERT_EQ(p->timer_log.size(), 4U);  // 1.5, 3.0, 4.5, 6.0
+  EXPECT_DOUBLE_EQ(p->timer_log[0].first, 1.5);
+  EXPECT_DOUBLE_EQ(p->timer_log[3].first, 6.0);
+  EXPECT_EQ(sim.stats().timers_fired, 4U);
+  EXPECT_DOUBLE_EQ(sim.now(), 7.0);  // clock advanced to the horizon
+}
+
+TEST(simulation, full_drop_delivers_nothing) {
+  simulation sim{3};
+  auto a = std::make_unique<probe>();
+  auto b = std::make_unique<probe>();
+  a->peer_to_ping = 1;
+  probe* pb = b.get();
+  sim.add_node(std::move(a));
+  sim.add_node(std::move(b));
+  link_model links;
+  links.drop_probability = 1.0;
+  sim.set_link_model(links);
+  sim.start();
+  sim.run_until(10.0);
+  EXPECT_TRUE(pb->received.empty());
+  EXPECT_EQ(sim.stats().messages_sent, 1U);
+  EXPECT_EQ(sim.stats().messages_dropped, 1U);
+  EXPECT_EQ(sim.stats().messages_delivered, 0U);
+}
+
+TEST(simulation, crash_drops_messages_and_timers) {
+  simulation sim{4};
+  auto a = std::make_unique<probe>();
+  auto b = std::make_unique<probe>();
+  a->peer_to_ping = 1;
+  b->timer_on_start = 5.0;
+  probe* pb = b.get();
+  sim.add_node(std::move(a));
+  sim.add_node(std::move(b));
+  link_model links;
+  links.base_latency = 2.0;
+  sim.set_link_model(links);
+  sim.start();
+  sim.crash_node(1);  // before the message at t=2 and the timer at t=5
+  sim.run_until(10.0);
+  EXPECT_TRUE(pb->received.empty());
+  EXPECT_TRUE(pb->timer_log.empty());
+  EXPECT_EQ(sim.stats().messages_dropped, 1U);
+  EXPECT_FALSE(sim.is_alive(1));
+}
+
+TEST(simulation, restart_reruns_on_start_and_invalidates_old_timers) {
+  simulation sim{5};
+  auto n = std::make_unique<probe>();
+  probe* p = n.get();
+  p->timer_on_start = 3.0;
+  sim.add_node(std::move(n));
+  sim.start();
+  EXPECT_EQ(p->starts, 1);
+  sim.crash_node(0);
+  sim.restart_node(0);
+  EXPECT_EQ(p->starts, 2);
+  sim.run_until(10.0);
+  // The pre-crash timer (epoch 0) is stale; only the restart timer fires.
+  ASSERT_EQ(p->timer_log.size(), 1U);
+  EXPECT_DOUBLE_EQ(p->timer_log[0].first, 3.0);
+}
+
+TEST(simulation, topology_restricts_sends) {
+  // Path 0-1-2: node 0 pinging node 2 is not allowed; the send throws out
+  // of on_start (and hence out of start()).
+  const graph::graph path{3, std::vector<graph::graph::edge>{{0, 1}, {1, 2}}};
+  simulation sim{6};
+  auto a = std::make_unique<probe>();
+  a->peer_to_ping = 2;
+  sim.add_node(std::move(a));
+  sim.add_node(std::make_unique<probe>());
+  sim.add_node(std::make_unique<probe>());
+  sim.set_topology(&path);
+  EXPECT_THROW(sim.start(), std::logic_error);
+
+  // Neighbouring send is fine.
+  simulation ok{6};
+  auto x = std::make_unique<probe>();
+  x->peer_to_ping = 1;
+  auto y = std::make_unique<probe>();
+  probe* py = y.get();
+  ok.add_node(std::move(x));
+  ok.add_node(std::move(y));
+  ok.add_node(std::make_unique<probe>());
+  ok.set_topology(&path);
+  ok.start();
+  ok.run_until(10.0);
+  EXPECT_EQ(py->received.size(), 1U);
+}
+
+TEST(simulation, topology_neighbor_lists_are_exposed) {
+  const graph::graph star = graph::graph::star(4);
+  simulation sim{66};
+  class checker : public node {
+   public:
+    void on_start(context& ctx) override {
+      neighbor_count = ctx.neighbors().size();
+    }
+    void on_message(context&, const message&) override {}
+    void on_timer(context&, std::int32_t) override {}
+    std::size_t neighbor_count = 0;
+  };
+  auto hub = std::make_unique<checker>();
+  checker* ph = hub.get();
+  auto leaf = std::make_unique<checker>();
+  checker* pl = leaf.get();
+  sim.add_node(std::move(hub));
+  sim.add_node(std::move(leaf));
+  sim.add_node(std::make_unique<checker>());
+  sim.add_node(std::make_unique<checker>());
+  sim.set_topology(&star);
+  sim.start();
+  EXPECT_EQ(ph->neighbor_count, 3U);
+  EXPECT_EQ(pl->neighbor_count, 1U);
+}
+
+TEST(simulation, topology_node_count_mismatch_throws) {
+  const graph::graph ring = graph::graph::ring(5);
+  simulation sim{67};
+  sim.add_node(std::make_unique<probe>());
+  sim.set_topology(&ring);
+  EXPECT_THROW(sim.start(), std::invalid_argument);
+}
+
+TEST(simulation, neighbors_without_topology_are_all_others) {
+  simulation sim{7};
+  class checker : public node {
+   public:
+    void on_start(context& ctx) override {
+      neighbor_count = ctx.neighbors().size();
+      total = ctx.num_nodes();
+    }
+    void on_message(context&, const message&) override {}
+    void on_timer(context&, std::int32_t) override {}
+    std::size_t neighbor_count = 0;
+    std::size_t total = 0;
+  };
+  auto n = std::make_unique<checker>();
+  checker* p = n.get();
+  sim.add_node(std::move(n));
+  for (int i = 0; i < 4; ++i) sim.add_node(std::make_unique<checker>());
+  sim.start();
+  EXPECT_EQ(p->neighbor_count, 4U);
+  EXPECT_EQ(p->total, 5U);
+}
+
+TEST(simulation, deterministic_with_same_seed) {
+  const auto run = [](std::uint64_t seed) {
+    simulation sim{seed};
+    auto a = std::make_unique<probe>();
+    a->peer_to_ping = 1;
+    auto b = std::make_unique<probe>();
+    b->echo = true;
+    probe* pa = a.get();
+    sim.add_node(std::move(a));
+    sim.add_node(std::move(b));
+    link_model links;
+    links.base_latency = 0.5;
+    links.jitter_mean = 1.0;
+    sim.set_link_model(links);
+    sim.start();
+    sim.run_until(50.0);
+    return pa->receive_times;
+  };
+  EXPECT_EQ(run(11), run(11));
+  EXPECT_NE(run(11), run(12));
+}
+
+TEST(simulation, lifecycle_errors) {
+  simulation sim{8};
+  EXPECT_THROW(sim.start(), std::logic_error);  // no nodes
+  sim.add_node(std::make_unique<probe>());
+  EXPECT_THROW(sim.run_until(1.0), std::logic_error);  // not started
+  sim.start();
+  EXPECT_THROW(sim.add_node(std::make_unique<probe>()), std::logic_error);
+  EXPECT_THROW(sim.run_until(-1.0), std::invalid_argument);
+  EXPECT_THROW(sim.crash_node(9), std::out_of_range);
+  EXPECT_THROW((void)sim.is_alive(9), std::out_of_range);
+  EXPECT_THROW((void)sim.get_node(9), std::out_of_range);
+}
+
+TEST(simulation, partition_blocks_cross_cut_messages) {
+  simulation sim{60};
+  auto a = std::make_unique<probe>();
+  a->peer_to_ping = 1;
+  auto b = std::make_unique<probe>();
+  b->echo = true;
+  probe* pb = b.get();
+  sim.add_node(std::move(a));
+  sim.add_node(std::move(b));
+  link_model links;
+  links.base_latency = 1.0;
+  sim.set_link_model(links);
+  sim.start();
+
+  // Partition before the in-flight message (sent at t=0) is delivered.
+  const std::vector<node_id> side{0};
+  sim.partition(side);
+  EXPECT_TRUE(sim.is_partitioned());
+  sim.run_until(5.0);
+  EXPECT_TRUE(pb->received.empty());
+  EXPECT_EQ(sim.stats().messages_dropped, 1U);
+}
+
+TEST(simulation, heal_partition_restores_delivery) {
+  simulation sim{61};
+  auto a = std::make_unique<probe>();
+  auto b = std::make_unique<probe>();
+  b->echo = true;
+  probe* pa = a.get();
+  probe* pb = b.get();
+  // a pings on a timer so we can heal before it fires.
+  a->timer_on_start = 2.0;
+  sim.add_node(std::move(a));
+  sim.add_node(std::move(b));
+  link_model links;
+  links.base_latency = 0.5;
+  sim.set_link_model(links);
+  sim.start();
+  sim.partition(std::vector<node_id>{0});
+  sim.heal_partition();
+  EXPECT_FALSE(sim.is_partitioned());
+  // Manually drive a send after healing via the probe's echo path.
+  (void)pa;
+  (void)pb;
+  sim.run_until(10.0);
+  EXPECT_EQ(sim.stats().messages_dropped, 0U);
+}
+
+TEST(simulation, intra_side_traffic_survives_partition) {
+  simulation sim{62};
+  auto a = std::make_unique<probe>();
+  a->peer_to_ping = 1;  // same side
+  auto b = std::make_unique<probe>();
+  probe* pb = b.get();
+  sim.add_node(std::move(a));
+  sim.add_node(std::move(b));
+  sim.add_node(std::make_unique<probe>());  // the other side
+  sim.start();
+  sim.partition(std::vector<node_id>{0, 1});
+  sim.run_until(10.0);
+  EXPECT_EQ(pb->received.size(), 1U);
+}
+
+TEST(simulation, partition_validates_ids) {
+  simulation sim{63};
+  sim.add_node(std::make_unique<probe>());
+  EXPECT_THROW(sim.partition(std::vector<node_id>{5}), std::out_of_range);
+}
+
+TEST(simulation, step_one_processes_single_event) {
+  simulation sim{9};
+  auto n = std::make_unique<probe>();
+  probe* p = n.get();
+  p->timer_on_start = 1.0;
+  p->rearm = true;
+  sim.add_node(std::move(n));
+  sim.start();
+  EXPECT_TRUE(sim.step_one());
+  EXPECT_EQ(p->timer_log.size(), 1U);
+  EXPECT_TRUE(sim.step_one());
+  EXPECT_EQ(p->timer_log.size(), 2U);
+}
+
+TEST(simulation, exponential_jitter_delays_messages) {
+  simulation sim{10};
+  auto a = std::make_unique<probe>();
+  a->peer_to_ping = 1;
+  auto b = std::make_unique<probe>();
+  probe* pb = b.get();
+  sim.add_node(std::move(a));
+  sim.add_node(std::move(b));
+  link_model links;
+  links.base_latency = 1.0;
+  links.jitter_mean = 2.0;
+  sim.set_link_model(links);
+  sim.start();
+  sim.run_until(1000.0);
+  ASSERT_EQ(pb->receive_times.size(), 1U);
+  EXPECT_GT(pb->receive_times[0], 1.0);  // jitter strictly positive a.s.
+}
+
+}  // namespace
+}  // namespace sgl::netsim

@@ -1,0 +1,151 @@
+// Pathwise verification of the Theorem 4.3 proof: the potential bounds and
+// the combined regret inequality are deterministic statements that must
+// hold along EVERY trajectory, for every reward realization — a far
+// stronger check than the expectation-level property tests.
+
+#include "core/proof_audit.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/infinite_dynamics.h"
+#include "core/params.h"
+#include "env/reward_model.h"
+#include "support/rng.h"
+
+namespace sgl::core {
+namespace {
+
+TEST(proof_auditor, regime_validation) {
+  EXPECT_NO_THROW(proof_auditor{theorem_params(3, 0.62)});
+
+  dynamics_params bad = theorem_params(3, 0.62);
+  bad.alpha = 0.2;  // breaks alpha = 1 - beta
+  EXPECT_THROW(proof_auditor{bad}, std::invalid_argument);
+
+  bad = theorem_params(3, 0.62);
+  bad.mu = 0.0;
+  EXPECT_THROW(proof_auditor{bad}, std::invalid_argument);
+
+  bad = theorem_params(3, 0.62);
+  bad.beta = 0.5;
+  EXPECT_THROW(proof_auditor{bad}, std::invalid_argument);
+
+  bad = theorem_params(3, 0.62);
+  bad.beta = 0.9;  // delta > 1
+  EXPECT_THROW(proof_auditor{bad}, std::invalid_argument);
+}
+
+TEST(proof_auditor, observe_validates_widths) {
+  proof_auditor auditor{theorem_params(3, 0.6)};
+  EXPECT_THROW(auditor.observe(std::vector<double>{0.5, 0.5},
+                               std::vector<std::uint8_t>{1, 0, 1}, 0.0),
+               std::invalid_argument);
+}
+
+TEST(proof_auditor, tracks_rewards) {
+  const dynamics_params params = theorem_params(2, 0.6);
+  infinite_dynamics dyn{params};
+  proof_auditor auditor{params};
+  const std::vector<std::vector<std::uint8_t>> schedule{{1, 0}, {1, 1}, {0, 0}};
+  for (const auto& r : schedule) {
+    std::vector<double> previous(dyn.distribution().begin(), dyn.distribution().end());
+    dyn.step(r);
+    auditor.observe(previous, r, dyn.log_potential());
+  }
+  EXPECT_EQ(auditor.steps(), 3U);
+  EXPECT_DOUBLE_EQ(auditor.comparator_reward(), 2.0);  // R_1 = 1, 1, 0
+  EXPECT_GT(auditor.group_reward(), 0.0);
+  EXPECT_LE(auditor.group_reward(), 3.0);
+}
+
+struct audit_case {
+  std::size_t m;
+  double beta;
+  double eta_best;
+  double eta_rest;
+};
+
+class proof_audit_sweep : public ::testing::TestWithParam<audit_case> {};
+
+TEST_P(proof_audit_sweep, all_inequalities_hold_pathwise) {
+  const auto [m, beta, eta_best, eta_rest] = GetParam();
+  const dynamics_params params = theorem_params(m, beta);
+  const auto etas = env::two_level_etas(m, eta_best, eta_rest);
+
+  // Many independent trajectories; every step of every one must satisfy the
+  // three proof inequalities.
+  for (std::uint64_t rep = 0; rep < 25; ++rep) {
+    infinite_dynamics dyn{params};
+    proof_auditor auditor{params};
+    env::bernoulli_rewards environment{etas};
+    rng gen = rng::from_stream(0xa0d17 + m, rep);
+    const double worst =
+        audit_run(dyn, auditor, 400, [&](std::uint64_t t, std::span<std::uint8_t> out) {
+          environment.sample(t, gen, out);
+        });
+    EXPECT_GE(worst, -1e-9) << "rep " << rep;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    grid, proof_audit_sweep,
+    ::testing::Values(audit_case{2, 0.55, 0.85, 0.35}, audit_case{2, 0.62, 0.9, 0.1},
+                      audit_case{2, 0.73, 0.6, 0.5}, audit_case{5, 0.6, 0.85, 0.35},
+                      audit_case{5, 0.73, 0.95, 0.05}, audit_case{10, 0.62, 0.85, 0.35},
+                      audit_case{20, 0.66, 0.7, 0.4}, audit_case{50, 0.6, 0.85, 0.35}),
+    [](const ::testing::TestParamInfo<audit_case>& info) {
+      return "m" + std::to_string(info.param.m) + "_beta" +
+             std::to_string(static_cast<int>(info.param.beta * 100));
+    });
+
+TEST(proof_auditor, holds_on_adversarial_schedules) {
+  // Deterministic worst-case-looking schedules (the inequality is pathwise,
+  // so even adversarial reward sequences must satisfy it).
+  const dynamics_params params = theorem_params(3, 0.65);
+  const std::vector<std::vector<std::vector<std::uint8_t>>> schedules{
+      {{0, 1, 1}},                      // comparator always bad
+      {{1, 0, 0}},                      // comparator always good
+      {{0, 0, 0}},                      // nothing ever good
+      {{1, 1, 1}},                      // everything always good
+      {{0, 1, 0}, {1, 0, 1}, {0, 0, 1}},  // churn
+  };
+  for (const auto& schedule : schedules) {
+    infinite_dynamics dyn{params};
+    proof_auditor auditor{params};
+    env::schedule_rewards environment{schedule};
+    rng dummy{0};
+    const double worst =
+        audit_run(dyn, auditor, 600, [&](std::uint64_t t, std::span<std::uint8_t> out) {
+          environment.sample(t, dummy, out);
+        });
+    EXPECT_GE(worst, -1e-9);
+  }
+}
+
+TEST(proof_auditor, regret_slack_scales_with_horizon) {
+  // The combined inequality's rhs grows like (delta^2 + 6 mu) T, so for a
+  // converging run the slack must grow roughly linearly.
+  const dynamics_params params = theorem_params(2, 0.6);
+  infinite_dynamics dyn{params};
+  proof_auditor auditor{params};
+  env::bernoulli_rewards environment{{0.85, 0.35}};
+  rng gen{7};
+
+  double slack_at_100 = 0.0;
+  std::vector<double> previous(2);
+  std::vector<std::uint8_t> r(2);
+  for (std::uint64_t t = 1; t <= 1000; ++t) {
+    previous.assign(dyn.distribution().begin(), dyn.distribution().end());
+    environment.sample(t, gen, r);
+    dyn.step(r);
+    auditor.observe(previous, r, dyn.log_potential());
+    if (t == 100) slack_at_100 = auditor.slacks().regret_inequality;
+  }
+  EXPECT_GT(auditor.slacks().regret_inequality, slack_at_100);
+}
+
+}  // namespace
+}  // namespace sgl::core

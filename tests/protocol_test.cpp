@@ -1,0 +1,227 @@
+#include "protocol/gossip_learner.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+#include "support/stats.h"
+
+namespace sgl::protocol {
+namespace {
+
+gossip_params make_gossip(std::size_t m, double mu, double beta) {
+  gossip_params p;
+  p.dynamics.num_options = m;
+  p.dynamics.mu = mu;
+  p.dynamics.beta = beta;
+  p.round_interval = 1.0;
+  return p;
+}
+
+// --- signal_oracle -----------------------------------------------------------------
+
+TEST(signal_oracle, deterministic_pure_function) {
+  const signal_oracle oracle{{0.7, 0.3}, 42};
+  for (std::uint64_t round = 0; round < 50; ++round) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_EQ(oracle.signal(round, j), oracle.signal(round, j));
+    }
+  }
+}
+
+TEST(signal_oracle, frequencies_match_etas) {
+  const signal_oracle oracle{{0.8, 0.25}, 7};
+  running_stats first;
+  running_stats second;
+  for (std::uint64_t round = 0; round < 20000; ++round) {
+    first.add(oracle.signal(round, 0));
+    second.add(oracle.signal(round, 1));
+  }
+  EXPECT_NEAR(first.mean(), 0.8, 0.01);
+  EXPECT_NEAR(second.mean(), 0.25, 0.01);
+}
+
+TEST(signal_oracle, different_seeds_different_streams) {
+  const signal_oracle a{{0.5}, 1};
+  const signal_oracle b{{0.5}, 2};
+  int diffs = 0;
+  for (std::uint64_t round = 0; round < 200; ++round) {
+    if (a.signal(round, 0) != b.signal(round, 0)) ++diffs;
+  }
+  EXPECT_GT(diffs, 50);
+}
+
+TEST(signal_oracle, best_option_and_validation) {
+  const signal_oracle oracle{{0.2, 0.9, 0.5}, 1};
+  EXPECT_EQ(oracle.best_option(), 1U);
+  EXPECT_THROW((signal_oracle{{}, 1}), std::invalid_argument);
+  EXPECT_THROW((signal_oracle{{1.5}, 1}), std::invalid_argument);
+  EXPECT_THROW((void)oracle.signal(0, 9), std::out_of_range);
+}
+
+// --- gossip_learner ------------------------------------------------------------------
+
+TEST(gossip_learner, validates_construction) {
+  const signal_oracle oracle{{0.8, 0.3}, 1};
+  gossip_params params = make_gossip(2, 0.1, 0.6);
+  EXPECT_NO_THROW(gossip_learner(params, &oracle));
+  EXPECT_THROW(gossip_learner(params, nullptr), std::invalid_argument);
+  params.round_interval = 0.0;
+  EXPECT_THROW(gossip_learner(params, &oracle), std::invalid_argument);
+  params = make_gossip(3, 0.1, 0.6);  // option-count mismatch with the oracle
+  EXPECT_THROW(gossip_learner(params, &oracle), std::invalid_argument);
+}
+
+TEST(run_gossip_experiment, converges_to_best_channel) {
+  const signal_oracle oracle{{0.9, 0.3, 0.3}, 11};
+  const gossip_params params = make_gossip(3, 0.05, 0.65);
+  gossip_run_config config;
+  config.num_nodes = 150;
+  config.rounds = 150;
+  config.seed = 1;
+
+  const gossip_run_result result = run_gossip_experiment(params, oracle, config);
+  ASSERT_EQ(result.best_fraction.size(), 150U);
+  running_stats late;
+  for (std::size_t t = 100; t < 150; ++t) late.add(result.best_fraction[t]);
+  EXPECT_GT(late.mean(), 0.6);
+  EXPECT_GT(result.net.messages_sent, 0U);
+  EXPECT_GT(result.net.messages_delivered, 0U);
+  EXPECT_LT(result.average_regret, 0.45);
+}
+
+TEST(run_gossip_experiment, survives_heavy_packet_loss) {
+  const signal_oracle oracle{{0.9, 0.3}, 13};
+  const gossip_params params = make_gossip(2, 0.08, 0.65);
+  gossip_run_config config;
+  config.num_nodes = 120;
+  config.rounds = 200;
+  config.seed = 2;
+  config.links.drop_probability = 0.4;
+
+  const gossip_run_result result = run_gossip_experiment(params, oracle, config);
+  EXPECT_GT(result.net.messages_dropped, 0U);
+  running_stats late;
+  for (std::size_t t = 150; t < 200; ++t) late.add(result.best_fraction[t]);
+  EXPECT_GT(late.mean(), 0.55) << "loss slows but must not stop convergence";
+}
+
+TEST(run_gossip_experiment, sticky_mode_keeps_everyone_committed) {
+  const signal_oracle oracle{{0.8, 0.4}, 17};
+  gossip_params params = make_gossip(2, 0.05, 0.6);
+  params.sticky = true;
+  gossip_run_config config;
+  config.num_nodes = 80;
+  config.rounds = 60;
+  config.seed = 3;
+
+  const gossip_run_result result = run_gossip_experiment(params, oracle, config);
+  for (const double committed : result.committed_fraction) {
+    EXPECT_DOUBLE_EQ(committed, 1.0);
+  }
+}
+
+TEST(run_gossip_experiment, non_sticky_mode_has_sitters) {
+  const signal_oracle oracle{{0.8, 0.4}, 17};
+  const gossip_params params = make_gossip(2, 0.05, 0.6);
+  gossip_run_config config;
+  config.num_nodes = 80;
+  config.rounds = 60;
+  config.seed = 3;
+
+  const gossip_run_result result = run_gossip_experiment(params, oracle, config);
+  running_stats committed;
+  for (const double c : result.committed_fraction) committed.add(c);
+  EXPECT_LT(committed.mean(), 0.999);
+  EXPECT_GT(committed.mean(), 0.3);
+}
+
+TEST(run_gossip_experiment, tolerates_crashes) {
+  const signal_oracle oracle{{0.9, 0.3}, 19};
+  const gossip_params params = make_gossip(2, 0.08, 0.65);
+  gossip_run_config config;
+  config.num_nodes = 100;
+  config.rounds = 160;
+  config.seed = 4;
+  config.crash_fraction = 0.3;
+  config.crash_round = 40;
+
+  const gossip_run_result result = run_gossip_experiment(params, oracle, config);
+  running_stats late;
+  for (std::size_t t = 120; t < 160; ++t) late.add(result.best_fraction[t]);
+  EXPECT_GT(late.mean(), 0.55);
+}
+
+TEST(run_gossip_experiment, works_on_ring_topology) {
+  const graph::graph ring = graph::graph::ring(60);
+  const signal_oracle oracle{{0.9, 0.3}, 23};
+  const gossip_params params = make_gossip(2, 0.05, 0.65);
+  gossip_run_config config;
+  config.num_nodes = 60;
+  config.rounds = 250;
+  config.seed = 5;
+  config.topology = &ring;
+
+  const gossip_run_result result = run_gossip_experiment(params, oracle, config);
+  running_stats late;
+  for (std::size_t t = 200; t < 250; ++t) late.add(result.best_fraction[t]);
+  EXPECT_GT(late.mean(), 0.55);
+}
+
+TEST(gossip_learner, retries_recover_adopter_conditioned_sampling) {
+  // With retries the requester keeps asking until it finds a committed
+  // neighbour (popularity over adopters); without them every uncommitted
+  // reply falls back to a uniform option, injecting extra exploration and
+  // flattening convergence.  Measured as late best-option share.
+  const signal_oracle oracle{{0.9, 0.3}, 31};
+  gossip_run_config config;
+  config.num_nodes = 150;
+  config.rounds = 150;
+  config.seed = 7;
+
+  gossip_params with_retries = make_gossip(2, 0.05, 0.65);
+  with_retries.max_retries = 4;
+  const gossip_run_result a = run_gossip_experiment(with_retries, oracle, config);
+
+  gossip_params without_retries = make_gossip(2, 0.05, 0.65);
+  without_retries.max_retries = 0;
+  const gossip_run_result b = run_gossip_experiment(without_retries, oracle, config);
+
+  running_stats late_with;
+  running_stats late_without;
+  for (std::size_t t = 100; t < 150; ++t) {
+    late_with.add(a.best_fraction[t]);
+    late_without.add(b.best_fraction[t]);
+  }
+  EXPECT_GT(late_with.mean(), late_without.mean() + 0.05);
+  // Retries cost extra messages.
+  EXPECT_GT(a.net.messages_sent, b.net.messages_sent);
+}
+
+TEST(run_gossip_experiment, deterministic_and_validated) {
+  const signal_oracle oracle{{0.8, 0.4}, 29};
+  const gossip_params params = make_gossip(2, 0.1, 0.6);
+  gossip_run_config config;
+  config.num_nodes = 40;
+  config.rounds = 50;
+  config.seed = 6;
+
+  const gossip_run_result a = run_gossip_experiment(params, oracle, config);
+  const gossip_run_result b = run_gossip_experiment(params, oracle, config);
+  EXPECT_EQ(a.best_fraction, b.best_fraction);
+  EXPECT_EQ(a.net.messages_sent, b.net.messages_sent);
+
+  config.num_nodes = 0;
+  EXPECT_THROW(run_gossip_experiment(params, oracle, config), std::invalid_argument);
+  config.num_nodes = 10;
+  config.rounds = 0;
+  EXPECT_THROW(run_gossip_experiment(params, oracle, config), std::invalid_argument);
+  config.rounds = 10;
+  config.crash_fraction = 2.0;
+  EXPECT_THROW(run_gossip_experiment(params, oracle, config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sgl::protocol

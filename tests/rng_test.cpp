@@ -1,0 +1,179 @@
+#include "support/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace sgl {
+namespace {
+
+TEST(splitmix64, known_sequence_is_stable) {
+  // Reference values from the public-domain splitmix64 with seed 0.
+  std::uint64_t state = 0;
+  const std::uint64_t first = splitmix64_next(state);
+  const std::uint64_t second = splitmix64_next(state);
+  EXPECT_EQ(first, 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(second, 0x6e789e6aa1b965f4ULL);
+}
+
+TEST(splitmix64, different_seeds_diverge) {
+  std::uint64_t a = 1;
+  std::uint64_t b = 2;
+  EXPECT_NE(splitmix64_next(a), splitmix64_next(b));
+}
+
+TEST(mix_seed, streams_are_distinct) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t stream = 0; stream < 1000; ++stream) {
+    seen.insert(mix_seed(42, stream));
+  }
+  EXPECT_EQ(seen.size(), 1000U);
+}
+
+TEST(mix_seed, seed_matters) {
+  EXPECT_NE(mix_seed(1, 0), mix_seed(2, 0));
+}
+
+TEST(rng, same_seed_same_sequence) {
+  rng a{123};
+  rng b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(rng, different_seed_different_sequence) {
+  rng a{123};
+  rng b{124};
+  int differences = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (a.next_u64() != b.next_u64()) ++differences;
+  }
+  EXPECT_GT(differences, 15);
+}
+
+TEST(rng, zero_seed_is_usable) {
+  rng gen{0};
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 64; ++i) values.insert(gen.next_u64());
+  EXPECT_EQ(values.size(), 64U);  // state escaped the all-zero trap
+}
+
+TEST(rng, equality_tracks_state) {
+  rng a{7};
+  rng b{7};
+  EXPECT_EQ(a, b);
+  (void)a.next_u64();
+  EXPECT_NE(a, b);
+  (void)b.next_u64();
+  EXPECT_EQ(a, b);
+}
+
+TEST(rng, from_stream_gives_independent_generators) {
+  rng a = rng::from_stream(99, 0);
+  rng b = rng::from_stream(99, 1);
+  EXPECT_NE(a, b);
+  // First outputs should differ (astronomically unlikely collision).
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(rng, split_changes_parent_and_child) {
+  rng parent{5};
+  rng parent_copy{5};
+  rng child = parent.split();
+  EXPECT_NE(parent, parent_copy);  // split advanced the parent
+  EXPECT_NE(child.next_u64(), parent.next_u64());
+}
+
+TEST(rng, next_double_in_unit_interval) {
+  rng gen{11};
+  for (int i = 0; i < 10000; ++i) {
+    const double x = gen.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(rng, next_double_mean_is_half) {
+  rng gen{13};
+  double sum = 0.0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) sum += gen.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(rng, next_below_respects_bound) {
+  rng gen{17};
+  for (const std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, (1ULL << 33)}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(gen.next_below(bound), bound);
+  }
+}
+
+TEST(rng, next_below_bound_one_is_zero) {
+  rng gen{19};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(gen.next_below(1), 0U);
+}
+
+TEST(rng, next_below_is_roughly_uniform) {
+  rng gen{23};
+  constexpr std::uint64_t bound = 7;
+  std::array<int, bound> counts{};
+  constexpr int n = 70000;
+  for (int i = 0; i < n; ++i) ++counts[gen.next_below(bound)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / static_cast<double>(bound), 500.0);
+  }
+}
+
+TEST(rng, next_in_covers_inclusive_range) {
+  rng gen{29};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = gen.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7U);
+}
+
+TEST(rng, next_in_degenerate_range) {
+  rng gen{31};
+  EXPECT_EQ(gen.next_in(5, 5), 5);
+}
+
+TEST(rng, bernoulli_extremes) {
+  rng gen{37};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(gen.next_bernoulli(0.0));
+    EXPECT_TRUE(gen.next_bernoulli(1.0));
+    EXPECT_FALSE(gen.next_bernoulli(-1.0));
+  }
+}
+
+TEST(rng, bernoulli_frequency_matches_p) {
+  rng gen{41};
+  constexpr int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) hits += gen.next_bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(rng, satisfies_uniform_random_bit_generator) {
+  static_assert(std::uniform_random_bit_generator<rng>);
+  EXPECT_EQ(rng::min(), 0U);
+  EXPECT_EQ(rng::max(), ~std::uint64_t{0});
+}
+
+TEST(rng, constexpr_usable) {
+  constexpr auto value = [] {
+    rng gen{1};
+    return gen.next_u64();
+  }();
+  rng gen{1};
+  EXPECT_EQ(value, gen.next_u64());
+}
+
+}  // namespace
+}  // namespace sgl

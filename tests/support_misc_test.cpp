@@ -1,0 +1,247 @@
+// Tests for table/CSV formatting, flag parsing, and the parallel runners.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "support/flags.h"
+#include "support/parallel.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+namespace sgl {
+namespace {
+
+// --- formatting -----------------------------------------------------------------
+
+TEST(fmt, fixed_precision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 4), "3.1416");
+  EXPECT_EQ(fmt(-0.5, 1), "-0.5");
+  EXPECT_EQ(fmt(0.0, 3), "0.000");
+}
+
+TEST(fmt, scientific) {
+  EXPECT_EQ(fmt_sci(1250000.0, 2), "1.25e+06");
+  EXPECT_EQ(fmt_sci(0.004, 1), "4.0e-03");
+}
+
+TEST(fmt, plus_minus) {
+  EXPECT_EQ(fmt_pm(0.5, 0.01, 2), "0.50 ± 0.01");
+}
+
+// --- text_table -----------------------------------------------------------------
+
+TEST(text_table, aligns_columns) {
+  text_table t{{"name", "value"}};
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "23"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  // Header separator line exists.
+  EXPECT_NE(s.find("---"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2U);
+  EXPECT_EQ(t.columns(), 2U);
+}
+
+TEST(text_table, csv_round_trip_simple) {
+  text_table t{{"a", "b"}};
+  t.add_row({"1", "2"});
+  std::ostringstream out;
+  t.write_csv(out);
+  EXPECT_EQ(out.str(), "a,b\n1,2\n");
+}
+
+TEST(text_table, csv_escapes_special_cells) {
+  text_table t{{"a"}};
+  t.add_row({"x,y"});
+  t.add_row({"quote\"inside"});
+  std::ostringstream out;
+  t.write_csv(out);
+  EXPECT_EQ(out.str(), "a\n\"x,y\"\n\"quote\"\"inside\"\n");
+}
+
+TEST(text_table, rejects_mismatched_rows) {
+  text_table t{{"a", "b"}};
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(text_table{std::vector<std::string>{}}, std::invalid_argument);
+}
+
+TEST(text_table, utf8_width_alignment) {
+  // The ± glyph must count as one column, not two bytes.
+  text_table t{{"x"}};
+  t.add_row({fmt_pm(1.0, 0.5, 1)});
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find("±"), std::string::npos);
+}
+
+// --- flag_set -------------------------------------------------------------------
+
+TEST(flag_set, parses_all_types) {
+  flag_set flags{"prog", "test"};
+  flags.add_int64("reps", 10, "replications");
+  flags.add_double("beta", 0.6, "adopt prob");
+  flags.add_bool("quick", false, "fast mode");
+  flags.add_string("out", "none", "output file");
+
+  const char* argv[] = {"prog", "--reps", "25", "--beta=0.7", "--quick", "--out", "x.csv"};
+  ASSERT_EQ(flags.parse(7, argv), parse_status::ok);
+  EXPECT_EQ(flags.get_int64("reps"), 25);
+  EXPECT_DOUBLE_EQ(flags.get_double("beta"), 0.7);
+  EXPECT_TRUE(flags.get_bool("quick"));
+  EXPECT_EQ(flags.get_string("out"), "x.csv");
+}
+
+TEST(flag_set, defaults_without_arguments) {
+  flag_set flags{"prog", "test"};
+  flags.add_int64("n", 5, "count");
+  const char* argv[] = {"prog"};
+  ASSERT_EQ(flags.parse(1, argv), parse_status::ok);
+  EXPECT_EQ(flags.get_int64("n"), 5);
+}
+
+TEST(flag_set, get_double_promotes_int_flags) {
+  flag_set flags{"prog", "test"};
+  flags.add_int64("n", 5, "count");
+  const char* argv[] = {"prog"};
+  ASSERT_EQ(flags.parse(1, argv), parse_status::ok);
+  EXPECT_DOUBLE_EQ(flags.get_double("n"), 5.0);
+}
+
+TEST(flag_set, bool_accepts_explicit_values) {
+  flag_set flags{"prog", "test"};
+  flags.add_bool("x", true, "");
+  const char* argv[] = {"prog", "--x=false"};
+  ASSERT_EQ(flags.parse(2, argv), parse_status::ok);
+  EXPECT_FALSE(flags.get_bool("x"));
+}
+
+TEST(flag_set, unknown_flag_is_error) {
+  flag_set flags{"prog", "test"};
+  const char* argv[] = {"prog", "--nope", "1"};
+  EXPECT_EQ(flags.parse(3, argv), parse_status::error);
+}
+
+TEST(flag_set, bad_value_is_error) {
+  flag_set flags{"prog", "test"};
+  flags.add_int64("n", 1, "");
+  const char* argv[] = {"prog", "--n", "abc"};
+  EXPECT_EQ(flags.parse(3, argv), parse_status::error);
+}
+
+TEST(flag_set, missing_value_is_error) {
+  flag_set flags{"prog", "test"};
+  flags.add_int64("n", 1, "");
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_EQ(flags.parse(2, argv), parse_status::error);
+}
+
+TEST(flag_set, positional_argument_is_error) {
+  flag_set flags{"prog", "test"};
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_EQ(flags.parse(2, argv), parse_status::error);
+}
+
+TEST(flag_set, help_short_circuits) {
+  flag_set flags{"prog", "test"};
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_EQ(flags.parse(2, argv), parse_status::help);
+}
+
+TEST(flag_set, duplicate_registration_throws) {
+  flag_set flags{"prog", "test"};
+  flags.add_int64("n", 1, "");
+  EXPECT_THROW(flags.add_double("n", 1.0, ""), std::invalid_argument);
+  EXPECT_THROW(flags.add_int64("--bad", 1, ""), std::invalid_argument);
+}
+
+TEST(flag_set, unregistered_get_throws) {
+  flag_set flags{"prog", "test"};
+  EXPECT_THROW(flags.get_int64("ghost"), std::invalid_argument);
+}
+
+// --- parallel_for ---------------------------------------------------------------
+
+TEST(parallel_for, visits_every_index_once) {
+  constexpr std::size_t n = 10000;
+  std::vector<std::atomic<int>> visits(n);
+  parallel_for(0, n, [&](std::size_t i) { visits[i].fetch_add(1); }, 4);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(visits[i].load(), 1) << i;
+}
+
+TEST(parallel_for, empty_range_is_noop) {
+  bool touched = false;
+  parallel_for(5, 5, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(parallel_for, single_thread_fallback) {
+  std::vector<int> order;
+  parallel_for(0, 5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); }, 1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(parallel_for, propagates_exceptions) {
+  EXPECT_THROW(
+      parallel_for(0, 100,
+                   [](std::size_t i) {
+                     if (i == 37) throw std::runtime_error{"boom"};
+                   },
+                   4),
+      std::runtime_error);
+}
+
+// --- parallel_reduce -------------------------------------------------------------
+
+TEST(parallel_reduce, deterministic_across_thread_counts) {
+  const auto run = [](unsigned threads) {
+    return parallel_reduce<running_stats>(
+        1000, [] { return running_stats{}; },
+        [](running_stats& s, std::size_t i) {
+          // A value that depends on i in a nonlinear way.
+          s.add(std::sin(static_cast<double>(i)) * 10.0);
+        },
+        [](running_stats& into, const running_stats& from) { into.merge(from); },
+        threads);
+  };
+  const running_stats one = run(1);
+  const running_stats two = run(2);
+  const running_stats eight = run(8);
+  EXPECT_DOUBLE_EQ(one.mean(), two.mean());
+  EXPECT_DOUBLE_EQ(one.mean(), eight.mean());
+  EXPECT_DOUBLE_EQ(one.variance(), eight.variance());
+  EXPECT_EQ(one.count(), eight.count());
+}
+
+TEST(parallel_reduce, handles_count_smaller_than_shards) {
+  const auto result = parallel_reduce<running_stats>(
+      3, [] { return running_stats{}; },
+      [](running_stats& s, std::size_t i) { s.add(static_cast<double>(i)); },
+      [](running_stats& into, const running_stats& from) { into.merge(from); }, 8, 64);
+  EXPECT_EQ(result.count(), 3U);
+  EXPECT_NEAR(result.mean(), 1.0, 1e-12);
+}
+
+TEST(parallel_reduce, propagates_exceptions) {
+  EXPECT_THROW(
+      (parallel_reduce<int>(
+          100, [] { return 0; },
+          [](int&, std::size_t i) {
+            if (i == 50) throw std::logic_error{"bad"};
+          },
+          [](int&, const int&) {}, 4)),
+      std::logic_error);
+}
+
+TEST(default_thread_count, is_positive) { EXPECT_GE(default_thread_count(), 1U); }
+
+}  // namespace
+}  // namespace sgl

@@ -1,0 +1,266 @@
+// sociolearn_cli — a command-line driver for the library.
+//
+//   sociolearn_cli bounds    --m 10 --beta 0.62
+//       prints every theorem constant for the given parameters.
+//   sociolearn_cli simulate  --engine finite|aggregate|infinite --m ... --beta ...
+//       runs one trajectory and writes a per-step CSV to stdout.
+//   sociolearn_cli regret    --m ... --beta ... --agents ... --horizon ... --reps ...
+//       Monte-Carlo regret estimate with confidence intervals.
+//   sociolearn_cli gossip    --nodes ... --rounds ... --drop ...
+//       runs the sensor-network protocol and writes the per-round CSV.
+//
+// Everything is deterministic given --seed.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/aggregate_dynamics.h"
+#include "core/experiment.h"
+#include "core/finite_dynamics.h"
+#include "core/infinite_dynamics.h"
+#include "core/theory.h"
+#include "env/reward_model.h"
+#include "protocol/gossip_learner.h"
+#include "support/flags.h"
+#include "support/rng.h"
+#include "support/table.h"
+
+namespace {
+
+using namespace sgl;
+
+void add_model_flags(flag_set& flags) {
+  flags.add_int64("m", 4, "number of options");
+  flags.add_double("beta", 0.65, "adopt probability on a good signal");
+  flags.add_double("alpha", -1.0, "adopt probability on a bad signal (-1 = 1-beta)");
+  flags.add_double("mu", -1.0, "exploration weight (-1 = delta^2/6)");
+  flags.add_double("eta-best", 0.85, "quality of the best option");
+  flags.add_double("eta-rest", 0.35, "quality of every other option");
+  flags.add_int64("seed", 1, "master RNG seed");
+}
+
+core::dynamics_params read_params(const flag_set& flags) {
+  core::dynamics_params params;
+  params.num_options = static_cast<std::size_t>(flags.get_int64("m"));
+  params.beta = flags.get_double("beta");
+  params.alpha = flags.get_double("alpha");
+  params.mu = flags.get_double("mu");
+  if (params.mu < 0.0) params.mu = core::theory::mu_cap(params.beta);
+  params.validate();
+  return params;
+}
+
+std::vector<double> read_etas(const flag_set& flags) {
+  return env::two_level_etas(static_cast<std::size_t>(flags.get_int64("m")),
+                             flags.get_double("eta-best"), flags.get_double("eta-rest"));
+}
+
+int cmd_bounds(int argc, const char* const* argv) {
+  flag_set flags{"sociolearn_cli bounds", "print the paper's constants"};
+  add_model_flags(flags);
+  if (flags.parse(argc, argv) != parse_status::ok) return 2;
+  const core::dynamics_params params = read_params(flags);
+  const std::size_t m = params.num_options;
+  const double beta = params.beta;
+
+  text_table table{{"constant", "formula", "value"}};
+  table.add_row({"delta", "ln(beta/(1-beta))", fmt(params.delta(), 6)});
+  table.add_row({"beta cap", "e/(e+1)", fmt(core::theory::beta_cap(), 6)});
+  table.add_row({"mu cap", "delta^2/6", fmt(core::theory::mu_cap(beta), 6)});
+  table.add_row({"min horizon", "ln(m)/delta^2", fmt(core::theory::min_horizon(m, beta), 2)});
+  table.add_row({"Regret_inf bound", "3 delta",
+                 fmt(core::theory::infinite_regret_bound(beta), 6)});
+  table.add_row({"Regret_N bound", "6 delta",
+                 fmt(core::theory::finite_regret_bound(beta), 6)});
+  table.add_row({"popularity floor", "mu(1-beta)/(4m)",
+                 fmt_sci(core::theory::popularity_floor(m, params.mu, beta), 3)});
+  table.add_row({"epoch length", "ln(1/zeta)/delta^2",
+                 fmt(core::theory::epoch_length(m, params.mu, beta), 2)});
+  for (const double n : {1e3, 1e6}) {
+    table.add_row({"delta'' (N=" + fmt_sci(n, 0) + ")",
+                   "sqrt(60 m lnN/((1-b)muN))",
+                   fmt_sci(core::theory::delta_double_prime(m, params.mu, beta, n), 3)});
+  }
+  table.add_row({"theorem conditions met", "Thm 4.3/4.4 hypotheses",
+                 params.satisfies_theorem_conditions() ? "yes" : "no"});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_simulate(int argc, const char* const* argv) {
+  flag_set flags{"sociolearn_cli simulate", "run one trajectory, CSV to stdout"};
+  add_model_flags(flags);
+  flags.add_string("engine", "finite", "finite | aggregate | infinite");
+  flags.add_int64("agents", 1000, "population size N (finite engines)");
+  flags.add_int64("horizon", 200, "steps T");
+  if (flags.parse(argc, argv) != parse_status::ok) return 2;
+  const core::dynamics_params params = read_params(flags);
+  const auto etas = read_etas(flags);
+  const auto horizon = static_cast<std::uint64_t>(flags.get_int64("horizon"));
+  const auto agents = static_cast<std::uint64_t>(flags.get_int64("agents"));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int64("seed"));
+  const std::string engine = flags.get_string("engine");
+
+  env::bernoulli_rewards environment{etas};
+  rng reward_gen = rng::from_stream(seed, 0);
+  rng process_gen = rng::from_stream(seed, 1);
+  std::vector<std::uint8_t> r(params.num_options);
+
+  std::printf("t");
+  for (std::size_t j = 0; j < params.num_options; ++j) std::printf(",q%zu", j);
+  std::printf(",group_reward\n");
+
+  const auto emit_row = [&](std::uint64_t t, std::span<const double> q) {
+    double reward = 0.0;
+    for (std::size_t j = 0; j < q.size(); ++j) reward += q[j] * r[j];
+    std::printf("%llu", static_cast<unsigned long long>(t));
+    for (const double x : q) std::printf(",%.6f", x);
+    std::printf(",%.6f\n", reward);
+  };
+
+  if (engine == "infinite") {
+    core::infinite_dynamics dyn{params};
+    for (std::uint64_t t = 1; t <= horizon; ++t) {
+      environment.sample(t, reward_gen, r);
+      dyn.step(r);
+      emit_row(t, dyn.distribution());
+    }
+  } else if (engine == "aggregate") {
+    core::aggregate_dynamics dyn{params, agents};
+    for (std::uint64_t t = 1; t <= horizon; ++t) {
+      environment.sample(t, reward_gen, r);
+      dyn.step(r, process_gen);
+      emit_row(t, dyn.popularity());
+    }
+  } else if (engine == "finite") {
+    core::finite_dynamics dyn{params, static_cast<std::size_t>(agents)};
+    for (std::uint64_t t = 1; t <= horizon; ++t) {
+      environment.sample(t, reward_gen, r);
+      dyn.step(r, process_gen);
+      emit_row(t, dyn.popularity());
+    }
+  } else {
+    std::fprintf(stderr, "unknown engine '%s' (finite | aggregate | infinite)\n",
+                 engine.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+int cmd_regret(int argc, const char* const* argv) {
+  flag_set flags{"sociolearn_cli regret", "Monte-Carlo regret estimate"};
+  add_model_flags(flags);
+  flags.add_int64("agents", 1000, "population size N (0 = infinite dynamics)");
+  flags.add_int64("horizon", 200, "steps T");
+  flags.add_int64("reps", 200, "replications");
+  flags.add_int64("threads", 0, "worker threads (0 = all)");
+  if (flags.parse(argc, argv) != parse_status::ok) return 2;
+  const core::dynamics_params params = read_params(flags);
+  const auto etas = read_etas(flags);
+
+  core::run_config config;
+  config.horizon = static_cast<std::uint64_t>(flags.get_int64("horizon"));
+  config.replications = static_cast<std::uint64_t>(flags.get_int64("reps"));
+  config.seed = static_cast<std::uint64_t>(flags.get_int64("seed"));
+  config.threads = static_cast<unsigned>(flags.get_int64("threads"));
+  const auto factory = [&] { return std::make_unique<env::bernoulli_rewards>(etas); };
+
+  const auto agents = static_cast<std::uint64_t>(flags.get_int64("agents"));
+  const core::regret_estimate est =
+      agents == 0 ? core::estimate_infinite_regret(params, factory, config)
+                  : core::estimate_finite_regret(params, agents, factory, config);
+
+  text_table table{{"measure", "value"}};
+  table.add_row({"regret", fmt_pm(est.regret.mean, est.regret.half_width)});
+  table.add_row({"average reward",
+                 fmt_pm(est.average_reward.mean, est.average_reward.half_width)});
+  table.add_row({"avg best-option mass",
+                 fmt_pm(est.best_mass.mean, est.best_mass.half_width)});
+  table.add_row({"final best-option mass",
+                 fmt_pm(est.final_best_mass.mean, est.final_best_mass.half_width)});
+  table.add_row({"bound (3d inf / 6d finite)",
+                 fmt(agents == 0 ? core::theory::infinite_regret_bound(params.beta)
+                                 : core::theory::finite_regret_bound(params.beta),
+                     4)});
+  table.add_row({"replications", std::to_string(est.replications)});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_gossip(int argc, const char* const* argv) {
+  flag_set flags{"sociolearn_cli gossip", "run the sensor-network protocol, CSV out"};
+  add_model_flags(flags);
+  flags.add_int64("nodes", 100, "number of nodes");
+  flags.add_int64("rounds", 200, "protocol rounds");
+  flags.add_double("drop", 0.0, "packet loss probability");
+  flags.add_bool("sticky", false, "keep previous choice instead of sitting out");
+  if (flags.parse(argc, argv) != parse_status::ok) return 2;
+
+  protocol::gossip_params gossip;
+  gossip.dynamics = read_params(flags);
+  gossip.sticky = flags.get_bool("sticky");
+  protocol::signal_oracle oracle{read_etas(flags),
+                                 static_cast<std::uint64_t>(flags.get_int64("seed")) + 1};
+  protocol::gossip_run_config config;
+  config.num_nodes = static_cast<std::size_t>(flags.get_int64("nodes"));
+  config.rounds = static_cast<std::uint64_t>(flags.get_int64("rounds"));
+  config.seed = static_cast<std::uint64_t>(flags.get_int64("seed"));
+  config.links.drop_probability = flags.get_double("drop");
+
+  const protocol::gossip_run_result result =
+      protocol::run_gossip_experiment(gossip, oracle, config);
+  std::printf("round,best_fraction,committed_fraction\n");
+  for (std::size_t t = 0; t < result.best_fraction.size(); ++t) {
+    std::printf("%zu,%.6f,%.6f\n", t + 1, result.best_fraction[t],
+                result.committed_fraction[t]);
+  }
+  std::fprintf(stderr, "messages=%llu dropped=%llu bytes=%llu avg_regret=%.4f\n",
+               static_cast<unsigned long long>(result.net.messages_sent),
+               static_cast<unsigned long long>(result.net.messages_dropped),
+               static_cast<unsigned long long>(result.net.bytes_sent()),
+               result.average_regret);
+  return 0;
+}
+
+void print_usage() {
+  std::printf(
+      "sociolearn_cli — drive the distributed learning dynamics from the shell\n\n"
+      "subcommands:\n"
+      "  bounds     print every theorem constant for given parameters\n"
+      "  simulate   run one trajectory (finite/aggregate/infinite), CSV to stdout\n"
+      "  regret     Monte-Carlo regret estimate with confidence intervals\n"
+      "  gossip     run the sensor-network gossip protocol, per-round CSV\n\n"
+      "run 'sociolearn_cli <subcommand> --help' for the flags of each.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const int sub_argc = argc - 1;
+  const char* const* sub_argv = argv + 1;
+  try {
+    if (command == "bounds") return cmd_bounds(sub_argc, sub_argv);
+    if (command == "simulate") return cmd_simulate(sub_argc, sub_argv);
+    if (command == "regret") return cmd_regret(sub_argc, sub_argv);
+    if (command == "gossip") return cmd_gossip(sub_argc, sub_argv);
+    if (command == "--help" || command == "-h" || command == "help") {
+      print_usage();
+      return 0;
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "sociolearn_cli %s: %s\n", command.c_str(), error.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown subcommand '%s'\n\n", command.c_str());
+  print_usage();
+  return 2;
+}
