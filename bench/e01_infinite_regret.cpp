@@ -3,18 +3,17 @@
 // Claim: for ½ < β ≤ e/(e+1), μ ≤ δ²/6, and every T ≥ ln m/δ²,
 //   Regret∞(T) = η₁ − (1/T)·Σ_t Σ_j E[P^{t−1}_j R^t_j] ≤ 3δ,  δ = ln(β/(1−β)).
 //
-// We sweep m and β, run the stochastic-MWU dynamics on the canonical
-// two-level environment, and print measured regret at 1×, 2×, 4× and 8× the
-// theorem's minimum horizon next to the 3δ bound.
+// We start from the registered "theorem-infinite" scenario, sweep its m and
+// β overrides, and print measured regret at 1×, 2×, 4× and 8× the theorem's
+// minimum horizon next to the 3δ bound.
 
 #include <algorithm>
 #include <cmath>
-#include <memory>
 
 #include "bench_common.h"
-#include "core/experiment.h"
 #include "core/theory.h"
 #include "env/reward_model.h"
+#include "scenario/registry.h"
 
 namespace {
 
@@ -30,12 +29,14 @@ int run(const bench::standard_options& options) {
 
   for (const std::size_t m : {std::size_t{2}, std::size_t{10}, std::size_t{50}}) {
     for (const double beta : {0.55, 0.62, 0.73}) {
-      const core::dynamics_params params = core::theorem_params(m, beta);
-      const double delta = params.delta();
+      scenario::scenario_spec spec = scenario::get_scenario("theorem-infinite");
+      spec.params = core::theorem_params(m, beta);
+      spec.environment.etas = env::two_level_etas(m, 0.85, 0.35);
+
+      const double delta = spec.params.delta();
       const double bound = core::theory::infinite_regret_bound(beta);
       const auto t_star = static_cast<std::uint64_t>(
           std::ceil(std::max(core::theory::min_horizon(m, beta), 8.0)));
-      const auto etas = env::two_level_etas(m, 0.85, 0.35);
 
       for (const std::uint64_t multiple : {1ULL, 2ULL, 4ULL, 8ULL}) {
         core::run_config config;
@@ -43,9 +44,7 @@ int run(const bench::standard_options& options) {
         config.replications = options.replications;
         config.seed = options.seed;
         config.threads = options.threads;
-        const core::regret_estimate est = core::estimate_infinite_regret(
-            params, [&] { return std::make_unique<env::bernoulli_rewards>(etas); },
-            config);
+        const core::regret_estimate est = scenario::run(spec, config).scalars;
         table.add_row({std::to_string(m), fmt(beta, 2), fmt(delta, 3),
                        std::to_string(t_star), std::to_string(config.horizon),
                        fmt_pm(est.regret.mean, est.regret.half_width),

@@ -3,20 +3,19 @@
 // Claim: for N large enough and ln m/δ² ≤ T ≤ N¹⁰/(mδ),
 //   Regret_N(T) ≤ 6δ.
 //
-// We sweep N over four orders of magnitude (exact aggregate engine, O(m)
-// per step) at T* and 10·T*, with the infinite-population dynamics as the
-// N→∞ reference.  The paper's explicit N-thresholds are astronomically
+// We start from the registered "theorem-finite" scenario and sweep its N
+// override over four orders of magnitude (exact aggregate engine, O(m) per
+// step) at T* and 10·T*, with the registered "theorem-infinite" scenario as
+// the N→∞ reference.  The paper's explicit N-thresholds are astronomically
 // conservative; the table shows the 6δ bound already holding at small N —
 // a finding EXPERIMENTS.md records.
 
 #include <algorithm>
 #include <cmath>
-#include <memory>
 
 #include "bench_common.h"
-#include "core/experiment.h"
 #include "core/theory.h"
-#include "env/reward_model.h"
+#include "scenario/registry.h"
 
 namespace {
 
@@ -27,14 +26,15 @@ int run(const bench::standard_options& options) {
       "E3: Regret of the finite-population dynamics (Theorem 4.4)",
       "Claim: Regret_N(T) <= 6*delta for T in [ln(m)/delta^2, N^10/(m delta)].");
 
-  constexpr std::size_t m = 10;
-  constexpr double beta = 0.62;
-  const core::dynamics_params params = core::theorem_params(m, beta);
+  scenario::scenario_spec finite_spec = scenario::get_scenario("theorem-finite");
+  const scenario::scenario_spec infinite_spec =
+      scenario::get_scenario("theorem-infinite");
+  const core::dynamics_params& params = finite_spec.params;
+  const std::size_t m = params.num_options;
+  const double beta = params.beta;
   const double bound = core::theory::finite_regret_bound(beta);
   const auto t_star = static_cast<std::uint64_t>(
       std::ceil(std::max(core::theory::min_horizon(m, beta), 8.0)));
-  const auto etas = env::two_level_etas(m, 0.85, 0.35);
-  const auto factory = [&] { return std::make_unique<env::bernoulli_rewards>(etas); };
 
   text_table table{{"N", "T", "Regret_N(T)", "Regret_inf(T)", "bound 6d",
                     "paper N-cond", "within"}};
@@ -46,13 +46,12 @@ int run(const bench::standard_options& options) {
     config.seed = options.seed;
     config.threads = options.threads;
 
-    const core::regret_estimate infinite =
-        core::estimate_infinite_regret(params, factory, config);
+    const core::regret_estimate infinite = scenario::run(infinite_spec, config).scalars;
 
     for (const std::uint64_t n :
          {100ULL, 1000ULL, 10000ULL, 100000ULL, 1000000ULL}) {
-      const core::regret_estimate finite =
-          core::estimate_finite_regret(params, n, factory, config);
+      finite_spec.num_agents = n;
+      const core::regret_estimate finite = scenario::run(finite_spec, config).scalars;
       table.add_row(
           {std::to_string(n), std::to_string(config.horizon),
            fmt_pm(finite.regret.mean, finite.regret.half_width),

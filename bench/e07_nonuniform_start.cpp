@@ -9,12 +9,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <memory>
 
 #include "bench_common.h"
-#include "core/experiment.h"
 #include "core/theory.h"
 #include "env/reward_model.h"
+#include "scenario/registry.h"
 
 namespace {
 
@@ -31,14 +30,16 @@ int run(const bench::standard_options& options) {
                     "within"}};
 
   for (const double beta : {0.6, 0.65}) {
-    const core::dynamics_params params = core::theorem_params(m, beta);
+    // The registered hostile-start scenario, re-parameterized per sweep cell.
+    scenario::scenario_spec spec = scenario::get_scenario("nonuniform-start");
+    spec.params = core::theorem_params(m, beta);
+    spec.environment.etas = env::two_level_etas(m, 0.85, 0.35);
     const double bound = core::theory::infinite_regret_bound(beta);
-    const auto etas = env::two_level_etas(m, 0.85, 0.35);
 
     for (const double zeta : {0.05, 0.01, 0.001}) {
       // Hostile ζ-floor start: the bulk of the mass on the worst option.
-      std::vector<double> start(m, zeta);
-      start[m - 1] = 1.0 - zeta * static_cast<double>(m - 1);
+      spec.start.assign(m, zeta);
+      spec.start[m - 1] = 1.0 - zeta * static_cast<double>(m - 1);
 
       const auto t_zeta = static_cast<std::uint64_t>(
           std::ceil(std::max(core::theory::nonuniform_min_horizon(zeta, beta), 8.0)));
@@ -48,9 +49,7 @@ int run(const bench::standard_options& options) {
         config.replications = options.replications;
         config.seed = options.seed;
         config.threads = options.threads;
-        const core::regret_estimate est = core::estimate_infinite_regret(
-            params, [&] { return std::make_unique<env::bernoulli_rewards>(etas); },
-            config, start);
+        const core::regret_estimate est = scenario::run(spec, config).scalars;
         table.add_row(
             {fmt(beta, 2), fmt(zeta, 3), std::to_string(t_zeta),
              std::to_string(config.horizon),

@@ -6,38 +6,29 @@
 // the group remains as a function of the network topology."
 //
 // We run the agent-based dynamics with neighbour-only sampling over the
-// standard topology zoo at equal N, reporting regret, final best-option
-// mass, and the mean time to 90% consensus on the best option.
+// standard topology zoo at equal N, constructing every case through the
+// scenario layer (the ring/small-world/two-cliques/torus cases are the
+// registered scenarios verbatim; the rest override the topology family).
+// Reported per topology: regret, final best-option mass, and the first step
+// at which the replication-averaged best-option mass reaches 90%.
 
-#include <algorithm>
-#include <cmath>
-#include <optional>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
-#include "core/finite_dynamics.h"
-#include "core/theory.h"
-#include "env/reward_model.h"
-#include "graph/graph.h"
-#include "support/parallel.h"
-#include "support/rng.h"
-#include "support/stats.h"
+#include "scenario/registry.h"
+#include "scenario/scenario.h"
 
 namespace {
 
 using namespace sgl;
 
-constexpr std::size_t k_agents = 900;
 constexpr std::uint64_t k_horizon = 400;
 
 struct topo_case {
-  std::string name;
-  std::optional<graph::graph> g;  // nullopt = fully mixed reference
-};
-
-struct outcome {
-  running_stats regret;
-  running_stats final_mass;
-  running_stats hit_time;  // first t with best mass >= 0.9 (horizon+1 if never)
+  std::string label;
+  scenario::scenario_spec spec;
 };
 
 int run(const bench::standard_options& options) {
@@ -46,65 +37,82 @@ int run(const bench::standard_options& options) {
       "Question: how does group efficiency degrade when sampling is restricted "
       "to network neighbours?");
 
-  const std::vector<double> etas{0.85, 0.35};
-  const core::dynamics_params params = core::theorem_params(2, 0.65);
+  // Every case is the registered "ring" scenario's population/environment
+  // with a different topology; the named topology scenarios are used as-is.
+  const scenario::scenario_spec base = scenario::get_scenario("ring");
+  const std::size_t n = static_cast<std::size_t>(base.num_agents);
+  using family = scenario::topology_spec::family_kind;
 
-  rng topo_gen{17};
   std::vector<topo_case> cases;
-  cases.push_back({"fully mixed (paper)", std::nullopt});
-  cases.push_back({"complete graph", graph::graph::complete(k_agents)});
-  cases.push_back({"Erdos-Renyi p=0.011", graph::graph::erdos_renyi(k_agents, 0.011, topo_gen)});
-  cases.push_back({"Barabasi-Albert m=5", graph::graph::barabasi_albert(k_agents, 5, topo_gen)});
-  cases.push_back({"Watts-Strogatz k=5 p=0.1",
-                   graph::graph::watts_strogatz(k_agents, 5, 0.1, topo_gen)});
-  cases.push_back({"torus 30x30", graph::graph::grid(30, 30, true)});
-  cases.push_back({"ring", graph::graph::ring(k_agents)});
-  cases.push_back({"star", graph::graph::star(k_agents)});
-  cases.push_back({"two cliques, 1 bridge", graph::graph::two_cliques(k_agents / 2, 1)});
+  {
+    scenario::scenario_spec mixed = base;
+    mixed.topology.family = family::none;
+    cases.push_back({"fully mixed (paper)", std::move(mixed)});
+  }
+  {
+    scenario::scenario_spec complete = base;
+    complete.topology.family = family::complete;
+    cases.push_back({"complete graph", std::move(complete)});
+  }
+  {
+    scenario::scenario_spec er = base;
+    er.topology.family = family::erdos_renyi;
+    er.topology.edge_probability = 0.011;
+    cases.push_back({"Erdos-Renyi p=0.011", std::move(er)});
+  }
+  {
+    scenario::scenario_spec ba = base;
+    ba.topology.family = family::barabasi_albert;
+    ba.topology.degree = 5;
+    cases.push_back({"Barabasi-Albert m=5", std::move(ba)});
+  }
+  cases.push_back({"Watts-Strogatz k=5 p=0.1", scenario::get_scenario("small-world")});
+  cases.push_back({"torus 30x30", scenario::get_scenario("torus")});
+  cases.push_back({"ring", base});
+  {
+    scenario::scenario_spec star = base;
+    star.topology.family = family::star;
+    cases.push_back({"star", std::move(star)});
+  }
+  cases.push_back({"two cliques, 1 bridge", scenario::get_scenario("two-cliques")});
+
+  core::run_config config;
+  config.horizon = k_horizon;
+  config.replications = options.replications;
+  config.seed = options.seed;
+  config.threads = options.threads;
+  config.collect_curves = true;
 
   text_table table{{"topology", "avg degree", "regret", "final best mass",
-                    "t to 90% (mean)"}};
+                    "t to mean 90%"}};
 
-  for (const auto& c : cases) {
-    auto stats = parallel_reduce<outcome>(
-        options.replications, [] { return outcome{}; },
-        [&](outcome& out, std::size_t rep) {
-          rng process_gen = rng::from_stream(options.seed, 2 * rep);
-          rng env_gen = rng::from_stream(options.seed, 2 * rep + 1);
-          env::bernoulli_rewards environment{etas};
-          core::finite_dynamics dyn{params, k_agents};
-          if (c.g.has_value()) dyn.set_topology(&*c.g);
-          std::vector<std::uint8_t> r(2);
-          double reward_sum = 0.0;
-          std::uint64_t hit = k_horizon + 1;
-          for (std::uint64_t t = 1; t <= k_horizon; ++t) {
-            const auto q = dyn.popularity();
-            environment.sample(t, env_gen, r);
-            reward_sum += q[0] * r[0] + q[1] * r[1];
-            dyn.step(r, process_gen);
-            if (hit > k_horizon && dyn.popularity()[0] >= 0.9) hit = t;
-          }
-          out.regret.add(etas[0] - reward_sum / static_cast<double>(k_horizon));
-          out.final_mass.add(dyn.popularity()[0]);
-          out.hit_time.add(static_cast<double>(hit));
-        },
-        [](outcome& into, const outcome& from) {
-          into.regret.merge(from.regret);
-          into.final_mass.merge(from.final_mass);
-          into.hit_time.merge(from.hit_time);
-        },
-        options.threads);
-
-    table.add_row({c.name, c.g.has_value() ? fmt(c.g->average_degree(), 1) : "N-1",
-                   fmt_pm(stats.regret.mean(), 2.0 * stats.regret.stderror()),
-                   fmt(stats.final_mass.mean(), 3), fmt(stats.hit_time.mean(), 0)});
+  for (auto& c : cases) {
+    // Build each graph once, shared by the degree column and the run.
+    std::string degree = "N-1";
+    if (c.spec.topology.family != family::none) {
+      c.spec.prebuilt_graph = std::make_shared<const graph::graph>(
+          scenario::build_topology(c.spec.topology, n));
+      degree = fmt(c.spec.prebuilt_graph->average_degree(), 1);
+    }
+    const core::run_result result = scenario::run(c.spec, config);
+    c.spec.prebuilt_graph.reset();
+    std::uint64_t hit = k_horizon + 1;
+    for (std::size_t t = 0; t < result.curves->best_mass.length(); ++t) {
+      if (result.curves->best_mass.mean(t) >= 0.9) {
+        hit = t + 1;
+        break;
+      }
+    }
+    table.add_row({c.label, degree,
+                   fmt_pm(result.scalars.regret.mean, result.scalars.regret.half_width),
+                   fmt(result.scalars.final_best_mass.mean, 3), std::to_string(hit)});
   }
   bench::emit(table, options);
-  std::printf("N = %zu, T = %llu, beta = 0.65, eta = (0.85, 0.35); 't to 90%%' of "
+  std::printf("N = %zu, T = %llu, beta = 0.65, eta = (0.85, 0.35); 't to mean 90%%' of "
               "%llu means never reached.\nShape: dense/expander graphs track the "
               "fully mixed dynamics; low-conductance graphs (ring, bridged cliques) "
               "learn, but more slowly.\n",
-              k_agents, static_cast<unsigned long long>(k_horizon),
+              n, static_cast<unsigned long long>(k_horizon),
               static_cast<unsigned long long>(k_horizon + 1));
   return 0;
 }

@@ -12,6 +12,7 @@
 #include "algo/full_info.h"
 #include "core/aggregate_dynamics.h"
 #include "core/finite_dynamics.h"
+#include "core/grouped_dynamics.h"
 #include "core/infinite_dynamics.h"
 #include "core/params.h"
 #include "netsim/simulation.h"
@@ -96,7 +97,8 @@ void BM_aggregate_step(benchmark::State& state) {
 BENCHMARK(BM_aggregate_step)->Arg(1000)->Arg(100000)->Arg(10000000);
 
 void BM_agent_based_step(benchmark::State& state) {
-  // O(N) per step — the price of heterogeneity/topologies.
+  // Homogeneous + fully mixed: the batched multinomial/binomial path — O(m)
+  // sampling plus an O(N) fill of the per-agent choices.
   const auto n = static_cast<std::size_t>(state.range(0));
   core::finite_dynamics dyn{make_params(10), n};
   rng gen{8};
@@ -106,7 +108,34 @@ void BM_agent_based_step(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() *
                                                     static_cast<std::int64_t>(n)));
 }
-BENCHMARK(BM_agent_based_step)->Arg(100)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_agent_based_step)->Arg(100)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_agent_based_step_heterogeneous(benchmark::State& state) {
+  // Per-agent rules force the O(N) loop — the price of heterogeneity.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::finite_dynamics dyn{make_params(10), n};
+  dyn.set_agent_rules(std::vector<core::adoption_rule>(n, {0.35, 0.65}));
+  rng gen{8};
+  rng reward_gen{9};
+  const auto rewards = random_rewards(10, reward_gen);
+  for (auto _ : state) dyn.step(rewards, gen);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() *
+                                                    static_cast<std::int64_t>(n)));
+}
+BENCHMARK(BM_agent_based_step_heterogeneous)->Arg(1000)->Arg(10000);
+
+void BM_grouped_step(benchmark::State& state) {
+  // Exact aggregate of a G-group rule mixture: O(G·m), independent of N.
+  const auto groups = static_cast<std::size_t>(state.range(0));
+  std::vector<core::rule_group> mixture(groups, {1000000, {0.35, 0.65}});
+  core::grouped_dynamics dyn{make_params(10), mixture};
+  rng gen{8};
+  rng reward_gen{9};
+  const auto rewards = random_rewards(10, reward_gen);
+  for (auto _ : state) dyn.step(rewards, gen);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_grouped_step)->Arg(2)->Arg(8);
 
 void BM_hedge_update(benchmark::State& state) {
   const auto m = static_cast<std::size_t>(state.range(0));

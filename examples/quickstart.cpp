@@ -7,24 +7,24 @@
 // was good, alpha if bad.  Nobody stores anything but their current choice,
 // yet the group finds the best option.
 //
-// Build & run:  cmake --build build && ./build/examples/quickstart
+// The run is the registered "quickstart" scenario, driven through the
+// dynamics_engine interface — swap the spec's engine/topology fields and
+// this loop works unchanged.
+//
+// Build & run:  cmake --build build && ./build/quickstart
 
 #include <cstdio>
 #include <vector>
 
-#include "core/finite_dynamics.h"
-#include "core/params.h"
 #include "core/theory.h"
-#include "env/reward_model.h"
+#include "scenario/registry.h"
 #include "support/rng.h"
 
 int main() {
   using namespace sgl;
 
-  // Theorem-regime parameters: beta in (1/2, e/(e+1)], alpha = 1-beta,
-  // mu = delta^2/6.
-  const core::dynamics_params params = core::theorem_params(/*num_options=*/4,
-                                                            /*beta=*/0.65);
+  const scenario::scenario_spec spec = scenario::get_scenario("quickstart");
+  const core::dynamics_params& params = spec.params;
   std::printf("m=%zu options, beta=%.2f, alpha=%.2f, mu=%.4f, delta=%.3f\n",
               params.num_options, params.beta, params.resolved_alpha(), params.mu,
               params.delta());
@@ -32,10 +32,8 @@ int main() {
               core::theory::infinite_regret_bound(params.beta),
               core::theory::finite_regret_bound(params.beta));
 
-  // The environment: option qualities unknown to the agents.
-  env::bernoulli_rewards environment{{0.85, 0.45, 0.40, 0.35}};
-
-  core::finite_dynamics group{params, /*num_agents=*/1000};
+  const auto group = scenario::make_engine(spec)();
+  const auto environment = scenario::make_environment(spec.environment)();
   rng process_gen{2024};
   rng reward_gen{7};
 
@@ -43,24 +41,27 @@ int main() {
   double reward_sum = 0.0;
   const std::uint64_t horizon = 200;
   for (std::uint64_t t = 1; t <= horizon; ++t) {
-    const auto popularity = group.popularity();  // Q^{t-1}
-    environment.sample(t, reward_gen, signals);  // shared R^t
+    const auto popularity = group->popularity();  // Q^{t-1}
+    environment->sample(t, reward_gen, signals);  // shared R^t
     for (std::size_t j = 0; j < signals.size(); ++j) {
       reward_sum += popularity[j] * signals[j];
     }
-    group.step(signals, process_gen);
+    group->step(signals, process_gen);
 
     if (t % 25 == 0 || t == 1) {
       std::printf("t=%3llu  popularity = [", static_cast<unsigned long long>(t));
       for (std::size_t j = 0; j < params.num_options; ++j) {
-        std::printf("%s%.3f", j ? ", " : "", group.popularity()[j]);
+        std::printf("%s%.3f", j ? ", " : "", group->popularity()[j]);
       }
-      std::printf("]  committed = %llu/1000\n",
-                  static_cast<unsigned long long>(group.adopters()));
+      std::uint64_t committed = 0;
+      for (const std::uint64_t d : group->adopter_counts()) committed += d;
+      std::printf("]  committed = %llu/%llu\n",
+                  static_cast<unsigned long long>(committed),
+                  static_cast<unsigned long long>(spec.num_agents));
     }
   }
 
-  const double regret = environment.best_mean(1) - reward_sum / static_cast<double>(horizon);
+  const double regret = environment->best_mean(1) - reward_sum / static_cast<double>(horizon);
   std::printf("\naverage regret over %llu steps: %.4f  (bound: %.3f)\n",
               static_cast<unsigned long long>(horizon), regret,
               core::theory::finite_regret_bound(params.beta));

@@ -3,63 +3,72 @@
 //
 // The same population and environment, four different social graphs: the
 // fully mixed baseline, a small-world network, a preferential-attachment
-// network, and two tight communities joined by a single bridge.  Watch the
-// bridged communities: the one that stumbles onto the good option early
-// converges first, and the innovation crosses the bridge late.
+// network, and two tight communities joined by a single bridge.  Every case
+// is one scenario_spec with a different topology family — the loop below
+// never mentions a concrete engine.  Watch the bridged communities: the one
+// that stumbles onto the good option early converges first, and the
+// innovation crosses the bridge late.
 
 #include <cstdio>
 #include <iostream>
-#include <optional>
 #include <string>
 #include <vector>
 
-#include "core/finite_dynamics.h"
-#include "core/params.h"
-#include "env/reward_model.h"
-#include "graph/graph.h"
+#include "scenario/scenario.h"
 #include "support/rng.h"
 #include "support/table.h"
 
 int main() {
   using namespace sgl;
+  using family = scenario::topology_spec::family_kind;
 
   constexpr std::size_t population = 600;
-  const std::vector<double> etas{0.85, 0.4, 0.4};
-  const core::dynamics_params params = core::theorem_params(etas.size(), 0.65);
 
-  rng topology_gen{5};
-  struct scenario {
+  scenario::scenario_spec base;
+  base.name = "social-network";
+  base.params = core::theorem_params(3, 0.65);
+  base.engine = scenario::engine_kind::agent_based;
+  base.num_agents = population;
+  base.environment.etas = {0.85, 0.4, 0.4};
+  base.topology.seed = 5;
+
+  struct topo_case {
     std::string name;
-    std::optional<graph::graph> g;
+    family topology;
   };
-  std::vector<scenario> scenarios;
-  scenarios.push_back({"fully mixed", std::nullopt});
-  scenarios.push_back(
-      {"small world (WS k=4, p=0.1)",
-       graph::graph::watts_strogatz(population, 4, 0.1, topology_gen)});
-  scenarios.push_back({"scale free (BA m=3)",
-                       graph::graph::barabasi_albert(population, 3, topology_gen)});
-  scenarios.push_back({"two communities, 1 bridge",
-                       graph::graph::two_cliques(population / 2, 1)});
+  const std::vector<topo_case> cases{
+      {"fully mixed", family::none},
+      {"small world (WS k=4, p=0.1)", family::watts_strogatz},
+      {"scale free (BA m=3)", family::barabasi_albert},
+      {"two communities, 1 bridge", family::two_cliques},
+  };
 
   std::printf("Social-network learning: %zu people, 3 options, eta = "
               "(0.85, 0.4, 0.4), beta = 0.65.\n\n",
               population);
 
   text_table table{{"topology", "t=25", "t=50", "t=100", "t=200", "t=400"}};
-  for (const auto& s : scenarios) {
-    core::finite_dynamics dyn{params, population};
-    if (s.g.has_value()) dyn.set_topology(&*s.g);
-    env::bernoulli_rewards environment{etas};
+  for (const auto& c : cases) {
+    scenario::scenario_spec spec = base;
+    spec.topology.family = c.topology;
+    if (c.topology == family::watts_strogatz) {
+      spec.topology.degree = 4;
+      spec.topology.rewire_probability = 0.1;
+    } else if (c.topology == family::barabasi_albert) {
+      spec.topology.degree = 3;
+    }
+
+    const auto dyn = scenario::make_engine(spec)();
+    const auto environment = scenario::make_environment(spec.environment)();
     rng process_gen{33};
     rng env_gen{35};
-    std::vector<std::uint8_t> r(etas.size());
-    std::vector<std::string> row{s.name};
+    std::vector<std::uint8_t> r(spec.params.num_options);
+    std::vector<std::string> row{c.name};
     for (std::uint64_t t = 1; t <= 400; ++t) {
-      environment.sample(t, env_gen, r);
-      dyn.step(r, process_gen);
+      environment->sample(t, env_gen, r);
+      dyn->step(r, process_gen);
       if (t == 25 || t == 50 || t == 100 || t == 200 || t == 400) {
-        row.push_back(fmt(dyn.popularity()[0], 3));
+        row.push_back(fmt(dyn->popularity()[0], 3));
       }
     }
     table.add_row(std::move(row));

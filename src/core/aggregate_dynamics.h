@@ -20,31 +20,34 @@
 #include <span>
 #include <vector>
 
+#include "core/dynamics_engine.h"
 #include "core/params.h"
 #include "support/rng.h"
 
 namespace sgl::core {
 
-class aggregate_dynamics {
+class aggregate_dynamics final : public dynamics_engine {
  public:
   /// Throws std::invalid_argument on invalid parameters or num_agents == 0.
   aggregate_dynamics(const dynamics_params& params, std::uint64_t num_agents);
 
   /// Back to the initial state (nobody committed, uniform popularity).
-  void reset();
+  void reset() override;
 
   /// Restart from given adopter counts (sum may be anything <= N; the
   /// popularity becomes counts/sum, uniform when the sum is 0).
   void reset(std::span<const std::uint64_t> adopter_counts);
 
   /// Advances one step given the realized signals R^{t+1} (size m).
-  void step(std::span<const std::uint8_t> rewards, rng& gen);
+  void step(std::span<const std::uint8_t> rewards, rng& gen) override;
 
   /// Q^t (uniform before the first step and after empty steps).
-  [[nodiscard]] std::span<const double> popularity() const noexcept { return popularity_; }
+  [[nodiscard]] std::span<const double> popularity() const noexcept override {
+    return popularity_;
+  }
 
   /// D^t_j.
-  [[nodiscard]] std::span<const std::uint64_t> adopter_counts() const noexcept {
+  [[nodiscard]] std::span<const std::uint64_t> adopter_counts() const noexcept override {
     return adopter_counts_;
   }
 
@@ -54,8 +57,8 @@ class aggregate_dynamics {
   }
 
   [[nodiscard]] std::uint64_t adopters() const noexcept { return adopters_; }
-  [[nodiscard]] std::uint64_t empty_steps() const noexcept { return empty_steps_; }
-  [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
+  [[nodiscard]] std::uint64_t empty_steps() const noexcept override { return empty_steps_; }
+  [[nodiscard]] std::uint64_t steps() const noexcept override { return steps_; }
   [[nodiscard]] std::uint64_t num_agents() const noexcept { return num_agents_; }
   [[nodiscard]] const dynamics_params& params() const noexcept { return params_; }
 

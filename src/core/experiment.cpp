@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "support/parallel.h"
 #include "support/rng.h"
@@ -9,54 +10,47 @@
 namespace sgl::core {
 namespace {
 
-/// Scalar accumulators for one regret estimate.
-struct scalar_shard {
+/// Per-shard accumulators: scalars always, curves when requested.
+struct replication_shard {
   running_stats regret;
   running_stats average_reward;
   running_stats best_mass;
   running_stats final_best_mass;
   running_stats empty_fraction;
+  std::optional<trajectory_estimate> curves;
 };
 
-void merge_scalar(scalar_shard& into, const scalar_shard& from) {
+void merge_shards(replication_shard& into, const replication_shard& from) {
   into.regret.merge(from.regret);
   into.average_reward.merge(from.average_reward);
   into.best_mass.merge(from.best_mass);
   into.final_best_mass.merge(from.final_best_mass);
   into.empty_fraction.merge(from.empty_fraction);
+  if (into.curves && from.curves) {
+    into.curves->running_regret.merge(from.curves->running_regret);
+    into.curves->best_mass.merge(from.curves->best_mass);
+    into.curves->min_popularity.merge(from.curves->min_popularity);
+  }
 }
 
-regret_estimate finish_scalar(const scalar_shard& shard) {
-  regret_estimate estimate;
-  estimate.regret = confidence_interval(shard.regret);
-  estimate.average_reward = confidence_interval(shard.average_reward);
-  estimate.best_mass = confidence_interval(shard.best_mass);
-  estimate.final_best_mass = confidence_interval(shard.final_best_mass);
-  estimate.empty_step_fraction = shard.empty_fraction.mean();
-  estimate.replications = shard.regret.count();
-  return estimate;
+run_result finish(replication_shard&& shard) {
+  run_result result;
+  result.scalars.regret = confidence_interval(shard.regret);
+  result.scalars.average_reward = confidence_interval(shard.average_reward);
+  result.scalars.best_mass = confidence_interval(shard.best_mass);
+  result.scalars.final_best_mass = confidence_interval(shard.final_best_mass);
+  result.scalars.empty_step_fraction = shard.empty_fraction.mean();
+  result.scalars.replications = shard.regret.count();
+  result.curves = std::move(shard.curves);
+  return result;
 }
 
-/// Per-replication curves for one trajectory estimate.
-struct curve_shard {
-  explicit curve_shard(std::size_t horizon) : estimate{horizon} {}
-  trajectory_estimate estimate;
-};
-
-void merge_curves(curve_shard& into, const curve_shard& from) {
-  into.estimate.running_regret.merge(from.estimate.running_regret);
-  into.estimate.best_mass.merge(from.estimate.best_mass);
-  into.estimate.min_popularity.merge(from.estimate.min_popularity);
-}
-
-/// One replication of any process exposing popularity()/distribution().
-/// `step_process` advances the process given (rewards, process_gen).
-/// `scalars`/`curves` may be nullptr when not wanted.
-template <typename StepFn, typename PopularityFn, typename EmptyStepsFn>
+/// The single replication loop behind every estimate: advance `engine`
+/// through the horizon against a fresh environment, accumulating the §2.2
+/// measures into `shard`.
 void run_replication(const run_config& config, std::uint64_t replication,
-                     env::reward_model& environment, StepFn step_process,
-                     PopularityFn popularity, scalar_shard* scalars,
-                     curve_shard* curves, EmptyStepsFn empty_steps) {
+                     env::reward_model& environment, dynamics_engine& engine,
+                     replication_shard& shard) {
   const std::size_t m = environment.num_options();
   rng reward_gen = rng::from_stream(config.seed, 2 * replication);
   rng process_gen = rng::from_stream(config.seed, 2 * replication + 1);
@@ -66,7 +60,8 @@ void run_replication(const run_config& config, std::uint64_t replication,
   std::vector<double> regret_curve;
   std::vector<double> best_curve;
   std::vector<double> min_pop_curve;
-  if (curves != nullptr) {
+  const bool curves = shard.curves.has_value();
+  if (curves) {
     regret_curve.reserve(config.horizon);
     best_curve.reserve(config.horizon);
     min_pop_curve.reserve(config.horizon);
@@ -77,11 +72,11 @@ void run_replication(const run_config& config, std::uint64_t replication,
   double best_mass_sum = 0.0;
 
   for (std::uint64_t t = 1; t <= config.horizon; ++t) {
-    const auto popularity_now = popularity();
+    const auto popularity_now = engine.popularity();
     std::copy(popularity_now.begin(), popularity_now.end(), q_prev.begin());
 
     environment.sample(t, reward_gen, rewards);
-    step_process(rewards, process_gen);
+    engine.step(rewards, process_gen);
 
     // Group reward of step t uses the pre-step popularity Q^{t−1} (§2.2).
     double group_reward = 0.0;
@@ -93,28 +88,27 @@ void run_replication(const run_config& config, std::uint64_t replication,
     best_mean_sum += environment.mean(t, best);
     best_mass_sum += q_prev[best];
 
-    if (curves != nullptr) {
+    if (curves) {
       const double td = static_cast<double>(t);
       regret_curve.push_back((best_mean_sum - reward_sum) / td);
-      const auto q_now = popularity();
+      const auto q_now = engine.popularity();
       best_curve.push_back(q_now[best]);
       min_pop_curve.push_back(*std::min_element(q_now.begin(), q_now.end()));
     }
   }
 
   const double horizon = static_cast<double>(config.horizon);
-  if (scalars != nullptr) {
-    scalars->regret.add((best_mean_sum - reward_sum) / horizon);
-    scalars->average_reward.add(reward_sum / horizon);
-    scalars->best_mass.add(best_mass_sum / horizon);
-    const auto q_final = popularity();
-    scalars->final_best_mass.add(q_final[environment.best_option(config.horizon)]);
-    scalars->empty_fraction.add(static_cast<double>(empty_steps()) / horizon);
-  }
-  if (curves != nullptr) {
-    curves->estimate.running_regret.add_series(regret_curve);
-    curves->estimate.best_mass.add_series(best_curve);
-    curves->estimate.min_popularity.add_series(min_pop_curve);
+  shard.regret.add((best_mean_sum - reward_sum) / horizon);
+  shard.average_reward.add(reward_sum / horizon);
+  shard.best_mass.add(best_mass_sum / horizon);
+  const auto q_final = engine.popularity();
+  shard.final_best_mass.add(q_final[environment.best_option(config.horizon)]);
+  shard.empty_fraction.add(static_cast<double>(engine.empty_steps()) / horizon);
+
+  if (curves) {
+    shard.curves->running_regret.add_series(regret_curve);
+    shard.curves->best_mass.add_series(best_curve);
+    shard.curves->min_popularity.add_series(min_pop_curve);
   }
 }
 
@@ -125,102 +119,87 @@ void check_config(const run_config& config) {
   }
 }
 
-void check_env(const dynamics_params& params, const env::reward_model& environment) {
-  if (environment.num_options() != params.num_options) {
-    throw std::invalid_argument{"experiment: environment/model option-count mismatch"};
-  }
-}
-
-template <typename Fold>
-regret_estimate reduce_scalars(const run_config& config, Fold fold) {
-  auto shard = parallel_reduce<scalar_shard>(
-      config.replications, [] { return scalar_shard{}; }, fold, merge_scalar,
-      config.threads);
-  return finish_scalar(shard);
-}
-
-template <typename Fold>
-trajectory_estimate reduce_curves(const run_config& config, Fold fold) {
-  auto shard = parallel_reduce<curve_shard>(
-      config.replications,
-      [&] { return curve_shard{static_cast<std::size_t>(config.horizon)}; }, fold,
-      merge_curves, config.threads);
-  return shard.estimate;
-}
-
-/// Runs one infinite-dynamics replication into the given sinks.
-void one_infinite_replication(const dynamics_params& params, const env_factory& make_env,
-                              const run_config& config, std::span<const double> start,
-                              std::uint64_t replication, scalar_shard* scalars,
-                              curve_shard* curves) {
-  const auto environment = make_env();
-  check_env(params, *environment);
-  infinite_dynamics process{params};
-  if (!start.empty()) process.reset(start);
-  run_replication(
-      config, replication, *environment,
-      [&](std::span<const std::uint8_t> rewards, rng&) { process.step(rewards); },
-      [&] { return process.distribution(); }, scalars, curves,
-      [] { return std::uint64_t{0}; });
-}
-
-/// Runs one finite-dynamics replication into the given sinks.
-void one_finite_replication(const dynamics_params& params, std::uint64_t num_agents,
-                            const env_factory& make_env, const run_config& config,
-                            finite_engine engine, const graph::graph* topology,
-                            std::uint64_t replication, scalar_shard* scalars,
-                            curve_shard* curves) {
-  const auto environment = make_env();
-  check_env(params, *environment);
-  if (topology != nullptr || engine == finite_engine::agent_based) {
-    finite_dynamics process{params, static_cast<std::size_t>(num_agents)};
-    if (topology != nullptr) process.set_topology(topology);
-    run_replication(
-        config, replication, *environment,
-        [&](std::span<const std::uint8_t> rewards, rng& gen) { process.step(rewards, gen); },
-        [&] { return process.popularity(); }, scalars, curves,
-        [&] { return process.empty_steps(); });
-  } else {
-    aggregate_dynamics process{params, num_agents};
-    run_replication(
-        config, replication, *environment,
-        [&](std::span<const std::uint8_t> rewards, rng& gen) { process.step(rewards, gen); },
-        [&] { return process.popularity(); }, scalars, curves,
-        [&] { return process.empty_steps(); });
-  }
+run_config with_curves(run_config config) {
+  config.collect_curves = true;
+  return config;
 }
 
 }  // namespace
+
+run_result run_scenario(const engine_factory& make_engine, const env_factory& make_env,
+                        const run_config& config) {
+  check_config(config);
+  auto shard = parallel_reduce<replication_shard>(
+      config.replications,
+      [&] {
+        replication_shard s;
+        if (config.collect_curves) {
+          s.curves.emplace(static_cast<std::size_t>(config.horizon));
+        }
+        return s;
+      },
+      [&](replication_shard& s, std::size_t replication) {
+        const auto environment = make_env();
+        const auto engine = make_engine();
+        if (environment->num_options() != engine->num_options()) {
+          throw std::invalid_argument{
+              "run_scenario: engine/environment option-count mismatch"};
+        }
+        run_replication(config, replication, *environment, *engine, s);
+      },
+      merge_shards, config.threads);
+  return finish(std::move(shard));
+}
+
+engine_factory make_infinite_engine_factory(const dynamics_params& params,
+                                            std::span<const double> start) {
+  return [params, start = std::vector<double>{start.begin(), start.end()}] {
+    auto engine = std::make_unique<infinite_dynamics>(params);
+    if (!start.empty()) engine->reset(std::span<const double>{start});
+    return engine;
+  };
+}
+
+engine_factory make_finite_engine_factory(const dynamics_params& params,
+                                          std::uint64_t num_agents, finite_engine engine,
+                                          const graph::graph* topology) {
+  if (topology != nullptr || engine == finite_engine::agent_based) {
+    return [params, num_agents, topology] {
+      auto process =
+          std::make_unique<finite_dynamics>(params, static_cast<std::size_t>(num_agents));
+      if (topology != nullptr) process->set_topology(topology);
+      return process;
+    };
+  }
+  return [params, num_agents] {
+    return std::make_unique<aggregate_dynamics>(params, num_agents);
+  };
+}
 
 regret_estimate estimate_infinite_regret(const dynamics_params& params,
                                          const env_factory& make_env,
                                          const run_config& config,
                                          std::span<const double> start) {
-  check_config(config);
-  return reduce_scalars(config, [&](scalar_shard& shard, std::size_t replication) {
-    one_infinite_replication(params, make_env, config, start, replication, &shard, nullptr);
-  });
+  return run_scenario(make_infinite_engine_factory(params, start), make_env, config)
+      .scalars;
 }
 
 regret_estimate estimate_finite_regret(const dynamics_params& params,
                                        std::uint64_t num_agents, const env_factory& make_env,
                                        const run_config& config, finite_engine engine,
                                        const graph::graph* topology) {
-  check_config(config);
-  return reduce_scalars(config, [&](scalar_shard& shard, std::size_t replication) {
-    one_finite_replication(params, num_agents, make_env, config, engine, topology,
-                           replication, &shard, nullptr);
-  });
+  return run_scenario(make_finite_engine_factory(params, num_agents, engine, topology),
+                      make_env, config)
+      .scalars;
 }
 
 trajectory_estimate collect_infinite_trajectory(const dynamics_params& params,
                                                 const env_factory& make_env,
                                                 const run_config& config,
                                                 std::span<const double> start) {
-  check_config(config);
-  return reduce_curves(config, [&](curve_shard& shard, std::size_t replication) {
-    one_infinite_replication(params, make_env, config, start, replication, nullptr, &shard);
-  });
+  return std::move(*run_scenario(make_infinite_engine_factory(params, start), make_env,
+                                 with_curves(config))
+                        .curves);
 }
 
 trajectory_estimate collect_finite_trajectory(const dynamics_params& params,
@@ -228,11 +207,10 @@ trajectory_estimate collect_finite_trajectory(const dynamics_params& params,
                                               const env_factory& make_env,
                                               const run_config& config, finite_engine engine,
                                               const graph::graph* topology) {
-  check_config(config);
-  return reduce_curves(config, [&](curve_shard& shard, std::size_t replication) {
-    one_finite_replication(params, num_agents, make_env, config, engine, topology,
-                           replication, nullptr, &shard);
-  });
+  return std::move(
+      *run_scenario(make_finite_engine_factory(params, num_agents, engine, topology),
+                    make_env, with_curves(config))
+           .curves);
 }
 
 }  // namespace sgl::core

@@ -1,7 +1,8 @@
 #pragma once
 
 /// \file experiment.h
-/// Monte-Carlo estimation of the paper's performance measures.
+/// Monte-Carlo estimation of the paper's performance measures, for *any*
+/// dynamics_engine.
 ///
 /// Both regret definitions (§2.2) are expectations over the joint law of
 /// the process and the rewards:
@@ -14,14 +15,23 @@
 /// its own derived RNG streams; see parallel.h for determinism).  For
 /// non-stationary environments the benchmark is the per-step best mean
 /// Σ_t η_best(t)/T, which coincides with η₁ in the stationary case.
+///
+/// The whole harness is one generic runner, run_scenario(): an engine
+/// factory and an environment factory are invoked once per replication, the
+/// engine is advanced through the horizon, and scalar estimates (always)
+/// plus per-step curves (on request) are reduced deterministically across
+/// replications.  The historical estimate_*/collect_* entry points are thin
+/// wrappers that build the factories.
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "core/aggregate_dynamics.h"
+#include "core/dynamics_engine.h"
 #include "core/finite_dynamics.h"
 #include "core/infinite_dynamics.h"
 #include "core/params.h"
@@ -35,12 +45,17 @@ namespace sgl::core {
 /// replications are independent and thread-safe.
 using env_factory = std::function<std::unique_ptr<env::reward_model>()>;
 
+/// Builds a fresh engine instance in its initial state; called once per
+/// replication (same independence contract as env_factory).
+using engine_factory = std::function<std::unique_ptr<dynamics_engine>()>;
+
 /// Common Monte-Carlo knobs.
 struct run_config {
   std::uint64_t horizon = 1000;     ///< T
   std::uint64_t replications = 100;
   std::uint64_t seed = 1;
   unsigned threads = 0;             ///< 0 = hardware concurrency
+  bool collect_curves = false;      ///< also average the per-step curves
 };
 
 /// Which finite engine to use (identical law in the homogeneous mixed case).
@@ -70,6 +85,22 @@ struct trajectory_estimate {
       : running_regret{horizon}, best_mass{horizon}, min_popularity{horizon} {}
 };
 
+/// Everything run_scenario() produces.
+struct run_result {
+  regret_estimate scalars;
+  std::optional<trajectory_estimate> curves;  ///< engaged iff collect_curves
+};
+
+/// THE Monte-Carlo harness: `config.replications` independent replications,
+/// each built from the two factories, advanced `config.horizon` steps, and
+/// reduced into scalar estimates (and curves when `config.collect_curves`).
+/// Deterministic for a given seed regardless of thread count.  Throws
+/// std::invalid_argument on a zero horizon/replication count or an
+/// engine/environment option-count mismatch.
+[[nodiscard]] run_result run_scenario(const engine_factory& make_engine,
+                                      const env_factory& make_env,
+                                      const run_config& config);
+
 /// Regret of the infinite-population dynamics (stochastic MWU).  `start`
 /// optionally overrides the uniform initial distribution (Theorem 4.6).
 [[nodiscard]] regret_estimate estimate_infinite_regret(const dynamics_params& params,
@@ -93,6 +124,19 @@ struct trajectory_estimate {
 [[nodiscard]] trajectory_estimate collect_finite_trajectory(
     const dynamics_params& params, std::uint64_t num_agents, const env_factory& make_env,
     const run_config& config, finite_engine engine = finite_engine::aggregate,
+    const graph::graph* topology = nullptr);
+
+/// Engine factory for the infinite dynamics (optionally from a nonuniform
+/// start, copied).  Shared by the wrappers above and the scenario layer.
+[[nodiscard]] engine_factory make_infinite_engine_factory(const dynamics_params& params,
+                                                          std::span<const double> start = {});
+
+/// Engine factory for the finite dynamics.  `topology` (borrowed; must
+/// outlive the factory and every engine it builds) forces the agent-based
+/// engine, as does `engine == finite_engine::agent_based`.
+[[nodiscard]] engine_factory make_finite_engine_factory(
+    const dynamics_params& params, std::uint64_t num_agents,
+    finite_engine engine = finite_engine::aggregate,
     const graph::graph* topology = nullptr);
 
 }  // namespace sgl::core

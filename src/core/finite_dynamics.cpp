@@ -14,6 +14,7 @@ finite_dynamics::finite_dynamics(const dynamics_params& params, std::size_t num_
   choices_.assign(num_agents, -1);
   previous_choices_.assign(num_agents, -1);
   popularity_.assign(params_.num_options, 0.0);
+  stage_weights_.assign(params_.num_options, 0.0);
   adopter_counts_.assign(params_.num_options, 0);
   stage_counts_.assign(params_.num_options, 0);
   reset();
@@ -52,18 +53,63 @@ void finite_dynamics::reset() {
 }
 
 void finite_dynamics::step(std::span<const std::uint8_t> rewards, rng& gen) {
-  const std::size_t m = params_.num_options;
-  if (rewards.size() != m) {
+  if (rewards.size() != params_.num_options) {
     throw std::invalid_argument{"finite_dynamics::step: reward width mismatch"};
   }
+  if (topology_ == nullptr && rules_.empty()) {
+    step_batched(rewards, gen);
+  } else {
+    step_per_agent(rewards, gen);
+  }
+  finish_step();
+}
+
+void finite_dynamics::step_batched(std::span<const std::uint8_t> rewards, rng& gen) {
+  // Homogeneous + fully mixed: conditioned on Q^t the agent-level randomness
+  // factors exactly (Propositions 4.1/4.2) as
+  //   S ~ Multinomial(N, (1−μ)Q + μ/m),  D_j ~ Binomial(S_j, β^{R_j} α^{1−R_j}).
+  // The draws below mirror aggregate_dynamics::step word for word so the two
+  // engines consume a shared stream identically.
+  const std::size_t m = params_.num_options;
+  const double mu = params_.mu;
+  const double alpha = params_.resolved_alpha();
+  const double beta = params_.beta;
+
+  for (std::size_t j = 0; j < m; ++j) {
+    stage_weights_[j] = (1.0 - mu) * popularity_[j] + mu / static_cast<double>(m);
+  }
+  sample_multinomial(gen, choices_.size(), stage_weights_, stage_counts_);
+
+  adopters_ = 0;
+  for (std::size_t j = 0; j < m; ++j) {
+    const double adopt_p = rewards[j] != 0 ? beta : alpha;
+    adopter_counts_[j] = sample_binomial(gen, stage_counts_[j], adopt_p);
+    adopters_ += adopter_counts_[j];
+  }
+
+  // Materialize per-agent choices from the counts: agents are exchangeable
+  // under the homogeneous rule, so a block assignment realizes the same law
+  // for every count statistic (DESIGN.md §"Batched agent materialization").
+  auto* cursor = choices_.data();
+  for (std::size_t j = 0; j < m; ++j) {
+    const auto committed = static_cast<std::size_t>(adopter_counts_[j]);
+    const auto considered = static_cast<std::size_t>(stage_counts_[j]);
+    std::fill_n(cursor, committed, static_cast<std::int32_t>(j));
+    std::fill_n(cursor + committed, considered - committed, -1);
+    cursor += considered;
+  }
+}
+
+void finite_dynamics::step_per_agent(std::span<const std::uint8_t> rewards, rng& gen) {
+  const std::size_t m = params_.num_options;
 
   // Network mode reads last step's choices while this step's are written.
-  previous_choices_ = choices_;
+  if (topology_ != nullptr) previous_choices_ = choices_;
 
   // Stage 1 sampler for the fully mixed case: popularity-proportional
-  // (identical in law to "copy a uniformly random adopter").
-  std::optional<discrete_sampler> by_popularity;
-  if (topology_ == nullptr && m > 1) by_popularity.emplace(popularity_);
+  // (identical in law to "copy a uniformly random adopter").  Rebuilt in
+  // place: allocation-free after the first step.
+  if (topology_ == nullptr && m > 1) by_popularity_.rebuild(popularity_);
 
   std::fill(stage_counts_.begin(), stage_counts_.end(), 0);
   std::fill(adopter_counts_.begin(), adopter_counts_.end(), 0);
@@ -79,7 +125,7 @@ void finite_dynamics::step(std::span<const std::uint8_t> rewards, rng& gen) {
     } else if (gen.next_bernoulli(mu)) {
       considered = static_cast<std::size_t>(gen.next_below(m));
     } else if (topology_ == nullptr) {
-      considered = by_popularity->sample(gen);
+      considered = by_popularity_.sample(gen);
     } else {
       // Sample a *committed* companion, matching the mean-field rule where
       // popularity is the distribution among adopters: bounded rejection
@@ -112,6 +158,10 @@ void finite_dynamics::step(std::span<const std::uint8_t> rewards, rng& gen) {
 
   adopters_ = 0;
   for (const std::uint64_t d : adopter_counts_) adopters_ += d;
+}
+
+void finite_dynamics::finish_step() {
+  const std::size_t m = params_.num_options;
   if (adopters_ == 0) {
     const double uniform = 1.0 / static_cast<double>(m);
     std::fill(popularity_.begin(), popularity_.end(), uniform);

@@ -11,8 +11,14 @@
 ///     problem 1) instead of the whole group;
 ///   * individuals sitting out (adopting nothing) for a step.
 ///
-/// For the homogeneous, fully mixed case prefer aggregate_dynamics — same
-/// distribution over trajectories, O(m) per step instead of O(N).
+/// In the homogeneous, fully mixed case the step factors exactly as in
+/// aggregate_dynamics (Propositions 4.1/4.2), and this engine takes the
+/// batched path: one multinomial for stage 1, m binomials for stage 2,
+/// agents materialized from the counts.  The batched path consumes the
+/// generator *identically* to aggregate_dynamics, so the two engines
+/// produce bit-identical popularity trajectories from the same stream
+/// (tested).  Heterogeneous rules or a topology fall back to the O(N)
+/// per-agent loop.
 ///
 /// Semantics pinned down beyond the paper's text (documented in DESIGN.md):
 ///   * If nobody adopted at step t, popularity Q^t is *uniform* (matching
@@ -25,12 +31,13 @@
 ///     option, mirroring the uniform empty-population rule.
 
 #include <cstdint>
-#include <optional>
 #include <span>
 #include <vector>
 
+#include "core/dynamics_engine.h"
 #include "core/params.h"
 #include "graph/graph.h"
+#include "support/distributions.h"
 #include "support/rng.h"
 
 namespace sgl::core {
@@ -41,7 +48,7 @@ struct adoption_rule {
   double beta = 1.0;
 };
 
-class finite_dynamics {
+class finite_dynamics : public dynamics_engine {
  public:
   /// Homogeneous population of `num_agents` with the rule implied by
   /// `params`.  Throws std::invalid_argument on invalid parameters or
@@ -58,20 +65,22 @@ class finite_dynamics {
   void set_topology(const graph::graph* topology);
 
   /// Everybody back to the initial state (no choices, uniform popularity).
-  void reset();
+  void reset() final;
 
   /// Advances one step given the realized signals R^{t+1} (size m).
-  void step(std::span<const std::uint8_t> rewards, rng& gen);
+  void step(std::span<const std::uint8_t> rewards, rng& gen) final;
 
   /// Q^t: popularity over options (uniform before the first step and after
   /// empty steps).
-  [[nodiscard]] std::span<const double> popularity() const noexcept { return popularity_; }
+  [[nodiscard]] std::span<const double> popularity() const noexcept final {
+    return popularity_;
+  }
 
   /// Current choice of each agent; -1 means sitting out.
   [[nodiscard]] std::span<const std::int32_t> choices() const noexcept { return choices_; }
 
   /// D^t_j: number of agents committed to option j after the last step.
-  [[nodiscard]] std::span<const std::uint64_t> adopter_counts() const noexcept {
+  [[nodiscard]] std::span<const std::uint64_t> adopter_counts() const noexcept final {
     return adopter_counts_;
   }
 
@@ -85,21 +94,34 @@ class finite_dynamics {
   [[nodiscard]] std::uint64_t adopters() const noexcept { return adopters_; }
 
   /// Steps on which nobody adopted.
-  [[nodiscard]] std::uint64_t empty_steps() const noexcept { return empty_steps_; }
+  [[nodiscard]] std::uint64_t empty_steps() const noexcept final { return empty_steps_; }
 
-  [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
+  [[nodiscard]] std::uint64_t steps() const noexcept final { return steps_; }
   [[nodiscard]] std::size_t num_agents() const noexcept { return choices_.size(); }
   [[nodiscard]] const dynamics_params& params() const noexcept { return params_; }
 
  private:
+  /// O(m) step for the homogeneous, fully mixed case: the exact
+  /// multinomial/binomial factorization, same generator consumption as
+  /// aggregate_dynamics, agents filled in from the counts.
+  void step_batched(std::span<const std::uint8_t> rewards, rng& gen);
+
+  /// O(N) per-agent loop: heterogeneous rules and/or network sampling.
+  void step_per_agent(std::span<const std::uint8_t> rewards, rng& gen);
+
+  /// Popularity update + empty-step bookkeeping shared by both paths.
+  void finish_step();
+
   dynamics_params params_;
   const graph::graph* topology_ = nullptr;
   std::vector<adoption_rule> rules_;  // empty = homogeneous params_ rule
   std::vector<std::int32_t> choices_;
   std::vector<std::int32_t> previous_choices_;  // network mode reads these
   std::vector<double> popularity_;
+  std::vector<double> stage_weights_;  // batched path: (1−μ)Q + μ/m
   std::vector<std::uint64_t> adopter_counts_;
   std::vector<std::uint64_t> stage_counts_;
+  discrete_sampler by_popularity_;  // per-agent path: rebuilt per step, no alloc
   std::uint64_t adopters_ = 0;
   std::uint64_t empty_steps_ = 0;
   std::uint64_t steps_ = 0;

@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "core/dynamics_engine.h"
 #include "core/finite_dynamics.h"  // adoption_rule
 #include "core/params.h"
 #include "support/rng.h"
@@ -33,7 +34,7 @@ struct rule_group {
   adoption_rule rule;
 };
 
-class grouped_dynamics {
+class grouped_dynamics final : public dynamics_engine {
  public:
   /// `params` supplies m and μ (its β/α are ignored — the groups carry the
   /// adoption rules).  Throws std::invalid_argument on invalid parameters,
@@ -41,25 +42,27 @@ class grouped_dynamics {
   grouped_dynamics(const dynamics_params& params, std::vector<rule_group> groups);
 
   /// Back to the initial state (nobody committed, uniform popularity).
-  void reset();
+  void reset() override;
 
   /// Advances one step given the realized signals R^{t+1} (size m).
-  void step(std::span<const std::uint8_t> rewards, rng& gen);
+  void step(std::span<const std::uint8_t> rewards, rng& gen) override;
 
   /// Q^t over options (uniform before the first step / after empty steps).
-  [[nodiscard]] std::span<const double> popularity() const noexcept { return popularity_; }
+  [[nodiscard]] std::span<const double> popularity() const noexcept override {
+    return popularity_;
+  }
 
   /// D^t_{g,j}: adopters of option j within group g after the last step.
   [[nodiscard]] std::span<const std::uint64_t> group_adopters(std::size_t group) const;
 
   /// Σ_g D^t_{g,j}.
-  [[nodiscard]] std::span<const std::uint64_t> adopter_counts() const noexcept {
+  [[nodiscard]] std::span<const std::uint64_t> adopter_counts() const noexcept override {
     return total_adopters_;
   }
 
   [[nodiscard]] std::uint64_t adopters() const noexcept { return committed_; }
-  [[nodiscard]] std::uint64_t empty_steps() const noexcept { return empty_steps_; }
-  [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
+  [[nodiscard]] std::uint64_t empty_steps() const noexcept override { return empty_steps_; }
+  [[nodiscard]] std::uint64_t steps() const noexcept override { return steps_; }
   [[nodiscard]] std::size_t num_groups() const noexcept { return groups_.size(); }
   [[nodiscard]] std::uint64_t num_agents() const noexcept { return num_agents_; }
   [[nodiscard]] const dynamics_params& params() const noexcept { return params_; }

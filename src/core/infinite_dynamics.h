@@ -16,29 +16,47 @@
 #include <span>
 #include <vector>
 
+#include "core/dynamics_engine.h"
 #include "core/params.h"
 
 namespace sgl::core {
 
-class infinite_dynamics {
+class infinite_dynamics final : public dynamics_engine {
  public:
   /// Starts from the uniform distribution (the paper's P⁰).
   /// Throws std::invalid_argument on invalid parameters.
   explicit infinite_dynamics(const dynamics_params& params);
 
   /// Back to the uniform start; steps() and log_potential() reset too.
-  void reset();
+  void reset() override;
 
   /// Restart from an arbitrary distribution (Theorem 4.6's nonuniform
   /// start).  Must be a probability vector of size m (validated).
   void reset(std::span<const double> start);
 
   /// Advances one step given the realized signal vector R^{t+1}
-  /// (size m, entries 0/1).
+  /// (size m, entries 0/1).  The process is deterministic given the signals.
   void step(std::span<const std::uint8_t> rewards);
+
+  /// dynamics_engine form; the generator is unused (deterministic update).
+  void step(std::span<const std::uint8_t> rewards, rng& /*gen*/) override { step(rewards); }
 
   /// P^t.
   [[nodiscard]] std::span<const double> distribution() const noexcept { return p_; }
+
+  /// P^t under the engine interface (the mean-field popularity).
+  [[nodiscard]] std::span<const double> popularity() const noexcept override { return p_; }
+
+  /// No individuals to count in the infinite population: always empty.
+  [[nodiscard]] std::span<const std::uint64_t> adopter_counts() const noexcept override {
+    return {};
+  }
+
+  /// Engine-interface alias for degenerate_steps(): the α = 0 annihilation
+  /// steps are exactly the steps on which "nobody" adopted.
+  [[nodiscard]] std::uint64_t empty_steps() const noexcept override {
+    return degenerate_steps_;
+  }
 
   /// ln Φ^t where Φ⁰ = m (uniform unit weights).  If a degenerate step ever
   /// occurred (see degenerate_steps()), the potential is no longer the
@@ -46,7 +64,7 @@ class infinite_dynamics {
   [[nodiscard]] double log_potential() const noexcept { return log_potential_; }
 
   /// Steps taken since the last reset.
-  [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
+  [[nodiscard]] std::uint64_t steps() const noexcept override { return steps_; }
 
   /// Number of steps where the update annihilated all mass (possible only
   /// when α = 0 and every signal was bad); the process restarts from

@@ -1,0 +1,196 @@
+#include "scenario/registry.h"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sgl::scenario {
+namespace {
+
+scenario_spec base(std::string name, std::string description) {
+  scenario_spec spec;
+  spec.name = std::move(name);
+  spec.description = std::move(description);
+  return spec;
+}
+
+std::vector<scenario_spec> build_catalog() {
+  std::vector<scenario_spec> catalog;
+
+  {
+    // The README/quickstart configuration: a small group on four options.
+    auto spec = base("quickstart",
+                     "4 options, N=1000 agents, theorem-regime parameters "
+                     "(beta=0.65), Bernoulli qualities (0.85, 0.45, 0.40, 0.35)");
+    spec.params = core::theorem_params(4, 0.65);
+    spec.engine = engine_kind::agent_based;
+    spec.num_agents = 1000;
+    spec.environment.etas = {0.85, 0.45, 0.40, 0.35};
+    catalog.push_back(std::move(spec));
+  }
+  {
+    // Theorem 4.3's setting (bench e01).
+    auto spec = base("theorem-infinite",
+                     "Theorem 4.3: infinite-population stochastic MWU, m=10, "
+                     "beta=0.62, canonical two-level qualities 0.85/0.35");
+    spec.params = core::theorem_params(10, 0.62);
+    spec.engine = engine_kind::infinite;
+    spec.num_agents = 0;
+    spec.environment.etas = env::two_level_etas(10, 0.85, 0.35);
+    catalog.push_back(std::move(spec));
+  }
+  {
+    // Theorem 4.4's setting (bench e03); N is the natural override.
+    auto spec = base("theorem-finite",
+                     "Theorem 4.4: finite population via the exact aggregate "
+                     "engine, m=10, beta=0.62, N=1000, qualities 0.85/0.35");
+    spec.params = core::theorem_params(10, 0.62);
+    spec.engine = engine_kind::aggregate;
+    spec.num_agents = 1000;
+    spec.environment.etas = env::two_level_etas(10, 0.85, 0.35);
+    catalog.push_back(std::move(spec));
+  }
+  {
+    // Theorem 4.6: recovery from an adversarial start.
+    auto spec = base("nonuniform-start",
+                     "Theorem 4.6: infinite dynamics started with 99% of the "
+                     "mass on the worst option");
+    spec.params = core::theorem_params(10, 0.62);
+    spec.engine = engine_kind::infinite;
+    spec.num_agents = 0;
+    spec.environment.etas = env::two_level_etas(10, 0.85, 0.35);
+    spec.start.assign(10, 0.01 / 9.0);
+    spec.start.back() = 0.99;
+    catalog.push_back(std::move(spec));
+  }
+  {
+    // §2.1 example 2 / footnote 3: the Ellison–Fudenberg reduction.
+    auto spec = base("ef-exclusive",
+                     "Ellison-Fudenberg reduction: two options, exactly one "
+                     "good per step (win probabilities 0.7/0.3)");
+    spec.params = core::theorem_params(2, 0.65);
+    spec.num_agents = 1000;
+    spec.environment.family = environment_spec::family_kind::exclusive;
+    spec.environment.etas = {0.7, 0.3};
+    catalog.push_back(std::move(spec));
+  }
+  {
+    // §6 "options represent stocks": the best option rotates.
+    auto spec = base("switching-stocks",
+                     "Non-stationary: qualities rotate one index every 400 "
+                     "steps (m=5), the group must re-learn after each switch");
+    spec.params = core::theorem_params(5, 0.65);
+    spec.num_agents = 1000;
+    spec.environment.family = environment_spec::family_kind::switching;
+    spec.environment.etas = {0.85, 0.55, 0.45, 0.40, 0.35};
+    spec.environment.period = 400;
+    catalog.push_back(std::move(spec));
+  }
+  {
+    // Slow drift with a best-option crossover halfway.
+    auto spec = base("drifting-crossover",
+                     "Non-stationary: qualities drift linearly over 2000 steps, "
+                     "the initially-worst option ends up best");
+    spec.params = core::theorem_params(3, 0.65);
+    spec.num_agents = 1000;
+    spec.environment.family = environment_spec::family_kind::drifting;
+    spec.environment.etas = {0.80, 0.50, 0.30};
+    spec.environment.end_etas = {0.30, 0.50, 0.80};
+    spec.environment.horizon = 2000;
+    catalog.push_back(std::move(spec));
+  }
+  {
+    // §6 open problem 1, worst-conductance classic.
+    auto spec = base("ring",
+                     "Network-restricted sampling on the cycle C_900 — the "
+                     "low-conductance stress case of Section 6's open problem");
+    spec.params = core::theorem_params(2, 0.65);
+    spec.engine = engine_kind::agent_based;
+    spec.num_agents = 900;
+    spec.environment.etas = {0.85, 0.35};
+    spec.topology.family = topology_spec::family_kind::ring;
+    catalog.push_back(std::move(spec));
+  }
+  {
+    auto spec = base("small-world",
+                     "Network-restricted sampling on a Watts-Strogatz small "
+                     "world (N=900, k=5, rewire 0.1)");
+    spec.params = core::theorem_params(2, 0.65);
+    spec.engine = engine_kind::agent_based;
+    spec.num_agents = 900;
+    spec.environment.etas = {0.85, 0.35};
+    spec.topology.family = topology_spec::family_kind::watts_strogatz;
+    spec.topology.degree = 5;
+    spec.topology.rewire_probability = 0.1;
+    catalog.push_back(std::move(spec));
+  }
+  {
+    auto spec = base("two-cliques",
+                     "Network-restricted sampling on two 450-cliques joined by "
+                     "one bridge — the information-bottleneck topology");
+    spec.params = core::theorem_params(2, 0.65);
+    spec.engine = engine_kind::agent_based;
+    spec.num_agents = 900;
+    spec.environment.etas = {0.85, 0.35};
+    spec.topology.family = topology_spec::family_kind::two_cliques;
+    spec.topology.bridges = 1;
+    catalog.push_back(std::move(spec));
+  }
+  {
+    auto spec = base("torus",
+                     "Network-restricted sampling on the 30x30 torus (N=900)");
+    spec.params = core::theorem_params(2, 0.65);
+    spec.engine = engine_kind::agent_based;
+    spec.num_agents = 900;
+    spec.environment.etas = {0.85, 0.35};
+    spec.topology.family = topology_spec::family_kind::torus;
+    spec.topology.rows = 30;
+    spec.topology.cols = 30;
+    catalog.push_back(std::move(spec));
+  }
+  {
+    // Heterogeneity as a three-way rule mixture (exact grouped engine).
+    auto spec = base("mixture-discernment",
+                     "Heterogeneous mixture: 300 discerning (0.05/0.95), 400 "
+                     "paper-rule (0.35/0.65), 300 indiscriminate (0.5/0.5) "
+                     "agents via the exact grouped engine");
+    spec.params = core::theorem_params(4, 0.65);
+    spec.engine = engine_kind::grouped;
+    spec.num_agents = 1000;
+    spec.environment.etas = {0.85, 0.45, 0.40, 0.35};
+    spec.groups = {{300, {0.05, 0.95}}, {400, {0.35, 0.65}}, {300, {0.5, 0.5}}};
+    catalog.push_back(std::move(spec));
+  }
+
+  return catalog;
+}
+
+const std::vector<scenario_spec>& catalog() {
+  static const std::vector<scenario_spec> scenarios = build_catalog();
+  return scenarios;
+}
+
+}  // namespace
+
+std::span<const scenario_spec> all_scenarios() { return catalog(); }
+
+const scenario_spec* find_scenario(std::string_view name) noexcept {
+  for (const auto& spec : catalog()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+scenario_spec get_scenario(std::string_view name) {
+  if (const scenario_spec* spec = find_scenario(name)) return *spec;
+  std::string message{"unknown scenario '"};
+  message += name;
+  message += "'; known:";
+  for (const auto& spec : catalog()) {
+    message += ' ';
+    message += spec.name;
+  }
+  throw std::invalid_argument{message};
+}
+
+}  // namespace sgl::scenario

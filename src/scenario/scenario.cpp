@@ -1,0 +1,169 @@
+#include "scenario/scenario.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "core/aggregate_dynamics.h"
+#include "core/finite_dynamics.h"
+#include "core/infinite_dynamics.h"
+#include "support/rng.h"
+
+namespace sgl::scenario {
+namespace {
+
+/// finite_dynamics that keeps its (possibly generated) graph alive.
+class networked_dynamics final : public core::finite_dynamics {
+ public:
+  networked_dynamics(const core::dynamics_params& params, std::size_t num_agents,
+                     std::shared_ptr<const graph::graph> topology)
+      : finite_dynamics{params, num_agents}, topology_{std::move(topology)} {
+    set_topology(topology_.get());
+  }
+
+ private:
+  std::shared_ptr<const graph::graph> topology_;
+};
+
+/// rows × cols for lattice families: taken from the spec, or the most
+/// square factorization of N when unset.
+std::pair<std::size_t, std::size_t> lattice_shape(const topology_spec& spec,
+                                                  std::size_t num_agents) {
+  if (spec.rows != 0 || spec.cols != 0) {
+    if (spec.rows * spec.cols != num_agents) {
+      throw std::invalid_argument{"build_topology: rows * cols != num_agents"};
+    }
+    return {spec.rows, spec.cols};
+  }
+  auto rows = static_cast<std::size_t>(std::sqrt(static_cast<double>(num_agents)));
+  while (rows > 1 && num_agents % rows != 0) --rows;
+  return {rows, num_agents / rows};
+}
+
+}  // namespace
+
+engine_kind resolved_engine(const scenario_spec& spec) noexcept {
+  if (spec.engine != engine_kind::auto_select) return spec.engine;
+  if (!spec.groups.empty()) return engine_kind::grouped;
+  if (spec.topology.family != topology_spec::family_kind::none ||
+      !spec.agent_rules.empty()) {
+    return engine_kind::agent_based;
+  }
+  if (spec.num_agents == 0) return engine_kind::infinite;
+  return engine_kind::aggregate;
+}
+
+graph::graph build_topology(const topology_spec& spec, std::size_t num_agents) {
+  using family = topology_spec::family_kind;
+  rng gen{spec.seed};
+  switch (spec.family) {
+    case family::none:
+      throw std::invalid_argument{"build_topology: family is none"};
+    case family::complete:
+      return graph::graph::complete(num_agents);
+    case family::ring:
+      return graph::graph::ring(num_agents);
+    case family::grid: {
+      const auto [rows, cols] = lattice_shape(spec, num_agents);
+      return graph::graph::grid(rows, cols, /*wrap=*/false);
+    }
+    case family::torus: {
+      const auto [rows, cols] = lattice_shape(spec, num_agents);
+      return graph::graph::grid(rows, cols, /*wrap=*/true);
+    }
+    case family::star:
+      return graph::graph::star(num_agents);
+    case family::erdos_renyi:
+      return graph::graph::erdos_renyi(num_agents, spec.edge_probability, gen);
+    case family::watts_strogatz:
+      return graph::graph::watts_strogatz(num_agents, spec.degree,
+                                          spec.rewire_probability, gen);
+    case family::barabasi_albert:
+      return graph::graph::barabasi_albert(num_agents, spec.degree, gen);
+    case family::two_cliques:
+      if (num_agents % 2 != 0) {
+        throw std::invalid_argument{"build_topology: two_cliques needs even N"};
+      }
+      return graph::graph::two_cliques(num_agents / 2, spec.bridges);
+  }
+  throw std::invalid_argument{"build_topology: unknown family"};
+}
+
+core::env_factory make_environment(const environment_spec& spec) {
+  using family = environment_spec::family_kind;
+  switch (spec.family) {
+    case family::bernoulli:
+      return [etas = spec.etas] { return std::make_unique<env::bernoulli_rewards>(etas); };
+    case family::exclusive:
+      return [p = spec.etas] { return std::make_unique<env::exclusive_rewards>(p); };
+    case family::switching:
+      return [base = spec.etas, period = spec.period] {
+        return std::make_unique<env::switching_rewards>(base, period);
+      };
+    case family::drifting:
+      return [start = spec.etas, end = spec.end_etas, horizon = spec.horizon] {
+        return std::make_unique<env::drifting_rewards>(start, end, horizon);
+      };
+  }
+  throw std::invalid_argument{"make_environment: unknown family"};
+}
+
+core::engine_factory make_engine(const scenario_spec& spec) {
+  const engine_kind kind = resolved_engine(spec);
+  const bool networked = spec.topology.family != topology_spec::family_kind::none;
+  if (networked && kind != engine_kind::agent_based) {
+    throw std::invalid_argument{
+        "make_engine: a topology requires the agent-based engine"};
+  }
+  if (!spec.agent_rules.empty() && kind != engine_kind::agent_based) {
+    throw std::invalid_argument{
+        "make_engine: per-agent rules require the agent-based engine"};
+  }
+  switch (kind) {
+    case engine_kind::infinite:
+      return core::make_infinite_engine_factory(spec.params, spec.start);
+    case engine_kind::aggregate:
+      return core::make_finite_engine_factory(spec.params, spec.num_agents,
+                                              core::finite_engine::aggregate);
+    case engine_kind::agent_based: {
+      if (spec.num_agents == 0) {
+        throw std::invalid_argument{"make_engine: agent-based engine needs N >= 1"};
+      }
+      std::shared_ptr<const graph::graph> topology = spec.prebuilt_graph;
+      if (networked && topology == nullptr) {
+        topology = std::make_shared<const graph::graph>(
+            build_topology(spec.topology, static_cast<std::size_t>(spec.num_agents)));
+      }
+      return [params = spec.params, num_agents = spec.num_agents, topology,
+              rules = spec.agent_rules]() -> std::unique_ptr<core::dynamics_engine> {
+        std::unique_ptr<core::finite_dynamics> engine;
+        if (topology != nullptr) {
+          engine = std::make_unique<networked_dynamics>(
+              params, static_cast<std::size_t>(num_agents), topology);
+        } else {
+          engine = std::make_unique<core::finite_dynamics>(
+              params, static_cast<std::size_t>(num_agents));
+        }
+        if (!rules.empty()) engine->set_agent_rules(rules);
+        return engine;
+      };
+    }
+    case engine_kind::grouped:
+      if (spec.groups.empty()) {
+        throw std::invalid_argument{"make_engine: grouped engine needs groups"};
+      }
+      return [params = spec.params, groups = spec.groups] {
+        return std::make_unique<core::grouped_dynamics>(params, groups);
+      };
+    case engine_kind::auto_select:
+      break;  // unreachable: resolve() never returns auto_select
+  }
+  throw std::invalid_argument{"make_engine: unknown engine kind"};
+}
+
+core::run_result run(const scenario_spec& spec, const core::run_config& config) {
+  return core::run_scenario(make_engine(spec), make_environment(spec.environment),
+                            config);
+}
+
+}  // namespace sgl::scenario

@@ -1,0 +1,124 @@
+#pragma once
+
+/// \file scenario.h
+/// Declarative run descriptions: which engine, which environment, which
+/// topology, which parameters.  A scenario_spec is a value — buildable in
+/// code, overridable field by field — and the functions here turn it into
+/// the factories the generic Monte-Carlo runner (core/experiment.h)
+/// consumes.  The CLI, the bench drivers, and the examples all construct
+/// their runs through this layer instead of hand-rolling engine/environment
+/// setup; registry.h adds a catalog of named specs.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/grouped_dynamics.h"
+#include "core/params.h"
+#include "env/reward_model.h"
+#include "graph/graph.h"
+
+namespace sgl::scenario {
+
+/// Which formulation of the dynamics to run.
+enum class engine_kind {
+  auto_select,  ///< grouped if groups set, agent-based if topology/rules set,
+                ///< infinite if num_agents == 0, exact aggregate otherwise
+  infinite,     ///< mean-field stochastic MWU (§4.2)
+  aggregate,    ///< exact O(m) aggregate (Propositions 4.1/4.2)
+  agent_based,  ///< explicit agents (§2.1); required for topology/rules
+  grouped,      ///< exact O(G·m) aggregate of a rule mixture
+};
+
+/// Social-network restriction for stage-1 sampling (§6, open problem 1).
+struct topology_spec {
+  enum class family_kind {
+    none,            ///< fully mixed (the paper's setting)
+    complete,        ///< K_N — sanity: equals fully mixed up to self-exclusion
+    ring,            ///< C_N
+    grid,            ///< rows × cols lattice
+    torus,           ///< rows × cols lattice with wraparound
+    star,            ///< hub-and-spokes
+    erdos_renyi,     ///< G(N, p)
+    watts_strogatz,  ///< small world: ring lattice, degree 2k, rewired
+    barabasi_albert, ///< preferential attachment
+    two_cliques,     ///< bottleneck: two cliques joined by bridge edges
+  };
+
+  family_kind family = family_kind::none;
+  std::size_t rows = 0;              ///< grid/torus (0 = square-ish from N)
+  std::size_t cols = 0;
+  double edge_probability = 0.01;    ///< erdos_renyi
+  std::size_t degree = 5;            ///< watts_strogatz k / barabasi_albert attach
+  double rewire_probability = 0.1;   ///< watts_strogatz
+  std::size_t bridges = 1;           ///< two_cliques
+  std::uint64_t seed = 17;           ///< random-graph generation stream
+};
+
+/// Which signal generator to face (env/reward_model.h).
+struct environment_spec {
+  enum class family_kind {
+    bernoulli,  ///< independent R_j ~ Bernoulli(η_j) — the base model
+    exclusive,  ///< exactly one option good per step (Ellison–Fudenberg)
+    switching,  ///< qualities rotate every `period` steps
+    drifting,   ///< qualities interpolate etas → end_etas over `horizon`
+  };
+
+  family_kind family = family_kind::bernoulli;
+  std::vector<double> etas;       ///< qualities / win probabilities / base
+  std::vector<double> end_etas;   ///< drifting target
+  std::uint64_t period = 100;     ///< switching rotation period
+  std::uint64_t horizon = 1000;   ///< drifting ramp length
+};
+
+/// A fully described run: engine + environment + topology + parameters.
+struct scenario_spec {
+  std::string name;
+  std::string description;
+
+  core::dynamics_params params;
+  engine_kind engine = engine_kind::auto_select;
+  std::uint64_t num_agents = 1000;  ///< population N; 0 = infinite dynamics
+
+  environment_spec environment;
+  topology_spec topology;
+
+  std::vector<double> start;                   ///< nonuniform P⁰ (infinite only)
+  std::vector<core::rule_group> groups;        ///< grouped engine mixture
+  std::vector<core::adoption_rule> agent_rules;///< per-agent rules (agent-based)
+
+  /// Optional pre-built topology, shared by every engine the factory
+  /// creates.  When set it is used verbatim (the topology family/params are
+  /// ignored for building, though family must not be `none`); when null,
+  /// make_engine builds from the topology spec.  Lets callers that also
+  /// inspect the graph (degree tables etc.) construct it exactly once.
+  std::shared_ptr<const graph::graph> prebuilt_graph;
+};
+
+/// The engine kind a spec will actually run (resolves auto_select from the
+/// spec's shape: groups → grouped, topology/rules → agent_based,
+/// N = 0 → infinite, otherwise aggregate).
+[[nodiscard]] engine_kind resolved_engine(const scenario_spec& spec) noexcept;
+
+/// Materializes the topology for a population of `num_agents` vertices.
+/// Throws std::invalid_argument for family none (nothing to build) or
+/// inconsistent dimensions.
+[[nodiscard]] graph::graph build_topology(const topology_spec& spec,
+                                          std::size_t num_agents);
+
+/// Environment factory for the runner (fresh instance per replication).
+[[nodiscard]] core::env_factory make_environment(const environment_spec& spec);
+
+/// Engine factory for the runner.  Resolves auto_select, owns any generated
+/// topology (shared by the engines the factory builds), and validates the
+/// combination (e.g. topology requires the agent-based engine).
+[[nodiscard]] core::engine_factory make_engine(const scenario_spec& spec);
+
+/// One-call convenience: run the scenario under the generic Monte-Carlo
+/// harness.
+[[nodiscard]] core::run_result run(const scenario_spec& spec,
+                                   const core::run_config& config);
+
+}  // namespace sgl::scenario

@@ -179,7 +179,7 @@ std::size_t sample_categorical(rng& gen, std::span<const double> weights) noexce
   return weights.size() - 1;
 }
 
-discrete_sampler::discrete_sampler(std::span<const double> weights) {
+void discrete_sampler::rebuild(std::span<const double> weights) {
   if (weights.empty()) throw std::invalid_argument{"discrete_sampler: empty weights"};
   double total = 0.0;
   for (const double w : weights) {
@@ -196,28 +196,28 @@ discrete_sampler::discrete_sampler(std::span<const double> weights) {
   alias_.assign(m, 0);
 
   // Vose's stable alias construction over scaled probabilities m * p_i.
-  std::vector<double> scaled(m);
-  std::vector<std::uint32_t> small;
-  std::vector<std::uint32_t> large;
-  small.reserve(m);
-  large.reserve(m);
+  scaled_.resize(m);
+  small_.clear();
+  large_.clear();
+  small_.reserve(m);
+  large_.reserve(m);
   for (std::size_t i = 0; i < m; ++i) {
     normalized_[i] = weights[i] / total;
-    scaled[i] = normalized_[i] * static_cast<double>(m);
-    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+    scaled_[i] = normalized_[i] * static_cast<double>(m);
+    (scaled_[i] < 1.0 ? small_ : large_).push_back(static_cast<std::uint32_t>(i));
   }
-  while (!small.empty() && !large.empty()) {
-    const std::uint32_t s = small.back();
-    small.pop_back();
-    const std::uint32_t l = large.back();
-    large.pop_back();
-    probability_[s] = scaled[s];
+  while (!small_.empty() && !large_.empty()) {
+    const std::uint32_t s = small_.back();
+    small_.pop_back();
+    const std::uint32_t l = large_.back();
+    large_.pop_back();
+    probability_[s] = scaled_[s];
     alias_[s] = l;
-    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
-    (scaled[l] < 1.0 ? small : large).push_back(l);
+    scaled_[l] = (scaled_[l] + scaled_[s]) - 1.0;
+    (scaled_[l] < 1.0 ? small_ : large_).push_back(l);
   }
-  for (const std::uint32_t i : large) probability_[i] = 1.0;
-  for (const std::uint32_t i : small) probability_[i] = 1.0;  // numeric slack
+  for (const std::uint32_t i : large_) probability_[i] = 1.0;
+  for (const std::uint32_t i : small_) probability_[i] = 1.0;  // numeric slack
 }
 
 std::size_t discrete_sampler::sample(rng& gen) const noexcept {

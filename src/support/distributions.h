@@ -61,11 +61,20 @@ void sample_multinomial(rng& gen, std::uint64_t n, std::span<const double> weigh
 /// agent-based simulator, where every agent draws from the same Q^t.
 class discrete_sampler {
  public:
+  /// An empty sampler; rebuild() before the first draw.
+  discrete_sampler() = default;
+
   /// Builds the alias table for a distribution proportional to `weights`.
   /// Throws std::invalid_argument on empty, negative, or all-zero weights.
-  explicit discrete_sampler(std::span<const double> weights);
+  explicit discrete_sampler(std::span<const double> weights) { rebuild(weights); }
 
-  /// Draws one index in [0, size()).
+  /// Rebuilds the table for new weights, reusing all internal storage —
+  /// allocation-free when the size is unchanged (the simulators rebuild
+  /// once per step from the evolving popularity).  Same validation as the
+  /// constructor.
+  void rebuild(std::span<const double> weights);
+
+  /// Draws one index in [0, size()).  Precondition: size() > 0.
   [[nodiscard]] std::size_t sample(rng& gen) const noexcept;
 
   [[nodiscard]] std::size_t size() const noexcept { return probability_.size(); }
@@ -77,6 +86,9 @@ class discrete_sampler {
   std::vector<double> probability_;   // acceptance threshold per column
   std::vector<std::uint32_t> alias_;  // alias index per column
   std::vector<double> normalized_;    // the input distribution, normalized
+  std::vector<double> scaled_;        // rebuild scratch: m * p_i
+  std::vector<std::uint32_t> small_;  // rebuild worklists
+  std::vector<std::uint32_t> large_;
 };
 
 /// Fisher–Yates shuffle driven by our rng (std::shuffle's draw pattern is

@@ -2,6 +2,10 @@
 //
 //   sociolearn_cli bounds    --m 10 --beta 0.62
 //       prints every theorem constant for the given parameters.
+//   sociolearn_cli scenarios
+//       lists the named scenarios of the registry.
+//   sociolearn_cli scenario  --name ring --horizon 400 --reps 50
+//       runs a registered scenario under the Monte-Carlo harness.
 //   sociolearn_cli simulate  --engine finite|aggregate|infinite --m ... --beta ...
 //       runs one trajectory and writes a per-step CSV to stdout.
 //   sociolearn_cli regret    --m ... --beta ... --agents ... --horizon ... --reps ...
@@ -9,7 +13,9 @@
 //   sociolearn_cli gossip    --nodes ... --rounds ... --drop ...
 //       runs the sensor-network protocol and writes the per-round CSV.
 //
-// Everything is deterministic given --seed.
+// Every run is constructed through the scenario layer (scenario/) and
+// executed by the generic runner (core/experiment.h); everything is
+// deterministic given --seed.
 
 #include <cstdio>
 #include <cstring>
@@ -18,13 +24,12 @@
 #include <string>
 #include <vector>
 
-#include "core/aggregate_dynamics.h"
 #include "core/experiment.h"
-#include "core/finite_dynamics.h"
-#include "core/infinite_dynamics.h"
 #include "core/theory.h"
 #include "env/reward_model.h"
 #include "protocol/gossip_learner.h"
+#include "scenario/registry.h"
+#include "scenario/scenario.h"
 #include "support/flags.h"
 #include "support/rng.h"
 #include "support/table.h"
@@ -54,9 +59,30 @@ core::dynamics_params read_params(const flag_set& flags) {
   return params;
 }
 
-std::vector<double> read_etas(const flag_set& flags) {
-  return env::two_level_etas(static_cast<std::size_t>(flags.get_int64("m")),
-                             flags.get_double("eta-best"), flags.get_double("eta-rest"));
+/// The ad-hoc two-level scenario the model flags describe.
+scenario::scenario_spec read_scenario(const flag_set& flags) {
+  scenario::scenario_spec spec;
+  spec.name = "cli";
+  spec.params = read_params(flags);
+  spec.environment.etas =
+      env::two_level_etas(static_cast<std::size_t>(flags.get_int64("m")),
+                          flags.get_double("eta-best"), flags.get_double("eta-rest"));
+  return spec;
+}
+
+void print_estimate(const core::regret_estimate& est, double bound) {
+  text_table table{{"measure", "value"}};
+  table.add_row({"regret", fmt_pm(est.regret.mean, est.regret.half_width)});
+  table.add_row({"average reward",
+                 fmt_pm(est.average_reward.mean, est.average_reward.half_width)});
+  table.add_row({"avg best-option mass",
+                 fmt_pm(est.best_mass.mean, est.best_mass.half_width)});
+  table.add_row({"final best-option mass",
+                 fmt_pm(est.final_best_mass.mean, est.final_best_mass.half_width)});
+  table.add_row({"empty-step fraction", fmt(est.empty_step_fraction, 4)});
+  table.add_row({"bound", fmt(bound, 4)});
+  table.add_row({"replications", std::to_string(est.replications)});
+  table.print(std::cout);
 }
 
 int cmd_bounds(int argc, const char* const* argv) {
@@ -91,6 +117,78 @@ int cmd_bounds(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_scenarios(int argc, const char* const* argv) {
+  flag_set flags{"sociolearn_cli scenarios", "list the named scenarios"};
+  if (flags.parse(argc, argv) != parse_status::ok) return 2;
+  text_table table{{"name", "description"}};
+  for (const auto& spec : scenario::all_scenarios()) {
+    table.add_row({spec.name, spec.description});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_scenario(int argc, const char* const* argv) {
+  flag_set flags{"sociolearn_cli scenario", "run a registered scenario"};
+  flags.add_string("name", "quickstart", "scenario name (see 'scenarios')");
+  flags.add_int64("horizon", 400, "steps T");
+  flags.add_int64("reps", 100, "replications");
+  flags.add_int64("seed", 1, "master RNG seed");
+  flags.add_int64("threads", 0, "worker threads (0 = all)");
+  flags.add_int64("agents", -1, "override the scenario's population (-1 = keep)");
+  flags.add_bool("curves", false, "emit per-step curves as CSV instead of the table");
+  if (flags.parse(argc, argv) != parse_status::ok) return 2;
+
+  scenario::scenario_spec spec = scenario::get_scenario(flags.get_string("name"));
+  if (flags.get_int64("agents") >= 0) {
+    const scenario::engine_kind kind = scenario::resolved_engine(spec);
+    if (kind == scenario::engine_kind::infinite ||
+        kind == scenario::engine_kind::grouped) {
+      std::fprintf(stderr,
+                   "scenario '%s' runs the %s engine; --agents does not apply "
+                   "(the %s carries the population)\n",
+                   spec.name.c_str(),
+                   kind == scenario::engine_kind::infinite ? "infinite" : "grouped",
+                   kind == scenario::engine_kind::infinite ? "mean field" : "group mix");
+      return 2;
+    }
+    if (flags.get_int64("agents") == 0) {
+      // num_agents = 0 would silently re-resolve auto-select specs to the
+      // mean-field engine; a scenario keeps its formulation.
+      std::fprintf(stderr,
+                   "--agents must be >= 1 (scenario '%s' is population-based; "
+                   "run an infinite scenario for the mean field)\n",
+                   spec.name.c_str());
+      return 2;
+    }
+    spec.num_agents = static_cast<std::uint64_t>(flags.get_int64("agents"));
+  }
+
+  core::run_config config;
+  config.horizon = static_cast<std::uint64_t>(flags.get_int64("horizon"));
+  config.replications = static_cast<std::uint64_t>(flags.get_int64("reps"));
+  config.seed = static_cast<std::uint64_t>(flags.get_int64("seed"));
+  config.threads = static_cast<unsigned>(flags.get_int64("threads"));
+  config.collect_curves = flags.get_bool("curves");
+
+  const core::run_result result = scenario::run(spec, config);
+  if (config.collect_curves) {
+    std::printf("t,running_regret,best_mass,min_popularity\n");
+    for (std::size_t t = 0; t < result.curves->best_mass.length(); ++t) {
+      std::printf("%zu,%.6f,%.6f,%.6f\n", t + 1, result.curves->running_regret.mean(t),
+                  result.curves->best_mass.mean(t), result.curves->min_popularity.mean(t));
+    }
+    return 0;
+  }
+  std::printf("scenario: %s\n%s\n\n", spec.name.c_str(), spec.description.c_str());
+  // The 3δ vs 6δ bound follows the engine actually run, not N.
+  print_estimate(result.scalars,
+                 scenario::resolved_engine(spec) == scenario::engine_kind::infinite
+                     ? core::theory::infinite_regret_bound(spec.params.beta)
+                     : core::theory::finite_regret_bound(spec.params.beta));
+  return 0;
+}
+
 int cmd_simulate(int argc, const char* const* argv) {
   flag_set flags{"sociolearn_cli simulate", "run one trajectory, CSV to stdout"};
   add_model_flags(flags);
@@ -98,55 +196,44 @@ int cmd_simulate(int argc, const char* const* argv) {
   flags.add_int64("agents", 1000, "population size N (finite engines)");
   flags.add_int64("horizon", 200, "steps T");
   if (flags.parse(argc, argv) != parse_status::ok) return 2;
-  const core::dynamics_params params = read_params(flags);
-  const auto etas = read_etas(flags);
   const auto horizon = static_cast<std::uint64_t>(flags.get_int64("horizon"));
-  const auto agents = static_cast<std::uint64_t>(flags.get_int64("agents"));
   const auto seed = static_cast<std::uint64_t>(flags.get_int64("seed"));
-  const std::string engine = flags.get_string("engine");
+  const std::string engine_name = flags.get_string("engine");
 
-  env::bernoulli_rewards environment{etas};
+  scenario::scenario_spec spec = read_scenario(flags);
+  spec.num_agents = static_cast<std::uint64_t>(flags.get_int64("agents"));
+  if (engine_name == "infinite") {
+    spec.engine = scenario::engine_kind::infinite;
+    spec.num_agents = 0;
+  } else if (engine_name == "aggregate") {
+    spec.engine = scenario::engine_kind::aggregate;
+  } else if (engine_name == "finite") {
+    spec.engine = scenario::engine_kind::agent_based;
+  } else {
+    std::fprintf(stderr, "unknown engine '%s' (finite | aggregate | infinite)\n",
+                 engine_name.c_str());
+    return 2;
+  }
+
+  // One loop for every engine: the dynamics_engine interface is the point.
+  const auto engine = scenario::make_engine(spec)();
+  const auto environment = scenario::make_environment(spec.environment)();
   rng reward_gen = rng::from_stream(seed, 0);
   rng process_gen = rng::from_stream(seed, 1);
-  std::vector<std::uint8_t> r(params.num_options);
+  std::vector<std::uint8_t> r(spec.params.num_options);
 
   std::printf("t");
-  for (std::size_t j = 0; j < params.num_options; ++j) std::printf(",q%zu", j);
+  for (std::size_t j = 0; j < spec.params.num_options; ++j) std::printf(",q%zu", j);
   std::printf(",group_reward\n");
-
-  const auto emit_row = [&](std::uint64_t t, std::span<const double> q) {
+  for (std::uint64_t t = 1; t <= horizon; ++t) {
+    environment->sample(t, reward_gen, r);
+    engine->step(r, process_gen);
+    const auto q = engine->popularity();
     double reward = 0.0;
     for (std::size_t j = 0; j < q.size(); ++j) reward += q[j] * r[j];
     std::printf("%llu", static_cast<unsigned long long>(t));
     for (const double x : q) std::printf(",%.6f", x);
     std::printf(",%.6f\n", reward);
-  };
-
-  if (engine == "infinite") {
-    core::infinite_dynamics dyn{params};
-    for (std::uint64_t t = 1; t <= horizon; ++t) {
-      environment.sample(t, reward_gen, r);
-      dyn.step(r);
-      emit_row(t, dyn.distribution());
-    }
-  } else if (engine == "aggregate") {
-    core::aggregate_dynamics dyn{params, agents};
-    for (std::uint64_t t = 1; t <= horizon; ++t) {
-      environment.sample(t, reward_gen, r);
-      dyn.step(r, process_gen);
-      emit_row(t, dyn.popularity());
-    }
-  } else if (engine == "finite") {
-    core::finite_dynamics dyn{params, static_cast<std::size_t>(agents)};
-    for (std::uint64_t t = 1; t <= horizon; ++t) {
-      environment.sample(t, reward_gen, r);
-      dyn.step(r, process_gen);
-      emit_row(t, dyn.popularity());
-    }
-  } else {
-    std::fprintf(stderr, "unknown engine '%s' (finite | aggregate | infinite)\n",
-                 engine.c_str());
-    return 2;
   }
   return 0;
 }
@@ -159,35 +246,21 @@ int cmd_regret(int argc, const char* const* argv) {
   flags.add_int64("reps", 200, "replications");
   flags.add_int64("threads", 0, "worker threads (0 = all)");
   if (flags.parse(argc, argv) != parse_status::ok) return 2;
-  const core::dynamics_params params = read_params(flags);
-  const auto etas = read_etas(flags);
+
+  scenario::scenario_spec spec = read_scenario(flags);
+  spec.num_agents = static_cast<std::uint64_t>(flags.get_int64("agents"));
 
   core::run_config config;
   config.horizon = static_cast<std::uint64_t>(flags.get_int64("horizon"));
   config.replications = static_cast<std::uint64_t>(flags.get_int64("reps"));
   config.seed = static_cast<std::uint64_t>(flags.get_int64("seed"));
   config.threads = static_cast<unsigned>(flags.get_int64("threads"));
-  const auto factory = [&] { return std::make_unique<env::bernoulli_rewards>(etas); };
 
-  const auto agents = static_cast<std::uint64_t>(flags.get_int64("agents"));
-  const core::regret_estimate est =
-      agents == 0 ? core::estimate_infinite_regret(params, factory, config)
-                  : core::estimate_finite_regret(params, agents, factory, config);
-
-  text_table table{{"measure", "value"}};
-  table.add_row({"regret", fmt_pm(est.regret.mean, est.regret.half_width)});
-  table.add_row({"average reward",
-                 fmt_pm(est.average_reward.mean, est.average_reward.half_width)});
-  table.add_row({"avg best-option mass",
-                 fmt_pm(est.best_mass.mean, est.best_mass.half_width)});
-  table.add_row({"final best-option mass",
-                 fmt_pm(est.final_best_mass.mean, est.final_best_mass.half_width)});
-  table.add_row({"bound (3d inf / 6d finite)",
-                 fmt(agents == 0 ? core::theory::infinite_regret_bound(params.beta)
-                                 : core::theory::finite_regret_bound(params.beta),
-                     4)});
-  table.add_row({"replications", std::to_string(est.replications)});
-  table.print(std::cout);
+  const core::run_result result = scenario::run(spec, config);
+  print_estimate(result.scalars,
+                 spec.num_agents == 0
+                     ? core::theory::infinite_regret_bound(spec.params.beta)
+                     : core::theory::finite_regret_bound(spec.params.beta));
   return 0;
 }
 
@@ -203,8 +276,10 @@ int cmd_gossip(int argc, const char* const* argv) {
   protocol::gossip_params gossip;
   gossip.dynamics = read_params(flags);
   gossip.sticky = flags.get_bool("sticky");
-  protocol::signal_oracle oracle{read_etas(flags),
-                                 static_cast<std::uint64_t>(flags.get_int64("seed")) + 1};
+  protocol::signal_oracle oracle{
+      env::two_level_etas(static_cast<std::size_t>(flags.get_int64("m")),
+                          flags.get_double("eta-best"), flags.get_double("eta-rest")),
+      static_cast<std::uint64_t>(flags.get_int64("seed")) + 1};
   protocol::gossip_run_config config;
   config.num_nodes = static_cast<std::size_t>(flags.get_int64("nodes"));
   config.rounds = static_cast<std::uint64_t>(flags.get_int64("rounds"));
@@ -231,6 +306,8 @@ void print_usage() {
       "sociolearn_cli — drive the distributed learning dynamics from the shell\n\n"
       "subcommands:\n"
       "  bounds     print every theorem constant for given parameters\n"
+      "  scenarios  list the named scenarios of the registry\n"
+      "  scenario   run a registered scenario under the Monte-Carlo harness\n"
       "  simulate   run one trajectory (finite/aggregate/infinite), CSV to stdout\n"
       "  regret     Monte-Carlo regret estimate with confidence intervals\n"
       "  gossip     run the sensor-network gossip protocol, per-round CSV\n\n"
@@ -249,6 +326,8 @@ int main(int argc, char** argv) {
   const char* const* sub_argv = argv + 1;
   try {
     if (command == "bounds") return cmd_bounds(sub_argc, sub_argv);
+    if (command == "scenarios") return cmd_scenarios(sub_argc, sub_argv);
+    if (command == "scenario") return cmd_scenario(sub_argc, sub_argv);
     if (command == "simulate") return cmd_simulate(sub_argc, sub_argv);
     if (command == "regret") return cmd_regret(sub_argc, sub_argv);
     if (command == "gossip") return cmd_gossip(sub_argc, sub_argv);
