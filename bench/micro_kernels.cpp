@@ -6,7 +6,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "algo/full_info.h"
@@ -15,7 +19,9 @@
 #include "core/grouped_dynamics.h"
 #include "core/infinite_dynamics.h"
 #include "core/params.h"
+#include "graph/graph.h"
 #include "netsim/simulation.h"
+#include "scenario/scenario.h"
 #include "support/distributions.h"
 #include "support/rng.h"
 
@@ -136,6 +142,111 @@ void BM_grouped_step(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_grouped_step)->Arg(2)->Arg(8);
+
+// --- network-mode stepping ---------------------------------------------------
+//
+// The topology path of finite_dynamics (§6, open problem 1).  Engines are
+// warmed past the low-commitment transient so the loop measures the steady
+// state; graphs are built once and cached across benchmarks.  Two regimes:
+//   * dense  — beta = 0.62, best option always good: ~55-60% of the group is
+//     committed each step (the paper's converged regime);
+//   * sparse — beta = 0.95 (alpha = 0.05), all signals bad: ~5% committed,
+//     the regime where rejection sampling over uniform neighbour draws burns
+//     its attempt budget;
+//   * very_sparse — beta = 0.98 (alpha = 0.02): ~2% committed, the extreme
+//     cautious-adopter tail.
+// Items processed = agent-steps, so report ns/agent via items_per_second.
+
+const graph::graph& cached_topology(const std::string& kind, std::size_t n) {
+  static std::map<std::pair<std::string, std::size_t>, graph::graph> cache;
+  const auto key = std::make_pair(kind, n);
+  if (const auto it = cache.find(key); it != cache.end()) return it->second;
+  scenario::topology_spec spec;
+  using family = scenario::topology_spec::family_kind;
+  if (kind == "ring") {
+    spec.family = family::ring;
+  } else if (kind == "torus") {
+    spec.family = family::torus;
+  } else if (kind == "smallworld") {
+    spec.family = family::watts_strogatz;
+    spec.degree = 5;
+    spec.rewire_probability = 0.1;
+  } else if (kind == "ba") {
+    spec.family = family::barabasi_albert;
+    spec.degree = 5;
+  } else if (kind == "two_cliques") {
+    spec.family = family::two_cliques;
+    spec.bridges = 1;
+  } else {
+    throw std::invalid_argument{"unknown bench topology"};
+  }
+  return cache.emplace(key, scenario::build_topology(spec, n)).first->second;
+}
+
+void network_step_benchmark(benchmark::State& state, const std::string& kind,
+                            double beta, std::vector<std::uint8_t> rewards) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const graph::graph& g = cached_topology(kind, n);
+
+  core::dynamics_params p;
+  p.num_options = 2;
+  p.mu = 0.05;
+  p.beta = beta;
+  core::finite_dynamics dyn{p, n};
+  dyn.set_topology(&g);
+
+  rng gen{8};
+  for (int t = 0; t < 30; ++t) dyn.step(rewards, gen);  // past the transient
+
+  for (auto _ : state) dyn.step(rewards, gen);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_network_step_ring(benchmark::State& state) {
+  network_step_benchmark(state, "ring", 0.62, {1, 0});
+}
+BENCHMARK(BM_network_step_ring)->Arg(100000)->Arg(1000000)->Unit(benchmark::kMicrosecond);
+
+void BM_network_step_torus(benchmark::State& state) {
+  network_step_benchmark(state, "torus", 0.62, {1, 0});
+}
+BENCHMARK(BM_network_step_torus)->Arg(1000000)->Unit(benchmark::kMicrosecond);
+
+void BM_network_step_smallworld(benchmark::State& state) {
+  network_step_benchmark(state, "smallworld", 0.62, {1, 0});
+}
+BENCHMARK(BM_network_step_smallworld)->Arg(1000000)->Unit(benchmark::kMicrosecond);
+
+void BM_network_step_ba(benchmark::State& state) {
+  network_step_benchmark(state, "ba", 0.62, {1, 0});
+}
+BENCHMARK(BM_network_step_ba)->Arg(100000)->Arg(1000000)->Unit(benchmark::kMicrosecond);
+
+void BM_network_step_two_cliques(benchmark::State& state) {
+  network_step_benchmark(state, "two_cliques", 0.62, {1, 0});
+}
+BENCHMARK(BM_network_step_two_cliques)->Arg(2000)->Unit(benchmark::kMicrosecond);
+
+void BM_network_step_ba_sparse(benchmark::State& state) {
+  network_step_benchmark(state, "ba", 0.95, {0, 0});
+}
+BENCHMARK(BM_network_step_ba_sparse)->Arg(1000000)->Unit(benchmark::kMicrosecond);
+
+void BM_network_step_ring_sparse(benchmark::State& state) {
+  network_step_benchmark(state, "ring", 0.95, {0, 0});
+}
+BENCHMARK(BM_network_step_ring_sparse)->Arg(1000000)->Unit(benchmark::kMicrosecond);
+
+void BM_network_step_ba_very_sparse(benchmark::State& state) {
+  network_step_benchmark(state, "ba", 0.98, {0, 0});
+}
+BENCHMARK(BM_network_step_ba_very_sparse)->Arg(1000000)->Unit(benchmark::kMicrosecond);
+
+void BM_network_step_ring_very_sparse(benchmark::State& state) {
+  network_step_benchmark(state, "ring", 0.98, {0, 0});
+}
+BENCHMARK(BM_network_step_ring_very_sparse)->Arg(1000000)->Unit(benchmark::kMicrosecond);
 
 void BM_hedge_update(benchmark::State& state) {
   const auto m = static_cast<std::size_t>(state.range(0));

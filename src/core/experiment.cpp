@@ -1,6 +1,7 @@
 #include "core/experiment.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -129,6 +130,17 @@ run_config with_curves(run_config config) {
 run_result run_scenario(const engine_factory& make_engine, const env_factory& make_env,
                         const run_config& config) {
   check_config(config);
+  // When the runner itself spreads replications across workers, an engine
+  // that also fans out internally (finite_dynamics::set_threads) would
+  // oversubscribe the machine quadratically; intra-replication parallelism
+  // only pays when replications don't already saturate the cores.  The
+  // clamp is a pure scheduling decision: network-mode trajectories are
+  // bit-identical for every thread count.
+  const unsigned workers = std::min<unsigned>(
+      config.threads == 0 ? default_thread_count() : config.threads,
+      static_cast<unsigned>(std::min<std::uint64_t>(
+          config.replications, std::numeric_limits<unsigned>::max())));
+  const bool parallel_replications = workers > 1;
   auto shard = parallel_reduce<replication_shard>(
       config.replications,
       [&] {
@@ -144,6 +156,11 @@ run_result run_scenario(const engine_factory& make_engine, const env_factory& ma
         if (environment->num_options() != engine->num_options()) {
           throw std::invalid_argument{
               "run_scenario: engine/environment option-count mismatch"};
+        }
+        if (parallel_replications) {
+          if (auto* agents = dynamic_cast<finite_dynamics*>(engine.get())) {
+            agents->set_threads(1);
+          }
         }
         run_replication(config, replication, *environment, *engine, s);
       },

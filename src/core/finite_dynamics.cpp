@@ -1,9 +1,12 @@
 #include "core/finite_dynamics.h"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
+#include <type_traits>
 
 #include "support/distributions.h"
+#include "support/parallel.h"
 
 namespace sgl::core {
 
@@ -38,6 +41,13 @@ void finite_dynamics::set_topology(const graph::graph* topology) {
     throw std::invalid_argument{"finite_dynamics::set_topology: vertex count != agents"};
   }
   topology_ = topology;
+  // The packed two-option view stores per-option counts in 16-bit halves,
+  // so a vertex of degree >= 2^16 also takes the stateless rejection path.
+  network_dense_ =
+      topology != nullptr &&
+      (topology->average_degree() > dense_degree_threshold ||
+       (params_.num_options == 2 && topology->max_degree() > 0xFFFF));
+  rebuild_neighbor_view();
 }
 
 void finite_dynamics::reset() {
@@ -50,13 +60,39 @@ void finite_dynamics::reset() {
   adopters_ = 0;
   empty_steps_ = 0;
   steps_ = 0;
+  rebuild_neighbor_view();
+}
+
+void finite_dynamics::rebuild_neighbor_view() {
+  if (topology_ == nullptr || network_dense_) {
+    neighbor_view_.clear();
+    neighbor_view_.shrink_to_fit();
+    return;
+  }
+  // Layout: for m == 2 one packed word per vertex (count of option 0 in
+  // the low half, option 1 in the high half — so a delta is a single add);
+  // otherwise m uint32 counts per vertex.
+  const std::size_t m = params_.num_options;
+  neighbor_view_.assign(m == 2 ? choices_.size() : choices_.size() * m, 0);
+  for (std::size_t u = 0; u < choices_.size(); ++u) {
+    const std::int32_t c = choices_[u];
+    if (c < 0) continue;
+    const std::size_t slot_stride = m == 2 ? 1 : m;
+    const std::uint32_t bump = m == 2 ? (c == 0 ? 1U : 0x10000U) : 1U;
+    const std::size_t offset = m == 2 ? 0 : static_cast<std::size_t>(c);
+    for (const auto v : topology_->neighbors(static_cast<graph::graph::vertex>(u))) {
+      neighbor_view_[static_cast<std::size_t>(v) * slot_stride + offset] += bump;
+    }
+  }
 }
 
 void finite_dynamics::step(std::span<const std::uint8_t> rewards, rng& gen) {
   if (rewards.size() != params_.num_options) {
     throw std::invalid_argument{"finite_dynamics::step: reward width mismatch"};
   }
-  if (topology_ == nullptr && rules_.empty()) {
+  if (topology_ != nullptr) {
+    step_network(rewards, gen);
+  } else if (rules_.empty()) {
     step_batched(rewards, gen);
   } else {
     step_per_agent(rewards, gen);
@@ -103,13 +139,10 @@ void finite_dynamics::step_batched(std::span<const std::uint8_t> rewards, rng& g
 void finite_dynamics::step_per_agent(std::span<const std::uint8_t> rewards, rng& gen) {
   const std::size_t m = params_.num_options;
 
-  // Network mode reads last step's choices while this step's are written.
-  if (topology_ != nullptr) previous_choices_ = choices_;
-
   // Stage 1 sampler for the fully mixed case: popularity-proportional
   // (identical in law to "copy a uniformly random adopter").  Rebuilt in
   // place: allocation-free after the first step.
-  if (topology_ == nullptr && m > 1) by_popularity_.rebuild(popularity_);
+  if (m > 1) by_popularity_.rebuild(popularity_);
 
   std::fill(stage_counts_.begin(), stage_counts_.end(), 0);
   std::fill(adopter_counts_.begin(), adopter_counts_.end(), 0);
@@ -124,24 +157,8 @@ void finite_dynamics::step_per_agent(std::span<const std::uint8_t> rewards, rng&
       considered = 0;
     } else if (gen.next_bernoulli(mu)) {
       considered = static_cast<std::size_t>(gen.next_below(m));
-    } else if (topology_ == nullptr) {
-      considered = by_popularity_.sample(gen);
     } else {
-      // Sample a *committed* companion, matching the mean-field rule where
-      // popularity is the distribution among adopters: bounded rejection
-      // over uniform neighbour draws (16 attempts make the residual
-      // fallback probability negligible for any committed fraction that
-      // matters), then the uniform-option fallback.
-      const auto neighbours = topology_->neighbors(static_cast<graph::graph::vertex>(i));
-      std::int32_t observed = -1;
-      if (!neighbours.empty()) {
-        for (int attempt = 0; attempt < 16 && observed < 0; ++attempt) {
-          const auto pick = neighbours[gen.next_below(neighbours.size())];
-          observed = previous_choices_[pick];
-        }
-      }
-      considered = observed >= 0 ? static_cast<std::size_t>(observed)
-                                 : static_cast<std::size_t>(gen.next_below(m));
+      considered = by_popularity_.sample(gen);
     }
     ++stage_counts_[considered];
 
@@ -158,6 +175,293 @@ void finite_dynamics::step_per_agent(std::span<const std::uint8_t> rewards, rng&
 
   adopters_ = 0;
   for (const std::uint64_t d : adopter_counts_) adopters_ += d;
+}
+
+void finite_dynamics::step_network(std::span<const std::uint8_t> rewards, rng& gen) {
+  const std::size_t m = params_.num_options;
+  const std::size_t n = choices_.size();
+
+  // Double buffer: last step's choices become readable through
+  // previous_choices_ with a swap, not an O(N) copy; every slot of
+  // choices_ is overwritten below.  The committed-neighbour view is
+  // consistent with the swapped-in previous choices (maintained by delta
+  // at the end of every network step, rebuilt on reset/set_topology).
+  previous_choices_.swap(choices_);
+
+  // Stream derivation v2 (DESIGN.md): one word of the caller's stream
+  // seeds the step; shard s then draws from its own derived stream.  The
+  // decomposition depends only on N, never on the thread count, so the
+  // trajectory is bit-identical for any parallelism.
+  const std::uint64_t step_seed = gen.next_u64();
+  const std::size_t shards = (n + shard_size - 1) / shard_size;
+  const unsigned threads = static_cast<unsigned>(std::min<std::size_t>(
+      threads_ == 0 ? default_thread_count() : threads_, shards));
+
+  shard_counts_.assign(shards * 2 * m, 0);
+  if (!network_dense_) {
+    if (m > 0xFFFE) {
+      throw std::invalid_argument{
+          "finite_dynamics: network mode supports at most 65534 options"};
+    }
+    if (n > 0xFFFFFFFFULL) {
+      // The changed-list entries carry the agent index in 32 bits (and
+      // graph vertices are 32-bit anyway).
+      throw std::invalid_argument{
+          "finite_dynamics: network mode supports at most 2^32 agents"};
+    }
+    changed_.resize(n);
+    changed_len_.assign(shards, 0);
+    // Fused stage-2 thresholds (stream derivation v2): the explore word u
+    // is reused for the adoption test.  Conditional on {u < mu} the
+    // rescaled variable u/mu (resp. (u-mu)/(1-mu)) is uniform and
+    // independent of the stage-1 option draw, so "adopt with probability
+    // p" becomes u < mu*p (explore) or u < mu + (1-mu)*p (copy) — one
+    // generator word fewer per agent, same law.
+    adopt_below_explore_.resize(m);
+    adopt_below_copy_.resize(m);
+    if (rules_.empty()) {
+      const double alpha = params_.resolved_alpha();
+      const double mu = params_.mu;
+      for (std::size_t j = 0; j < m; ++j) {
+        const double p = rewards[j] != 0 ? params_.beta : alpha;
+        adopt_below_explore_[j] = mu * p;
+        adopt_below_copy_[j] = mu + (1.0 - mu) * p;
+      }
+    }
+  }
+
+  const double mu = params_.mu;
+  const adoption_rule homogeneous{params_.resolved_alpha(), params_.beta};
+
+  if (!network_dense_) {
+    // Sparse mode: exact draw from the incremental committed-neighbour
+    // view.  The loop has a fixed shape — every agent consumes one word
+    // for the fused explore/adopt test plus one bounded draw
+    // (next_below_mul resamples only with probability < bound/2^64) — and
+    // stage 2 is select-based, so the hot path is nearly branch-free.
+    // Changed agents are recorded per shard for the delta pass below.
+    parallel_for(
+        0, shards,
+        [&](std::size_t s) {
+          rng shard_gen = rng::from_stream(step_seed, s);
+          std::uint64_t* stage = &shard_counts_[s * 2 * m];
+          std::uint64_t* adopt = stage + m;
+          const std::size_t lo = s * shard_size;
+          const std::size_t hi = std::min(n, lo + shard_size);
+          std::uint64_t* changed = changed_.data() + lo;
+          std::size_t changed_len = 0;
+          const std::size_t row_stride = m == 2 ? 1 : m;
+          const std::uint32_t* row = &neighbor_view_[lo * row_stride];
+          const bool heterogeneous = !rules_.empty();
+          for (std::size_t i = lo; i < hi; ++i, row += row_stride) {
+            // --- Stage 1: explore, or copy a uniform committed neighbour
+            // (uniform option when there is none). ---
+            const double u = shard_gen.next_double();
+            const bool explore = u < mu;
+            std::uint64_t total;
+            std::size_t considered;
+            if (m == 2) {  // the canonical two-option case: packed word
+              const std::uint32_t packed = row[0];
+              const std::uint32_t c0 = packed & 0xFFFFU;
+              total = c0 + (packed >> 16);
+              const bool by_view = !explore && total != 0;
+              const std::uint64_t r = shard_gen.next_below_mul(by_view ? total : 2);
+              considered = by_view ? (r >= c0) : r;
+            } else {
+              total = 0;
+              for (std::size_t j = 0; j < m; ++j) total += row[j];
+              const bool by_view = !explore && total != 0;
+              std::uint64_t r = shard_gen.next_below_mul(by_view ? total : m);
+              if (by_view) {
+                considered = 0;
+                while (r >= row[considered]) r -= row[considered++];
+              } else {
+                considered = static_cast<std::size_t>(r);
+              }
+            }
+            ++stage[considered];
+
+            // --- Stage 2: adopt or sit out, reusing the explore word
+            // (selects, not branches; see the threshold comment above). ---
+            double threshold;
+            if (heterogeneous) {
+              const double p = rewards[considered] != 0 ? rules_[i].beta
+                                                        : rules_[i].alpha;
+              threshold = explore ? mu * p : mu + (1.0 - mu) * p;
+            } else {
+              threshold = explore ? adopt_below_explore_[considered]
+                                  : adopt_below_copy_[considered];
+            }
+            const bool adopted = u < threshold;
+            const std::int32_t now =
+                adopted ? static_cast<std::int32_t>(considered) : -1;
+            const std::int32_t was = previous_choices_[i];
+            choices_[i] = now;
+            adopt[considered] += adopted;
+            // Entry layout: agent index | was+1 << 32 | now+1 << 48 (16 bits
+            // each, -1 mapping to 0) so the delta pass never re-reads the
+            // choice buffers.
+            changed[changed_len] =
+                static_cast<std::uint64_t>(i) |
+                (static_cast<std::uint64_t>(static_cast<std::uint16_t>(was + 1))
+                 << 32) |
+                (static_cast<std::uint64_t>(static_cast<std::uint16_t>(now + 1))
+                 << 48);
+            changed_len += now != was;
+          }
+          changed_len_[s] = static_cast<std::uint32_t>(changed_len);
+        },
+        threads);
+  } else {
+    // Dense mode (average degree above the threshold): rejection over
+    // uniform neighbour draws — expected O(1/committed-fraction) attempts —
+    // with an exact neighbourhood scan once the attempt budget is spent,
+    // so the law is still exactly "uniform committed neighbour" with a
+    // uniform-option fallback only when there is none.
+    parallel_for(
+        0, shards,
+        [&](std::size_t s) {
+          rng shard_gen = rng::from_stream(step_seed, s);
+          std::uint64_t* stage = &shard_counts_[s * 2 * m];
+          std::uint64_t* adopt = stage + m;
+          const std::size_t lo = s * shard_size;
+          const std::size_t hi = std::min(n, lo + shard_size);
+          for (std::size_t i = lo; i < hi; ++i) {
+            std::size_t considered;
+            if (m == 1) {
+              considered = 0;
+            } else if (shard_gen.next_bernoulli(mu)) {
+              considered = static_cast<std::size_t>(shard_gen.next_below_mul(m));
+            } else {
+              const std::int32_t copied = sample_committed_neighbor(i, shard_gen);
+              considered = copied >= 0
+                               ? static_cast<std::size_t>(copied)
+                               : static_cast<std::size_t>(shard_gen.next_below_mul(m));
+            }
+            ++stage[considered];
+
+            const adoption_rule& rule = rules_.empty() ? homogeneous : rules_[i];
+            const double adopt_p = rewards[considered] != 0 ? rule.beta : rule.alpha;
+            if (shard_gen.next_bernoulli(adopt_p)) {
+              choices_[i] = static_cast<std::int32_t>(considered);
+              ++adopt[considered];
+            } else {
+              choices_[i] = -1;
+            }
+          }
+        },
+        threads);
+  }
+
+  // Merge the shard tallies in shard order.
+  std::fill(stage_counts_.begin(), stage_counts_.end(), 0);
+  std::fill(adopter_counts_.begin(), adopter_counts_.end(), 0);
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (std::size_t j = 0; j < m; ++j) {
+      stage_counts_[j] += shard_counts_[s * 2 * m + j];
+      adopter_counts_[j] += shard_counts_[s * 2 * m + m + j];
+    }
+  }
+  adopters_ = 0;
+  for (const std::uint64_t d : adopter_counts_) adopters_ += d;
+
+  // Sparse mode: delta-update the view — only the recorded changed agents
+  // touch their neighbours' rows.  Increments commute, so every variant
+  // below produces exactly the same counts: the serial direct walk, the
+  // serial bucketed walk (regrouping updates by view region so the
+  // read-modify-writes hit cache instead of paying a miss each), and the
+  // concurrent walk (relaxed atomics).
+  if (!network_dense_) {
+    if (threads <= 1) {
+      for (std::size_t s = 0; s < shards; ++s) {
+        const std::size_t lo = s * shard_size;
+        for (std::size_t k = 0; k < changed_len_[s]; ++k) {
+          apply_view_delta<false>(changed_[lo + k]);
+        }
+      }
+    } else {
+      parallel_for(
+          0, shards,
+          [&](std::size_t s) {
+            const std::size_t lo = s * shard_size;
+            for (std::size_t k = 0; k < changed_len_[s]; ++k) {
+              apply_view_delta<true>(changed_[lo + k]);
+            }
+          },
+          threads);
+    }
+  }
+}
+
+/// The choice of a uniform committed neighbour of i under the dense-mode
+/// sampler, or -1 when i has none (isolated vertex / fully sat-out
+/// neighbourhood).
+std::int32_t finite_dynamics::sample_committed_neighbor(std::size_t i,
+                                                        rng& shard_gen) const {
+  const auto nbrs = topology_->neighbors(static_cast<graph::graph::vertex>(i));
+  if (nbrs.empty()) return -1;
+  for (int attempt = 0; attempt < rejection_cap; ++attempt) {
+    const std::int32_t seen =
+        previous_choices_[nbrs[shard_gen.next_below_mul(nbrs.size())]];
+    if (seen >= 0) return seen;
+  }
+  std::uint64_t committed = 0;
+  for (const auto v : nbrs) committed += previous_choices_[v] >= 0;
+  if (committed == 0) return -1;
+  std::uint64_t k = shard_gen.next_below_mul(committed);
+  for (const auto v : nbrs) {
+    if (previous_choices_[v] < 0) continue;
+    if (k == 0) return previous_choices_[v];
+    --k;
+  }
+  return -1;  // unreachable: k < committed
+}
+
+/// Propagates a changed agent's choice delta (one packed changed-list
+/// entry) into its neighbours' view rows.  The was/now tests are hoisted
+/// out of the neighbour walk, which is the hottest loop of the sparse
+/// network step.
+template <bool Atomic>
+void finite_dynamics::apply_view_delta(std::uint64_t entry) {
+  const auto i = static_cast<std::uint32_t>(entry);
+  const std::int32_t was = static_cast<std::int32_t>((entry >> 32) & 0xFFFF) - 1;
+  const std::int32_t now = static_cast<std::int32_t>(entry >> 48) - 1;
+  const std::size_t m = params_.num_options;
+  const auto nbrs = topology_->neighbors(static_cast<graph::graph::vertex>(i));
+  const auto bump = [](std::uint32_t& slot, std::uint32_t delta) {
+    if constexpr (Atomic) {
+      std::atomic_ref<std::uint32_t>{slot}.fetch_add(delta,
+                                                     std::memory_order_relaxed);
+    } else {
+      slot += delta;
+    }
+  };
+  if (m == 2) {
+    // Packed word per vertex: both option counts move in one add.  The
+    // 16-bit halves cannot carry into each other — each stays within
+    // [0, degree] and the packed mode requires degree < 2^16.
+    static constexpr std::uint32_t encoded[3] = {0U, 1U, 0x10000U};
+    const std::uint32_t delta =
+        encoded[now + 1] - encoded[was + 1];  // unsigned wrap = subtract
+    for (const auto v : nbrs) bump(neighbor_view_[v], delta);
+    return;
+  }
+  if (was < 0) {
+    const auto j = static_cast<std::size_t>(now);
+    for (const auto v : nbrs) bump(neighbor_view_[v * m + j], 1);
+  } else if (now < 0) {
+    const auto j = static_cast<std::size_t>(was);
+    for (const auto v : nbrs) bump(neighbor_view_[v * m + j],
+                                   static_cast<std::uint32_t>(-1));
+  } else {
+    const auto from = static_cast<std::size_t>(was);
+    const auto to = static_cast<std::size_t>(now);
+    for (const auto v : nbrs) {
+      std::uint32_t* vrow = &neighbor_view_[v * m];
+      bump(vrow[from], static_cast<std::uint32_t>(-1));
+      bump(vrow[to], 1);
+    }
+  }
 }
 
 void finite_dynamics::finish_step() {

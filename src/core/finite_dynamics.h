@@ -17,16 +17,25 @@
 /// agents materialized from the counts.  The batched path consumes the
 /// generator *identically* to aggregate_dynamics, so the two engines
 /// produce bit-identical popularity trajectories from the same stream
-/// (tested).  Heterogeneous rules or a topology fall back to the O(N)
+/// (tested).  Heterogeneous rules without a topology fall back to the O(N)
 /// per-agent loop.
+///
+/// Network mode has its own path: an **incremental committed-neighbour
+/// view** — per-vertex, per-option counts of committed neighbours, updated
+/// by delta only for agents whose choice changed between steps — makes
+/// stage 1 an *exact* O(active options) draw from the neighbour-adopter
+/// distribution, and agents step in a fixed shard decomposition with
+/// per-(step, shard) RNG streams, so any thread count produces the same
+/// trajectory bit for bit (DESIGN.md, "stream derivation v2 — network
+/// mode").
 ///
 /// Semantics pinned down beyond the paper's text (documented in DESIGN.md):
 ///   * If nobody adopted at step t, popularity Q^t is *uniform* (matching
 ///     the Q⁰ convention); such steps are counted in empty_steps().
-///   * In network mode, an individual samples a uniform *committed*
-///     neighbour (bounded rejection over uniform neighbour draws — the
+///   * In network mode, an individual copies a uniform *committed*
+///     neighbour — sampled exactly from the committed-neighbour view (the
 ///     network analogue of popularity being the distribution among
-///     adopters); if no committed neighbour is found (isolated vertex, or
+///     adopters); if it has no committed neighbour (isolated vertex, or
 ///     the whole neighbourhood sat out), it falls back to a uniform random
 ///     option, mirroring the uniform empty-population rule.
 
@@ -61,8 +70,18 @@ class finite_dynamics : public dynamics_engine {
 
   /// Restricts sampling to `topology` (num_vertices must equal num_agents).
   /// The graph is borrowed: the caller keeps it alive while in use.
-  /// Pass nullptr to return to full mixing.
+  /// Pass nullptr to return to full mixing.  Rebuilds the committed-
+  /// neighbour view from the current choices, so the engine can move in
+  /// and out of network mode mid-run.
   void set_topology(const graph::graph* topology);
+
+  /// Worker threads for the sharded network-mode step: 0 = hardware
+  /// concurrency, 1 (the default) = serial.  The shard decomposition and
+  /// the per-shard RNG streams are fixed by (N, step), so the trajectory
+  /// is bit-identical for every setting; threads only change wall-clock
+  /// time.  Ignored outside network mode.
+  void set_threads(unsigned threads) noexcept { threads_ = threads; }
+  [[nodiscard]] unsigned threads() const noexcept { return threads_; }
 
   /// Everybody back to the initial state (no choices, uniform popularity).
   void reset() final;
@@ -101,15 +120,52 @@ class finite_dynamics : public dynamics_engine {
   [[nodiscard]] const dynamics_params& params() const noexcept { return params_; }
 
  private:
+  /// Agents per shard of the fixed network-mode decomposition.  A function
+  /// of N only — never of the thread count — so shard streams are stable.
+  static constexpr std::size_t shard_size = 8192;
+
+  /// Average-degree cutoff between the two exact network samplers: at or
+  /// below it, the incremental committed-neighbour view (delta maintenance
+  /// costs O(churn · degree) per agent, a win for sparse graphs); above
+  /// it, rejection sampling with an exact scan fallback (zero maintained
+  /// state — on K_N or two-cliques a per-vertex view would cost O(N) per
+  /// changed agent).  Both samplers realize the same law.
+  static constexpr double dense_degree_threshold = 24.0;
+
+  /// Attempts before the dense-mode sampler stops rejecting and scans the
+  /// neighbourhood exactly; the scan keeps the law exact (no residual
+  /// uniform fallback while committed neighbours exist).
+  static constexpr int rejection_cap = 64;
+
   /// O(m) step for the homogeneous, fully mixed case: the exact
   /// multinomial/binomial factorization, same generator consumption as
   /// aggregate_dynamics, agents filled in from the counts.
   void step_batched(std::span<const std::uint8_t> rewards, rng& gen);
 
-  /// O(N) per-agent loop: heterogeneous rules and/or network sampling.
+  /// O(N) per-agent loop: heterogeneous rules, fully mixed (no topology).
   void step_per_agent(std::span<const std::uint8_t> rewards, rng& gen);
 
-  /// Popularity update + empty-step bookkeeping shared by both paths.
+  /// Sharded network-mode step: exact committed-neighbour draws from the
+  /// incremental view, per-(step, shard) RNG streams, delta view update.
+  void step_network(std::span<const std::uint8_t> rewards, rng& gen);
+
+  /// Recomputes the committed-neighbour view from `choices_` (O(E)); used
+  /// by set_topology and reset so engines stay reusable.
+  void rebuild_neighbor_view();
+
+  /// Applies agent i's choice change (previous vs current) to its
+  /// neighbours' view rows; Atomic selects relaxed-atomic increments for
+  /// the concurrent delta pass (integer adds commute, so the result is
+  /// identical to the serial pass).
+  template <bool Atomic>
+  void apply_view_delta(std::uint64_t entry);
+
+  /// Dense-mode stage-1 sampler: the choice of a uniform committed
+  /// neighbour of i, or -1 when there is none.
+  [[nodiscard]] std::int32_t sample_committed_neighbor(std::size_t i,
+                                                       rng& shard_gen) const;
+
+  /// Popularity update + empty-step bookkeeping shared by all paths.
   void finish_step();
 
   dynamics_params params_;
@@ -121,10 +177,21 @@ class finite_dynamics : public dynamics_engine {
   std::vector<double> stage_weights_;  // batched path: (1−μ)Q + μ/m
   std::vector<std::uint64_t> adopter_counts_;
   std::vector<std::uint64_t> stage_counts_;
+  // Network mode: neighbor_view_[v*m + j] = committed neighbours of v on
+  // option j, always consistent with choices_; maintained by delta.  Empty
+  // when the graph is above dense_degree_threshold (rejection mode).
+  std::vector<std::uint32_t> neighbor_view_;
+  std::vector<std::uint64_t> shard_counts_;  // per-shard stage/adopter scratch
+  std::vector<std::uint64_t> changed_;       // per-shard packed (i, was, now)
+  std::vector<std::uint32_t> changed_len_;   // entries used per shard
+  std::vector<double> adopt_below_explore_;  // fused stage-2 threshold, μ-branch
+  std::vector<double> adopt_below_copy_;     // fused stage-2 threshold, copy branch
   discrete_sampler by_popularity_;  // per-agent path: rebuilt per step, no alloc
   std::uint64_t adopters_ = 0;
   std::uint64_t empty_steps_ = 0;
   std::uint64_t steps_ = 0;
+  unsigned threads_ = 1;
+  bool network_dense_ = false;  // topology above the degree threshold
 };
 
 }  // namespace sgl::core

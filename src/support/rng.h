@@ -93,6 +93,27 @@ class rng {
     return x;
   }
 
+  /// Uniform integer in [0, bound) without modulo bias, via Lemire's
+  /// multiply-shift rejection: exactly one 64-bit word except with
+  /// probability < bound / 2^64.  Same law as next_below but a different
+  /// consumption pattern — used by the network-mode dynamics (stream
+  /// derivation v2), where the near-constant word count per draw keeps the
+  /// hot loop free of data-dependent rejection loops.  Precondition:
+  /// bound > 0.
+  constexpr std::uint64_t next_below_mul(std::uint64_t bound) noexcept {
+    unsigned __int128 prod =
+        static_cast<unsigned __int128>(next_u64()) * bound;
+    auto low = static_cast<std::uint64_t>(prod);
+    if (low < bound) {  // rare: only then can the draw be biased
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        prod = static_cast<unsigned __int128>(next_u64()) * bound;
+        low = static_cast<std::uint64_t>(prod);
+      }
+    }
+    return static_cast<std::uint64_t>(prod >> 64);
+  }
+
   /// Uniform integer in [lo, hi] inclusive.  Precondition: lo <= hi.
   constexpr std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept {
     return lo + static_cast<std::int64_t>(

@@ -134,12 +134,19 @@ int cmd_scenario(int argc, const char* const* argv) {
   flags.add_int64("horizon", 400, "steps T");
   flags.add_int64("reps", 100, "replications");
   flags.add_int64("seed", 1, "master RNG seed");
-  flags.add_int64("threads", 0, "worker threads (0 = all)");
+  flags.add_int64("threads", 0, "replication worker threads (0 = all)");
+  flags.add_int64("engine-threads", -1,
+                  "threads inside one network-mode replication (0 = all, "
+                  "-1 = keep the scenario's setting); bit-identical results "
+                  "for any value");
   flags.add_int64("agents", -1, "override the scenario's population (-1 = keep)");
   flags.add_bool("curves", false, "emit per-step curves as CSV instead of the table");
   if (flags.parse(argc, argv) != parse_status::ok) return 2;
 
   scenario::scenario_spec spec = scenario::get_scenario(flags.get_string("name"));
+  if (flags.get_int64("engine-threads") >= 0) {
+    spec.engine_threads = static_cast<unsigned>(flags.get_int64("engine-threads"));
+  }
   if (flags.get_int64("agents") >= 0) {
     const scenario::engine_kind kind = scenario::resolved_engine(spec);
     if (kind == scenario::engine_kind::infinite ||
