@@ -3,28 +3,23 @@
 // Claim: with probability ≥ 1 − 6m/N¹⁰ at every step, every option keeps
 //   Q^t_j ≥ ζ = μ(1−β)/(4m),
 // which is what lets the large-T analysis restart epochs from a ζ-floored
-// distribution.  We run long horizons (20 epochs) and report the worst
-// min-popularity seen and the per-step violation frequency.
+// distribution.  We run long horizons (20 epochs) through the generic
+// probe runner with the popularity_floor probe (the "Lemma audit" metric)
+// and report the worst min-popularity seen and the per-step violation
+// frequency.
 
-#include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "bench_common.h"
-#include "core/aggregate_dynamics.h"
+#include "core/experiment.h"
+#include "core/probe.h"
 #include "core/theory.h"
 #include "env/reward_model.h"
-#include "support/parallel.h"
-#include "support/rng.h"
-#include "support/stats.h"
 
 namespace {
 
 using namespace sgl;
-
-struct floor_stats {
-  running_stats min_popularity;  // min over (t, j) per replication
-  running_stats violation_rate;  // fraction of steps with min_j Q < zeta
-};
 
 int run(const bench::standard_options& options) {
   bench::print_banner(
@@ -44,39 +39,25 @@ int run(const bench::standard_options& options) {
       const auto horizon = static_cast<std::uint64_t>(std::ceil(20.0 * epoch));
       const auto etas = env::two_level_etas(m, 0.85, 0.35);
 
-      auto stats = parallel_reduce<floor_stats>(
-          options.replications, [] { return floor_stats{}; },
-          [&](floor_stats& fs, std::size_t rep) {
-            rng process_gen = rng::from_stream(options.seed, 2 * rep);
-            rng env_gen = rng::from_stream(options.seed, 2 * rep + 1);
-            env::bernoulli_rewards environment{etas};
-            core::aggregate_dynamics dyn{params, n};
-            std::vector<std::uint8_t> r(m);
-            double worst = 1.0;
-            std::uint64_t violations = 0;
-            for (std::uint64_t t = 1; t <= horizon; ++t) {
-              environment.sample(t, env_gen, r);
-              dyn.step(r, process_gen);
-              double min_q = 1.0;
-              for (const double q : dyn.popularity()) min_q = std::min(min_q, q);
-              worst = std::min(worst, min_q);
-              if (min_q < zeta) ++violations;
-            }
-            fs.min_popularity.add(worst);
-            fs.violation_rate.add(static_cast<double>(violations) /
-                                  static_cast<double>(horizon));
-          },
-          [](floor_stats& into, const floor_stats& from) {
-            into.min_popularity.merge(from.min_popularity);
-            into.violation_rate.merge(from.violation_rate);
-          },
-          options.threads);
+      core::run_config config;
+      config.horizon = horizon;
+      config.replications = options.replications;
+      config.seed = options.seed;
+      config.threads = options.threads;
+      const core::popularity_floor_probe prototype{zeta};
+      const core::probe* probes[] = {&prototype};
+      const auto merged = core::run_with_probes(
+          core::make_finite_engine_factory(params, n),
+          [&etas] { return std::make_unique<env::bernoulli_rewards>(etas); }, config,
+          probes);
+      const auto& floor =
+          dynamic_cast<const core::popularity_floor_probe&>(*merged[0]);
 
       table.add_row({std::to_string(m), fmt(beta, 2), std::to_string(n),
                      fmt_sci(zeta, 2), fmt(epoch, 1), std::to_string(horizon),
-                     fmt_sci(stats.min_popularity.min(), 2),
-                     fmt(stats.violation_rate.mean(), 4),
-                     bench::verdict(stats.violation_rate.mean() < 0.05)});
+                     fmt_sci(floor.min_popularity_stats().min(), 2),
+                     fmt(floor.violation_rate_stats().mean(), 4),
+                     bench::verdict(floor.violation_rate_stats().mean() < 0.05)});
     }
   }
   bench::emit(table, options);

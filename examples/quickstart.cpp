@@ -14,8 +14,10 @@
 // Build & run:  cmake --build build && ./build/quickstart
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "core/probe.h"
 #include "core/theory.h"
 #include "scenario/registry.h"
 #include "support/rng.h"
@@ -65,5 +67,22 @@ int main() {
   std::printf("\naverage regret over %llu steps: %.4f  (bound: %.3f)\n",
               static_cast<unsigned long long>(horizon), regret,
               core::theory::finite_regret_bound(params.beta));
+
+  // The same scenario under the Monte-Carlo harness with composable probes:
+  // 50 replications, measuring regret AND the consensus hitting time in one
+  // pass.  `sociolearn_cli scenario --name quickstart --probes ...` is this.
+  core::run_config config;
+  config.horizon = horizon;
+  config.replications = 50;
+  const std::vector<std::string> probes{"regret", "hitting_time(eps=0.3)"};
+  const auto merged = scenario::run_probes(spec, config, probes);
+  for (const auto& probe : merged) {
+    const core::probe_report report = probe->report();
+    std::printf("probe %s:", report.probe.c_str());
+    for (const auto& scalar : report.scalars) {
+      std::printf("  %s=%.4f", scalar.key.c_str(), scalar.value);
+    }
+    std::printf("\n");
+  }
   return 0;
 }

@@ -11,66 +11,31 @@
 namespace sgl::core {
 namespace {
 
-/// Per-shard accumulators: scalars always, curves when requested.
+/// Per-shard accumulators: one clone of every probe prototype.
 struct replication_shard {
-  running_stats regret;
-  running_stats average_reward;
-  running_stats best_mass;
-  running_stats final_best_mass;
-  running_stats empty_fraction;
-  std::optional<trajectory_estimate> curves;
+  probe_list probes;
 };
 
 void merge_shards(replication_shard& into, const replication_shard& from) {
-  into.regret.merge(from.regret);
-  into.average_reward.merge(from.average_reward);
-  into.best_mass.merge(from.best_mass);
-  into.final_best_mass.merge(from.final_best_mass);
-  into.empty_fraction.merge(from.empty_fraction);
-  if (into.curves && from.curves) {
-    into.curves->running_regret.merge(from.curves->running_regret);
-    into.curves->best_mass.merge(from.curves->best_mass);
-    into.curves->min_popularity.merge(from.curves->min_popularity);
+  for (std::size_t i = 0; i < into.probes.size(); ++i) {
+    into.probes[i]->merge(*from.probes[i]);
   }
 }
 
-run_result finish(replication_shard&& shard) {
-  run_result result;
-  result.scalars.regret = confidence_interval(shard.regret);
-  result.scalars.average_reward = confidence_interval(shard.average_reward);
-  result.scalars.best_mass = confidence_interval(shard.best_mass);
-  result.scalars.final_best_mass = confidence_interval(shard.final_best_mass);
-  result.scalars.empty_step_fraction = shard.empty_fraction.mean();
-  result.scalars.replications = shard.regret.count();
-  result.curves = std::move(shard.curves);
-  return result;
-}
-
 /// The single replication loop behind every estimate: advance `engine`
-/// through the horizon against a fresh environment, accumulating the §2.2
-/// measures into `shard`.
+/// through the horizon against a fresh environment while every probe in
+/// `probes` observes each step.
 void run_replication(const run_config& config, std::uint64_t replication,
                      env::reward_model& environment, dynamics_engine& engine,
-                     replication_shard& shard) {
+                     const probe_list& probes) {
   const std::size_t m = environment.num_options();
   rng reward_gen = rng::from_stream(config.seed, 2 * replication);
   rng process_gen = rng::from_stream(config.seed, 2 * replication + 1);
 
   std::vector<std::uint8_t> rewards(m, 0);
   std::vector<double> q_prev(m, 0.0);
-  std::vector<double> regret_curve;
-  std::vector<double> best_curve;
-  std::vector<double> min_pop_curve;
-  const bool curves = shard.curves.has_value();
-  if (curves) {
-    regret_curve.reserve(config.horizon);
-    best_curve.reserve(config.horizon);
-    min_pop_curve.reserve(config.horizon);
-  }
 
-  double reward_sum = 0.0;
-  double best_mean_sum = 0.0;
-  double best_mass_sum = 0.0;
+  for (const auto& probe : probes) probe->begin_replication(config.horizon);
 
   for (std::uint64_t t = 1; t <= config.horizon; ++t) {
     const auto popularity_now = engine.popularity();
@@ -79,37 +44,17 @@ void run_replication(const run_config& config, std::uint64_t replication,
     environment.sample(t, reward_gen, rewards);
     engine.step(rewards, process_gen);
 
-    // Group reward of step t uses the pre-step popularity Q^{t−1} (§2.2).
-    double group_reward = 0.0;
-    for (std::size_t j = 0; j < m; ++j) {
-      group_reward += q_prev[j] * static_cast<double>(rewards[j]);
-    }
-    reward_sum += group_reward;
-    const std::size_t best = environment.best_option(t);
-    best_mean_sum += environment.mean(t, best);
-    best_mass_sum += q_prev[best];
-
-    if (curves) {
-      const double td = static_cast<double>(t);
-      regret_curve.push_back((best_mean_sum - reward_sum) / td);
-      const auto q_now = engine.popularity();
-      best_curve.push_back(q_now[best]);
-      min_pop_curve.push_back(*std::min_element(q_now.begin(), q_now.end()));
-    }
+    const probe_step_view view{.t = t,
+                               .horizon = config.horizon,
+                               .popularity_before = q_prev,
+                               .rewards = rewards,
+                               .engine = engine,
+                               .environment = environment};
+    for (const auto& probe : probes) probe->on_step(view);
   }
 
-  const double horizon = static_cast<double>(config.horizon);
-  shard.regret.add((best_mean_sum - reward_sum) / horizon);
-  shard.average_reward.add(reward_sum / horizon);
-  shard.best_mass.add(best_mass_sum / horizon);
-  const auto q_final = engine.popularity();
-  shard.final_best_mass.add(q_final[environment.best_option(config.horizon)]);
-  shard.empty_fraction.add(static_cast<double>(engine.empty_steps()) / horizon);
-
-  if (curves) {
-    shard.curves->running_regret.add_series(regret_curve);
-    shard.curves->best_mass.add_series(best_curve);
-    shard.curves->min_popularity.add_series(min_pop_curve);
+  for (const auto& probe : probes) {
+    probe->end_replication(engine, environment, config.horizon);
   }
 }
 
@@ -127,8 +72,9 @@ run_config with_curves(run_config config) {
 
 }  // namespace
 
-run_result run_scenario(const engine_factory& make_engine, const env_factory& make_env,
-                        const run_config& config) {
+probe_list run_with_probes(const engine_factory& make_engine, const env_factory& make_env,
+                           const run_config& config,
+                           std::span<const probe* const> prototypes) {
   check_config(config);
   // When the runner itself spreads replications across workers, an engine
   // that also fans out internally (finite_dynamics::set_threads) would
@@ -145,9 +91,8 @@ run_result run_scenario(const engine_factory& make_engine, const env_factory& ma
       config.replications,
       [&] {
         replication_shard s;
-        if (config.collect_curves) {
-          s.curves.emplace(static_cast<std::size_t>(config.horizon));
-        }
+        s.probes.reserve(prototypes.size());
+        for (const probe* prototype : prototypes) s.probes.push_back(prototype->clone());
         return s;
       },
       [&](replication_shard& s, std::size_t replication) {
@@ -162,10 +107,46 @@ run_result run_scenario(const engine_factory& make_engine, const env_factory& ma
             agents->set_threads(1);
           }
         }
-        run_replication(config, replication, *environment, *engine, s);
+        run_replication(config, replication, *environment, *engine, s.probes);
       },
       merge_shards, config.threads);
-  return finish(std::move(shard));
+  return std::move(shard.probes);
+}
+
+regret_estimate to_regret_estimate(const regret_probe& probe) {
+  regret_estimate est;
+  est.regret = confidence_interval(probe.regret_stats());
+  est.average_reward = confidence_interval(probe.average_reward_stats());
+  est.best_mass = confidence_interval(probe.best_mass_stats());
+  est.final_best_mass = confidence_interval(probe.final_best_mass_stats());
+  est.empty_step_fraction = probe.empty_fraction_stats().mean();
+  est.replications = probe.regret_stats().count();
+  return est;
+}
+
+trajectory_estimate to_trajectory_estimate(const trajectory_probe& probe) {
+  trajectory_estimate curves{probe.running_regret().length()};
+  curves.running_regret = probe.running_regret();
+  curves.best_mass = probe.best_mass();
+  curves.min_popularity = probe.min_popularity();
+  return curves;
+}
+
+run_result run_scenario(const engine_factory& make_engine, const env_factory& make_env,
+                        const run_config& config) {
+  const regret_probe scalars;
+  const trajectory_probe curves;
+  std::vector<const probe*> prototypes{&scalars};
+  if (config.collect_curves) prototypes.push_back(&curves);
+
+  probe_list merged = run_with_probes(make_engine, make_env, config, prototypes);
+
+  run_result result;
+  result.scalars = to_regret_estimate(static_cast<const regret_probe&>(*merged[0]));
+  if (config.collect_curves) {
+    result.curves = to_trajectory_estimate(static_cast<const trajectory_probe&>(*merged[1]));
+  }
+  return result;
 }
 
 engine_factory make_infinite_engine_factory(const dynamics_params& params,

@@ -16,11 +16,15 @@
 /// non-stationary environments the benchmark is the per-step best mean
 /// Σ_t η_best(t)/T, which coincides with η₁ in the stationary case.
 ///
-/// The whole harness is one generic runner, run_scenario(): an engine
+/// The whole harness is one generic runner, run_with_probes(): an engine
 /// factory and an environment factory are invoked once per replication, the
-/// engine is advanced through the horizon, and scalar estimates (always)
-/// plus per-step curves (on request) are reduced deterministically across
-/// replications.  The historical estimate_*/collect_* entry points are thin
+/// engine is advanced through the horizon, and every installed probe
+/// (core/probe.h) observes each step and is reduced deterministically across
+/// replications.  run_scenario() is the historical fixed reduction — now a
+/// thin wrapper that installs the built-in regret (and, on request,
+/// trajectory) probes and converts their accumulators back into
+/// regret_estimate / trajectory_estimate, bit-identically to the pre-probe
+/// implementation.  The estimate_*/collect_* entry points remain thin
 /// wrappers that build the factories.
 
 #include <cstdint>
@@ -35,6 +39,7 @@
 #include "core/finite_dynamics.h"
 #include "core/infinite_dynamics.h"
 #include "core/params.h"
+#include "core/probe.h"
 #include "env/reward_model.h"
 #include "graph/graph.h"
 #include "support/stats.h"
@@ -92,14 +97,30 @@ struct run_result {
 };
 
 /// THE Monte-Carlo harness: `config.replications` independent replications,
-/// each built from the two factories, advanced `config.horizon` steps, and
-/// reduced into scalar estimates (and curves when `config.collect_curves`).
-/// Deterministic for a given seed regardless of thread count.  Throws
-/// std::invalid_argument on a zero horizon/replication count or an
-/// engine/environment option-count mismatch.
+/// each built from the two factories and advanced `config.horizon` steps
+/// while every probe in `prototypes` observes it.  Each parallel shard
+/// works on clone()s of the prototypes; shards are merged in fixed shard
+/// order, so results are bit-identical for any thread count.  Returns the
+/// merged probes, one per prototype, in order (the prototypes themselves
+/// are not touched).  Throws std::invalid_argument on a zero horizon /
+/// replication count or an engine/environment option-count mismatch.
+[[nodiscard]] probe_list run_with_probes(const engine_factory& make_engine,
+                                         const env_factory& make_env,
+                                         const run_config& config,
+                                         std::span<const probe* const> prototypes);
+
+/// The historical fixed reduction: scalar estimates (always) and per-step
+/// curves (when `config.collect_curves`), via the built-in regret /
+/// trajectory probes.
 [[nodiscard]] run_result run_scenario(const engine_factory& make_engine,
                                       const env_factory& make_env,
                                       const run_config& config);
+
+/// Converts a merged regret probe into the historical estimate struct.
+[[nodiscard]] regret_estimate to_regret_estimate(const regret_probe& probe);
+
+/// Converts a merged trajectory probe into the historical curves struct.
+[[nodiscard]] trajectory_estimate to_trajectory_estimate(const trajectory_probe& probe);
 
 /// Regret of the infinite-population dynamics (stochastic MWU).  `start`
 /// optionally overrides the uniform initial distribution (Theorem 4.6).

@@ -1,0 +1,539 @@
+#include "core/probe.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "support/text.h"  // trim_ascii / parse_full_double / closest_name
+
+namespace sgl::core {
+namespace {
+
+probe_scalar ci_scalar(std::string key, const running_stats& s) {
+  const mean_ci ci = confidence_interval(s);
+  return {.key = std::move(key), .value = ci.mean, .half_width = ci.half_width, .has_ci = true};
+}
+
+probe_scalar plain_scalar(std::string key, double value) {
+  return {.key = std::move(key), .value = value};
+}
+
+std::vector<double> series_means(const series_stats& s) {
+  std::vector<double> out(s.length());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = s.mean(i);
+  return out;
+}
+
+std::vector<double> series_half_widths(const series_stats& s) {
+  std::vector<double> out(s.length());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = s.ci(i).half_width;
+  return out;
+}
+
+}  // namespace
+
+const probe_scalar* probe_report::find_scalar(std::string_view key) const noexcept {
+  for (const auto& s : scalars) {
+    if (s.key == key) return &s;
+  }
+  return nullptr;
+}
+
+const probe_series* probe_report::find_series(std::string_view key) const noexcept {
+  for (const auto& s : series) {
+    if (s.key == key) return &s;
+  }
+  return nullptr;
+}
+
+// --- regret_probe -----------------------------------------------------------
+
+std::unique_ptr<probe> regret_probe::clone() const { return std::make_unique<regret_probe>(); }
+
+void regret_probe::begin_replication(std::uint64_t /*horizon*/) {
+  reward_sum_ = 0.0;
+  best_mean_sum_ = 0.0;
+  best_mass_sum_ = 0.0;
+}
+
+void regret_probe::on_step(const probe_step_view& step) {
+  // Group reward of step t uses the pre-step popularity Q^{t-1} (§2.2).
+  double group_reward = 0.0;
+  for (std::size_t j = 0; j < step.rewards.size(); ++j) {
+    group_reward += step.popularity_before[j] * static_cast<double>(step.rewards[j]);
+  }
+  reward_sum_ += group_reward;
+  const std::size_t best = step.environment.best_option(step.t);
+  best_mean_sum_ += step.environment.mean(step.t, best);
+  best_mass_sum_ += step.popularity_before[best];
+}
+
+void regret_probe::end_replication(const dynamics_engine& engine,
+                                   const env::reward_model& environment,
+                                   std::uint64_t horizon) {
+  const double h = static_cast<double>(horizon);
+  regret_.add((best_mean_sum_ - reward_sum_) / h);
+  average_reward_.add(reward_sum_ / h);
+  best_mass_.add(best_mass_sum_ / h);
+  const auto q_final = engine.popularity();
+  final_best_mass_.add(q_final[environment.best_option(horizon)]);
+  empty_fraction_.add(static_cast<double>(engine.empty_steps()) / h);
+}
+
+void regret_probe::merge(const probe& other) {
+  const auto& o = dynamic_cast<const regret_probe&>(other);
+  regret_.merge(o.regret_);
+  average_reward_.merge(o.average_reward_);
+  best_mass_.merge(o.best_mass_);
+  final_best_mass_.merge(o.final_best_mass_);
+  empty_fraction_.merge(o.empty_fraction_);
+}
+
+probe_report regret_probe::report() const {
+  probe_report out;
+  out.probe = name();
+  out.scalars.push_back(ci_scalar("regret", regret_));
+  out.scalars.push_back(ci_scalar("average_reward", average_reward_));
+  out.scalars.push_back(ci_scalar("best_mass", best_mass_));
+  out.scalars.push_back(ci_scalar("final_best_mass", final_best_mass_));
+  out.scalars.push_back(plain_scalar("empty_step_fraction", empty_fraction_.mean()));
+  out.scalars.push_back(
+      plain_scalar("replications", static_cast<double>(regret_.count())));
+  return out;
+}
+
+// --- trajectory_probe -------------------------------------------------------
+
+std::unique_ptr<probe> trajectory_probe::clone() const {
+  return std::make_unique<trajectory_probe>();
+}
+
+void trajectory_probe::ensure_length(std::size_t horizon) {
+  if (!running_regret_ || running_regret_->length() != horizon) {
+    running_regret_.emplace(horizon);
+    best_mass_.emplace(horizon);
+    min_popularity_.emplace(horizon);
+  }
+}
+
+void trajectory_probe::begin_replication(std::uint64_t horizon) {
+  ensure_length(static_cast<std::size_t>(horizon));
+  reward_sum_ = 0.0;
+  best_mean_sum_ = 0.0;
+  regret_curve_.clear();
+  best_curve_.clear();
+  min_pop_curve_.clear();
+  regret_curve_.reserve(horizon);
+  best_curve_.reserve(horizon);
+  min_pop_curve_.reserve(horizon);
+}
+
+void trajectory_probe::on_step(const probe_step_view& step) {
+  double group_reward = 0.0;
+  for (std::size_t j = 0; j < step.rewards.size(); ++j) {
+    group_reward += step.popularity_before[j] * static_cast<double>(step.rewards[j]);
+  }
+  reward_sum_ += group_reward;
+  const std::size_t best = step.environment.best_option(step.t);
+  best_mean_sum_ += step.environment.mean(step.t, best);
+
+  const double td = static_cast<double>(step.t);
+  regret_curve_.push_back((best_mean_sum_ - reward_sum_) / td);
+  const auto q_now = step.engine.popularity();
+  best_curve_.push_back(q_now[best]);
+  min_pop_curve_.push_back(*std::min_element(q_now.begin(), q_now.end()));
+}
+
+void trajectory_probe::end_replication(const dynamics_engine& /*engine*/,
+                                       const env::reward_model& /*environment*/,
+                                       std::uint64_t /*horizon*/) {
+  running_regret_->add_series(regret_curve_);
+  best_mass_->add_series(best_curve_);
+  min_popularity_->add_series(min_pop_curve_);
+}
+
+void trajectory_probe::merge(const probe& other) {
+  const auto& o = dynamic_cast<const trajectory_probe&>(other);
+  if (!o.running_regret_) return;
+  if (!running_regret_) {
+    running_regret_ = o.running_regret_;
+    best_mass_ = o.best_mass_;
+    min_popularity_ = o.min_popularity_;
+    return;
+  }
+  running_regret_->merge(*o.running_regret_);
+  best_mass_->merge(*o.best_mass_);
+  min_popularity_->merge(*o.min_popularity_);
+}
+
+probe_report trajectory_probe::report() const {
+  probe_report out;
+  out.probe = name();
+  if (!running_regret_) return out;
+  out.scalars.push_back(
+      plain_scalar("replications", static_cast<double>(running_regret_->replications())));
+  out.series.push_back({"running_regret_mean", series_means(*running_regret_)});
+  out.series.push_back({"running_regret_half_width", series_half_widths(*running_regret_)});
+  out.series.push_back({"best_mass_mean", series_means(*best_mass_)});
+  out.series.push_back({"best_mass_half_width", series_half_widths(*best_mass_)});
+  out.series.push_back({"min_popularity_mean", series_means(*min_popularity_)});
+  out.series.push_back({"min_popularity_half_width", series_half_widths(*min_popularity_)});
+  return out;
+}
+
+// --- hitting_time_probe -----------------------------------------------------
+
+hitting_time_probe::hitting_time_probe(double eps) : threshold_{1.0 - eps} {
+  if (!(eps > 0.0 && eps < 1.0)) {
+    throw std::invalid_argument{"hitting_time: eps must be in (0,1)"};
+  }
+}
+
+std::unique_ptr<probe> hitting_time_probe::clone() const {
+  return std::make_unique<hitting_time_probe>(1.0 - threshold_);
+}
+
+void hitting_time_probe::begin_replication(std::uint64_t /*horizon*/) { hit_at_ = 0; }
+
+void hitting_time_probe::on_step(const probe_step_view& step) {
+  if (hit_at_ != 0) return;
+  const std::size_t best = step.environment.best_option(step.t);
+  if (step.engine.popularity()[best] >= threshold_) hit_at_ = step.t;
+}
+
+void hitting_time_probe::end_replication(const dynamics_engine& /*engine*/,
+                                         const env::reward_model& /*environment*/,
+                                         std::uint64_t /*horizon*/) {
+  hit_fraction_.add(hit_at_ != 0 ? 1.0 : 0.0);
+  if (hit_at_ != 0) time_.add(static_cast<double>(hit_at_));
+}
+
+void hitting_time_probe::merge(const probe& other) {
+  const auto& o = dynamic_cast<const hitting_time_probe&>(other);
+  hit_fraction_.merge(o.hit_fraction_);
+  time_.merge(o.time_);
+}
+
+probe_report hitting_time_probe::report() const {
+  probe_report out;
+  out.probe = name();
+  out.scalars.push_back(plain_scalar("threshold", threshold_));
+  out.scalars.push_back(ci_scalar("hit_fraction", hit_fraction_));
+  out.scalars.push_back(ci_scalar("hitting_time", time_));
+  out.scalars.push_back(plain_scalar("hits", static_cast<double>(time_.count())));
+  out.scalars.push_back(
+      plain_scalar("replications", static_cast<double>(hit_fraction_.count())));
+  return out;
+}
+
+// --- popularity_floor_probe -------------------------------------------------
+
+popularity_floor_probe::popularity_floor_probe(double floor) : floor_{floor} {
+  if (!(floor >= 0.0 && floor < 1.0)) {
+    throw std::invalid_argument{"popularity_floor: floor must be in [0,1)"};
+  }
+}
+
+std::unique_ptr<probe> popularity_floor_probe::clone() const {
+  return std::make_unique<popularity_floor_probe>(floor_);
+}
+
+void popularity_floor_probe::begin_replication(std::uint64_t /*horizon*/) {
+  worst_ = 1.0;
+  violations_ = 0;
+}
+
+void popularity_floor_probe::on_step(const probe_step_view& step) {
+  const auto q = step.engine.popularity();
+  const double min_q = *std::min_element(q.begin(), q.end());
+  worst_ = std::min(worst_, min_q);
+  if (min_q < floor_) ++violations_;
+}
+
+void popularity_floor_probe::end_replication(const dynamics_engine& /*engine*/,
+                                             const env::reward_model& /*environment*/,
+                                             std::uint64_t horizon) {
+  min_.add(worst_);
+  violation_rate_.add(static_cast<double>(violations_) / static_cast<double>(horizon));
+}
+
+void popularity_floor_probe::merge(const probe& other) {
+  const auto& o = dynamic_cast<const popularity_floor_probe&>(other);
+  min_.merge(o.min_);
+  violation_rate_.merge(o.violation_rate_);
+}
+
+probe_report popularity_floor_probe::report() const {
+  probe_report out;
+  out.probe = name();
+  out.scalars.push_back(plain_scalar("floor", floor_));
+  out.scalars.push_back(ci_scalar("min_popularity", min_));
+  out.scalars.push_back(plain_scalar("min_popularity_worst", min_.min()));
+  out.scalars.push_back(ci_scalar("violation_rate", violation_rate_));
+  out.scalars.push_back(plain_scalar("replications", static_cast<double>(min_.count())));
+  return out;
+}
+
+// --- final_histogram_probe --------------------------------------------------
+
+std::unique_ptr<probe> final_histogram_probe::clone() const {
+  return std::make_unique<final_histogram_probe>();
+}
+
+void final_histogram_probe::begin_replication(std::uint64_t /*horizon*/) {}
+
+void final_histogram_probe::on_step(const probe_step_view& /*step*/) {}
+
+void final_histogram_probe::end_replication(const dynamics_engine& engine,
+                                            const env::reward_model& /*environment*/,
+                                            std::uint64_t /*horizon*/) {
+  const auto q = engine.popularity();
+  if (per_option_.size() != q.size()) per_option_.assign(q.size(), running_stats{});
+  for (std::size_t j = 0; j < q.size(); ++j) per_option_[j].add(q[j]);
+}
+
+void final_histogram_probe::merge(const probe& other) {
+  const auto& o = dynamic_cast<const final_histogram_probe&>(other);
+  if (o.per_option_.empty()) return;
+  if (per_option_.empty()) {
+    per_option_ = o.per_option_;
+    return;
+  }
+  for (std::size_t j = 0; j < per_option_.size(); ++j) per_option_[j].merge(o.per_option_[j]);
+}
+
+probe_report final_histogram_probe::report() const {
+  probe_report out;
+  out.probe = name();
+  const std::uint64_t reps = per_option_.empty() ? 0 : per_option_.front().count();
+  out.scalars.push_back(plain_scalar("replications", static_cast<double>(reps)));
+  probe_series means{"final_popularity_mean", {}};
+  probe_series widths{"final_popularity_half_width", {}};
+  for (const auto& s : per_option_) {
+    const mean_ci ci = confidence_interval(s);
+    means.values.push_back(ci.mean);
+    widths.values.push_back(ci.half_width);
+  }
+  out.series.push_back(std::move(means));
+  out.series.push_back(std::move(widths));
+  return out;
+}
+
+// --- recovery_probe ---------------------------------------------------------
+
+recovery_probe::recovery_probe(double eps) : threshold_{1.0 - eps} {
+  if (!(eps > 0.0 && eps < 1.0)) {
+    throw std::invalid_argument{"recovery: eps must be in (0,1)"};
+  }
+}
+
+std::unique_ptr<probe> recovery_probe::clone() const {
+  return std::make_unique<recovery_probe>(1.0 - threshold_);
+}
+
+void recovery_probe::begin_replication(std::uint64_t /*horizon*/) {
+  prev_best_ = static_cast<std::size_t>(-1);
+  pending_since_ = 0;
+}
+
+void recovery_probe::on_step(const probe_step_view& step) {
+  const std::size_t best = step.environment.best_option(step.t);
+  if (prev_best_ != static_cast<std::size_t>(-1) && best != prev_best_) {
+    if (pending_since_ != 0) ++unrecovered_;  // next switch arrived first
+    pending_since_ = step.t;
+    ++switches_;
+  }
+  prev_best_ = best;
+  if (pending_since_ != 0 && step.engine.popularity()[best] >= threshold_) {
+    times_.add(static_cast<double>(step.t - pending_since_));
+    pending_since_ = 0;
+  }
+}
+
+void recovery_probe::end_replication(const dynamics_engine& /*engine*/,
+                                     const env::reward_model& /*environment*/,
+                                     std::uint64_t /*horizon*/) {
+  if (pending_since_ != 0) {
+    ++unrecovered_;
+    pending_since_ = 0;
+  }
+}
+
+void recovery_probe::merge(const probe& other) {
+  const auto& o = dynamic_cast<const recovery_probe&>(other);
+  times_.merge(o.times_);
+  switches_ += o.switches_;
+  unrecovered_ += o.unrecovered_;
+}
+
+probe_report recovery_probe::report() const {
+  probe_report out;
+  out.probe = name();
+  out.scalars.push_back(plain_scalar("threshold", threshold_));
+  out.scalars.push_back(plain_scalar("switches", static_cast<double>(switches_)));
+  out.scalars.push_back(plain_scalar("recovered", static_cast<double>(times_.count())));
+  out.scalars.push_back(plain_scalar("unrecovered", static_cast<double>(unrecovered_)));
+  out.scalars.push_back(ci_scalar("recovery_time", times_));
+  return out;
+}
+
+// --- probe spec grammar -----------------------------------------------------
+
+namespace {
+
+constexpr std::array<std::string_view, 6> k_probe_names{
+    "regret",          "trajectory", "hitting_time",
+    "popularity_floor", "final_histogram", "recovery"};
+
+double parse_probe_number(std::string_view spec, std::string_view text) {
+  const std::optional<double> parsed = parse_full_double(text);
+  if (!parsed) {
+    throw std::invalid_argument{"probe '" + std::string{spec} + "': bad numeric value '" +
+                                std::string{trim_ascii(text)} + "'"};
+  }
+  return *parsed;
+}
+
+/// Parses `key=value, key=value` into pairs; values are numbers.
+std::vector<std::pair<std::string, double>> parse_probe_args(std::string_view spec,
+                                                             std::string_view args) {
+  std::vector<std::pair<std::string, double>> out;
+  std::size_t start = 0;
+  while (start <= args.size()) {
+    std::size_t comma = args.find(',', start);
+    if (comma == std::string_view::npos) comma = args.size();
+    const std::string_view item = trim_ascii(args.substr(start, comma - start));
+    if (!item.empty()) {
+      const std::size_t eq = item.find('=');
+      if (eq == std::string_view::npos) {
+        throw std::invalid_argument{"probe '" + std::string{spec} +
+                                    "': arguments must be key=value"};
+      }
+      out.emplace_back(std::string{trim_ascii(item.substr(0, eq))},
+                       parse_probe_number(spec, item.substr(eq + 1)));
+    }
+    start = comma + 1;
+  }
+  return out;
+}
+
+void no_args(std::string_view spec,
+             const std::vector<std::pair<std::string, double>>& args) {
+  if (!args.empty()) {
+    throw std::invalid_argument{"probe '" + std::string{spec} + "' takes no arguments"};
+  }
+}
+
+double only_arg(std::string_view spec,
+                const std::vector<std::pair<std::string, double>>& args,
+                std::string_view key, double fallback) {
+  double value = fallback;
+  for (const auto& [k, v] : args) {
+    if (k != key) {
+      throw std::invalid_argument{"probe '" + std::string{spec} + "': unknown argument '" +
+                                  k + "' (expected '" + std::string{key} + "')"};
+    }
+    value = v;
+  }
+  return value;
+}
+
+}  // namespace
+
+std::unique_ptr<probe> make_probe(std::string_view spec) {
+  const std::string_view trimmed = trim_ascii(spec);
+  std::string_view name = trimmed;
+  std::string_view args;
+  if (const std::size_t open = trimmed.find('('); open != std::string_view::npos) {
+    if (trimmed.back() != ')') {
+      throw std::invalid_argument{"probe '" + std::string{trimmed} +
+                                  "': missing closing ')'"};
+    }
+    name = trim_ascii(trimmed.substr(0, open));
+    args = trimmed.substr(open + 1, trimmed.size() - open - 2);
+  }
+  const auto parsed = parse_probe_args(trimmed, args);
+
+  if (name == "regret") {
+    no_args(trimmed, parsed);
+    return std::make_unique<regret_probe>();
+  }
+  if (name == "trajectory") {
+    no_args(trimmed, parsed);
+    return std::make_unique<trajectory_probe>();
+  }
+  if (name == "final_histogram") {
+    no_args(trimmed, parsed);
+    return std::make_unique<final_histogram_probe>();
+  }
+  if (name == "hitting_time") {
+    return std::make_unique<hitting_time_probe>(only_arg(trimmed, parsed, "eps", 0.1));
+  }
+  if (name == "recovery") {
+    return std::make_unique<recovery_probe>(only_arg(trimmed, parsed, "eps", 0.5));
+  }
+  if (name == "popularity_floor") {
+    return std::make_unique<popularity_floor_probe>(
+        only_arg(trimmed, parsed, "floor", 0.0));
+  }
+
+  std::string message{"unknown probe '"};
+  message += name;
+  message += "'";
+  const std::string suggestion = closest_name(name, k_probe_names);
+  if (!suggestion.empty()) {
+    message += " (did you mean '";
+    message += suggestion;
+    message += "'?)";
+  }
+  message += "; known:";
+  for (const std::string_view known : k_probe_names) {
+    message += ' ';
+    message += known;
+  }
+  throw std::invalid_argument{message};
+}
+
+std::vector<std::string> split_probe_specs(std::string_view text) {
+  std::vector<std::string> out;
+  int depth = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i < text.size() && text[i] == '(') ++depth;
+    if (i < text.size() && text[i] == ')') --depth;
+    if (i == text.size() || (text[i] == ',' && depth == 0)) {
+      const std::string_view item = trim_ascii(text.substr(start, i - start));
+      if (!item.empty()) out.emplace_back(item);
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+probe_list parse_probe_list(std::string_view text) {
+  probe_list out;
+  for (const std::string& spec : split_probe_specs(text)) {
+    out.push_back(make_probe(spec));
+  }
+  if (out.empty()) throw std::invalid_argument{"empty probe list"};
+  return out;
+}
+
+probe_list make_probes(std::span<const std::string> specs) {
+  probe_list out;
+  out.reserve(specs.size());
+  for (const std::string& spec : specs) out.push_back(make_probe(spec));
+  return out;
+}
+
+std::span<const std::string_view> known_probe_names() { return k_probe_names; }
+
+std::vector<probe_report> collect_reports(const probe_list& probes) {
+  std::vector<probe_report> out;
+  out.reserve(probes.size());
+  for (const auto& p : probes) out.push_back(p->report());
+  return out;
+}
+
+}  // namespace sgl::core

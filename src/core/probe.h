@@ -1,0 +1,329 @@
+#pragma once
+
+/// \file probe.h
+/// Composable measurement probes for the Monte-Carlo runner.
+///
+/// The paper's §2.2 measures (regret, best-option mass) used to be the
+/// *only* reduction the harness could produce: run_scenario hard-coded one
+/// result shape.  A probe decouples "what the run computes" from "how the
+/// run is driven": the runner advances each replication through the horizon
+/// and shows every step to every installed probe; the probe accumulates
+/// whatever it wants, finalizes once per replication, and merges across
+/// replications deterministically.
+///
+/// Contract (normative — see DESIGN.md "Probe contract"):
+///   * probes never consume the process or reward RNG streams, so adding or
+///     removing probes cannot change a trajectory;
+///   * clone() produces an empty accumulator of the same configuration, one
+///     per parallel shard;
+///   * merge(other) folds a clone produced by the same prototype into this
+///     one; the runner merges shards in fixed shard order, so results are
+///     bit-identical for every thread count;
+///   * report() is the machine-readable result: named scalars (optionally
+///     with a 95% CI half-width) and named series.
+///
+/// Built-in probes:
+///   regret            — the §2.2 scalar estimates (regret, average reward,
+///                       best mass, final best mass, empty-step fraction);
+///                       reproduces the historical regret_estimate exactly.
+///   trajectory        — per-step running-regret / best-mass / min-popularity
+///                       curves; reproduces trajectory_estimate exactly.
+///   hitting_time(eps) — consensus: first t with Q^t_{best(t)} >= 1 - eps.
+///   popularity_floor(floor)
+///                     — min_{t,j} Q^t_j per replication and, when a floor is
+///                       given, the per-step violation rate (§4.3.2 audit).
+///   final_histogram   — per-option mean of the final popularity Q^T.
+///   recovery(eps)     — steps from each best-option switch until
+///                       Q^t_{best(t)} >= 1 - eps again (§6 "stocks").
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/dynamics_engine.h"
+#include "env/reward_model.h"
+#include "support/stats.h"
+
+namespace sgl::core {
+
+/// One named number in a probe report; `half_width` is a 95% CI when
+/// `has_ci` is set.
+struct probe_scalar {
+  std::string key;
+  double value = 0.0;
+  double half_width = 0.0;
+  bool has_ci = false;
+};
+
+/// One named per-index series in a probe report.
+struct probe_series {
+  std::string key;
+  std::vector<double> values;
+};
+
+/// The machine-readable result of one probe after all merges.
+struct probe_report {
+  std::string probe;
+  std::vector<probe_scalar> scalars;
+  std::vector<probe_series> series;
+
+  /// The scalar with the given key; nullptr when absent.
+  [[nodiscard]] const probe_scalar* find_scalar(std::string_view key) const noexcept;
+  /// The series with the given key; nullptr when absent.
+  [[nodiscard]] const probe_series* find_series(std::string_view key) const noexcept;
+};
+
+/// What a probe sees each step.  All spans borrow the runner's buffers and
+/// are only valid during the on_step call.
+struct probe_step_view {
+  std::uint64_t t = 0;                        ///< 1-based step index
+  std::uint64_t horizon = 0;                  ///< T of this run
+  std::span<const double> popularity_before;  ///< Q^{t-1}
+  std::span<const std::uint8_t> rewards;      ///< R^t
+  const dynamics_engine& engine;              ///< post-step state (Q^t, ...)
+  const env::reward_model& environment;
+};
+
+class probe {
+ public:
+  virtual ~probe() = default;
+
+  /// Stable name used in reports and by the probe spec grammar.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// An empty accumulator with this probe's configuration (one per shard).
+  [[nodiscard]] virtual std::unique_ptr<probe> clone() const = 0;
+
+  /// Called before the first step of every replication.
+  virtual void begin_replication(std::uint64_t horizon) = 0;
+
+  /// Called after every engine step.
+  virtual void on_step(const probe_step_view& step) = 0;
+
+  /// Called after the last step of a replication, with the engine in its
+  /// final state.
+  virtual void end_replication(const dynamics_engine& engine,
+                               const env::reward_model& environment,
+                               std::uint64_t horizon) = 0;
+
+  /// Folds a sibling clone into this accumulator.  The runner calls this in
+  /// fixed shard order; implementations must be deterministic functions of
+  /// (this, other) so results are thread-count-independent.
+  virtual void merge(const probe& other) = 0;
+
+  [[nodiscard]] virtual probe_report report() const = 0;
+};
+
+using probe_list = std::vector<std::unique_ptr<probe>>;
+
+// --- built-in probes --------------------------------------------------------
+
+/// The historical §2.2 scalar reduction, bit-identical to the pre-probe
+/// run_scenario (the accumulation order is pinned by tests/probe_test.cpp).
+class regret_probe final : public probe {
+ public:
+  [[nodiscard]] std::string name() const override { return "regret"; }
+  [[nodiscard]] std::unique_ptr<probe> clone() const override;
+  void begin_replication(std::uint64_t horizon) override;
+  void on_step(const probe_step_view& step) override;
+  void end_replication(const dynamics_engine& engine,
+                       const env::reward_model& environment,
+                       std::uint64_t horizon) override;
+  void merge(const probe& other) override;
+  [[nodiscard]] probe_report report() const override;
+
+  [[nodiscard]] const running_stats& regret_stats() const noexcept { return regret_; }
+  [[nodiscard]] const running_stats& average_reward_stats() const noexcept {
+    return average_reward_;
+  }
+  [[nodiscard]] const running_stats& best_mass_stats() const noexcept { return best_mass_; }
+  [[nodiscard]] const running_stats& final_best_mass_stats() const noexcept {
+    return final_best_mass_;
+  }
+  [[nodiscard]] const running_stats& empty_fraction_stats() const noexcept {
+    return empty_fraction_;
+  }
+
+ private:
+  running_stats regret_;
+  running_stats average_reward_;
+  running_stats best_mass_;
+  running_stats final_best_mass_;
+  running_stats empty_fraction_;
+  double reward_sum_ = 0.0;
+  double best_mean_sum_ = 0.0;
+  double best_mass_sum_ = 0.0;
+};
+
+/// The historical per-step curves (running regret, best mass, min
+/// popularity), bit-identical to the pre-probe collect_* entry points.
+class trajectory_probe final : public probe {
+ public:
+  [[nodiscard]] std::string name() const override { return "trajectory"; }
+  [[nodiscard]] std::unique_ptr<probe> clone() const override;
+  void begin_replication(std::uint64_t horizon) override;
+  void on_step(const probe_step_view& step) override;
+  void end_replication(const dynamics_engine& engine,
+                       const env::reward_model& environment,
+                       std::uint64_t horizon) override;
+  void merge(const probe& other) override;
+  [[nodiscard]] probe_report report() const override;
+
+  /// Engaged once the first replication began; length = horizon.
+  [[nodiscard]] const series_stats& running_regret() const { return running_regret_.value(); }
+  [[nodiscard]] const series_stats& best_mass() const { return best_mass_.value(); }
+  [[nodiscard]] const series_stats& min_popularity() const { return min_popularity_.value(); }
+
+ private:
+  void ensure_length(std::size_t horizon);
+
+  std::optional<series_stats> running_regret_;
+  std::optional<series_stats> best_mass_;
+  std::optional<series_stats> min_popularity_;
+  std::vector<double> regret_curve_;
+  std::vector<double> best_curve_;
+  std::vector<double> min_pop_curve_;
+  double reward_sum_ = 0.0;
+  double best_mean_sum_ = 0.0;
+};
+
+/// Consensus / hitting time: the first step t at which the post-step mass of
+/// the current best option reaches 1 - eps.  Something the fixed reduction
+/// could not express (cf. Su–Zubeldia–Lynch's convergence-time metrics).
+class hitting_time_probe final : public probe {
+ public:
+  explicit hitting_time_probe(double eps);
+  [[nodiscard]] std::string name() const override { return "hitting_time"; }
+  [[nodiscard]] std::unique_ptr<probe> clone() const override;
+  void begin_replication(std::uint64_t horizon) override;
+  void on_step(const probe_step_view& step) override;
+  void end_replication(const dynamics_engine& engine,
+                       const env::reward_model& environment,
+                       std::uint64_t horizon) override;
+  void merge(const probe& other) override;
+  [[nodiscard]] probe_report report() const override;
+
+  [[nodiscard]] const running_stats& hit_fraction_stats() const noexcept {
+    return hit_fraction_;
+  }
+  [[nodiscard]] const running_stats& hitting_time_stats() const noexcept { return time_; }
+
+ private:
+  double threshold_;  // 1 - eps
+  running_stats hit_fraction_;
+  running_stats time_;
+  std::uint64_t hit_at_ = 0;  // 0 = not yet hit this replication
+};
+
+/// The §4.3.2 popularity-floor audit: the worst min_j Q^t_j per replication
+/// and, when `floor` > 0, the per-step rate at which min_j Q^t_j < floor
+/// (the claim is that with zeta = mu(1-beta)/(4m) the rate is ~0).
+class popularity_floor_probe final : public probe {
+ public:
+  explicit popularity_floor_probe(double floor);
+  [[nodiscard]] std::string name() const override { return "popularity_floor"; }
+  [[nodiscard]] std::unique_ptr<probe> clone() const override;
+  void begin_replication(std::uint64_t horizon) override;
+  void on_step(const probe_step_view& step) override;
+  void end_replication(const dynamics_engine& engine,
+                       const env::reward_model& environment,
+                       std::uint64_t horizon) override;
+  void merge(const probe& other) override;
+  [[nodiscard]] probe_report report() const override;
+
+  [[nodiscard]] const running_stats& min_popularity_stats() const noexcept { return min_; }
+  [[nodiscard]] const running_stats& violation_rate_stats() const noexcept {
+    return violation_rate_;
+  }
+
+ private:
+  double floor_;
+  running_stats min_;             // per-replication worst min_j Q^t_j
+  running_stats violation_rate_;  // per-replication fraction of violating steps
+  double worst_ = 1.0;
+  std::uint64_t violations_ = 0;
+};
+
+/// Per-option mean of the final popularity Q^T across replications.
+class final_histogram_probe final : public probe {
+ public:
+  [[nodiscard]] std::string name() const override { return "final_histogram"; }
+  [[nodiscard]] std::unique_ptr<probe> clone() const override;
+  void begin_replication(std::uint64_t horizon) override;
+  void on_step(const probe_step_view& step) override;
+  void end_replication(const dynamics_engine& engine,
+                       const env::reward_model& environment,
+                       std::uint64_t horizon) override;
+  void merge(const probe& other) override;
+  [[nodiscard]] probe_report report() const override;
+
+  [[nodiscard]] std::span<const running_stats> per_option() const noexcept {
+    return per_option_;
+  }
+
+ private:
+  std::vector<running_stats> per_option_;
+};
+
+/// Recovery time in changing environments (§6; cf. Frongillo–Schoenebeck–
+/// Tamuz): after every step where best_option(t) changes, the number of
+/// steps until the post-step mass of the new best option reaches 1 - eps.
+/// Switches that never recover before the horizon (or before the next
+/// switch) are counted separately.
+class recovery_probe final : public probe {
+ public:
+  explicit recovery_probe(double eps);
+  [[nodiscard]] std::string name() const override { return "recovery"; }
+  [[nodiscard]] std::unique_ptr<probe> clone() const override;
+  void begin_replication(std::uint64_t horizon) override;
+  void on_step(const probe_step_view& step) override;
+  void end_replication(const dynamics_engine& engine,
+                       const env::reward_model& environment,
+                       std::uint64_t horizon) override;
+  void merge(const probe& other) override;
+  [[nodiscard]] probe_report report() const override;
+
+  [[nodiscard]] const running_stats& recovery_time_stats() const noexcept { return times_; }
+  [[nodiscard]] std::uint64_t switches() const noexcept { return switches_; }
+  [[nodiscard]] std::uint64_t unrecovered() const noexcept { return unrecovered_; }
+
+ private:
+  double threshold_;  // 1 - eps
+  running_stats times_;
+  std::uint64_t switches_ = 0;
+  std::uint64_t unrecovered_ = 0;
+  std::size_t prev_best_ = static_cast<std::size_t>(-1);
+  std::uint64_t pending_since_ = 0;  // 0 = no outstanding switch
+};
+
+// --- probe spec grammar -----------------------------------------------------
+
+/// Builds a probe from a spec string: `name` or `name(key=value, ...)`.
+///   regret | trajectory | final_histogram
+///   hitting_time(eps=0.1) | recovery(eps=0.5) | popularity_floor(floor=0)
+/// Throws std::invalid_argument on unknown names (listing the known ones,
+/// suggesting the nearest), unknown argument keys, or malformed values.
+[[nodiscard]] std::unique_ptr<probe> make_probe(std::string_view spec);
+
+/// Splits a comma-separated list of probe specs into its spec strings
+/// (commas inside parentheses belong to the spec); blank items are dropped.
+[[nodiscard]] std::vector<std::string> split_probe_specs(std::string_view text);
+
+/// split_probe_specs + make_probe on each.  Throws as make_probe, and on an
+/// empty list.
+[[nodiscard]] probe_list parse_probe_list(std::string_view text);
+
+/// Builds one probe per spec string.
+[[nodiscard]] probe_list make_probes(std::span<const std::string> specs);
+
+/// The names accepted by make_probe, in a stable order.
+[[nodiscard]] std::span<const std::string_view> known_probe_names();
+
+/// report() of every probe in the list, in order.
+[[nodiscard]] std::vector<probe_report> collect_reports(const probe_list& probes);
+
+}  // namespace sgl::core

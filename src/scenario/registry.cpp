@@ -194,6 +194,70 @@ std::vector<scenario_spec> build_catalog() {
     catalog.push_back(std::move(spec));
   }
   {
+    // The canonical fully mixed spec for overrides and sweeps: the CI smoke
+    // job runs it with --set params.beta=... and a --sweep grid.
+    auto spec = base("mixed_baseline",
+                     "Fully mixed homogeneous baseline: m=10, beta=0.62, "
+                     "N=1000 via the exact aggregate engine — the canonical "
+                     "spec to override (--set) and sweep");
+    spec.params = core::theorem_params(10, 0.62);
+    spec.engine = engine_kind::aggregate;
+    spec.num_agents = 1000;
+    spec.environment.etas = env::two_level_etas(10, 0.85, 0.35);
+    catalog.push_back(std::move(spec));
+  }
+  {
+    // §6 "stocks" + the recovery probe: time to re-concentrate after each
+    // quality switch.
+    auto spec = base("switching_recovery",
+                     "Switching qualities (m=5, period 300) with the "
+                     "recovery-time probe: steps until the new best option "
+                     "regains 60% of the mass after each switch");
+    spec.params = core::theorem_params(5, 0.65);
+    spec.num_agents = 1000;
+    spec.environment.family = environment_spec::family_kind::switching;
+    spec.environment.etas = {0.85, 0.55, 0.45, 0.40, 0.35};
+    spec.environment.period = 300;
+    spec.probes = {"regret", "recovery(eps=0.4)"};
+    catalog.push_back(std::move(spec));
+  }
+  {
+    // The bottleneck topology + the hitting-time probe: consensus across
+    // the bridge.
+    auto spec = base("two_cliques_consensus",
+                     "Two 300-cliques joined by two bridges with the "
+                     "hitting-time probe: first step at which the best "
+                     "option holds 75% of the mass across the bottleneck");
+    spec.params = core::theorem_params(2, 0.65);
+    spec.engine = engine_kind::agent_based;
+    spec.num_agents = 600;
+    spec.environment.etas = {0.85, 0.35};
+    spec.topology.family = topology_spec::family_kind::two_cliques;
+    spec.topology.bridges = 2;
+    spec.probes = {"regret", "hitting_time(eps=0.25)"};
+    catalog.push_back(std::move(spec));
+  }
+  {
+    // Drifting qualities at scale: the O(m) aggregate engine makes N=1e5
+    // cheap; the final histogram shows where the mass ends up after the
+    // ranking inverts.  The drift span matches the CLI's default 400-step
+    // run, so the inversion completes without extra flags.
+    auto spec = base("drift_tracking_1e5",
+                     "Drifting qualities at N=1e5 (exact aggregate engine): "
+                     "the ranking inverts over 400 steps (the default "
+                     "horizon); the final-histogram probe shows the "
+                     "end-state mass per option");
+    spec.params = core::theorem_params(3, 0.65);
+    spec.engine = engine_kind::aggregate;
+    spec.num_agents = 100000;
+    spec.environment.family = environment_spec::family_kind::drifting;
+    spec.environment.etas = {0.80, 0.50, 0.30};
+    spec.environment.end_etas = {0.30, 0.50, 0.80};
+    spec.environment.horizon = 400;
+    spec.probes = {"regret", "final_histogram"};
+    catalog.push_back(std::move(spec));
+  }
+  {
     // Heterogeneity as a three-way rule mixture (exact grouped engine).
     auto spec = base("mixture-discernment",
                      "Heterogeneous mixture: 300 discerning (0.05/0.95), 400 "

@@ -163,9 +163,59 @@ core::engine_factory make_engine(const scenario_spec& spec) {
   throw std::invalid_argument{"make_engine: unknown engine kind"};
 }
 
+void validate_spec(const scenario_spec& spec) {
+  const auto where = [&spec](const char* what) {
+    std::string message{"scenario"};
+    if (!spec.name.empty()) {
+      message += " '";
+      message += spec.name;
+      message += "'";
+    }
+    message += ": ";
+    message += what;
+    return message;
+  };
+  spec.params.validate();
+  const std::size_t m = spec.params.num_options;
+  if (spec.environment.etas.size() != m) {
+    throw std::invalid_argument{
+        where("environment.etas has ") + std::to_string(spec.environment.etas.size()) +
+        " entries but params.num_options = " + std::to_string(m) + " (they must match)"};
+  }
+  if (spec.environment.family == environment_spec::family_kind::drifting &&
+      spec.environment.end_etas.size() != m) {
+    throw std::invalid_argument{
+        where("environment.end_etas has ") +
+        std::to_string(spec.environment.end_etas.size()) +
+        " entries but params.num_options = " + std::to_string(m) + " (they must match)"};
+  }
+  if (!spec.start.empty() && spec.start.size() != m) {
+    throw std::invalid_argument{
+        where("start has ") + std::to_string(spec.start.size()) +
+        " entries but params.num_options = " + std::to_string(m) + " (they must match)"};
+  }
+}
+
 core::run_result run(const scenario_spec& spec, const core::run_config& config) {
+  validate_spec(spec);
   return core::run_scenario(make_engine(spec), make_environment(spec.environment),
                             config);
+}
+
+core::probe_list run_probes(const scenario_spec& spec, const core::run_config& config,
+                            std::span<const std::string> probe_specs) {
+  validate_spec(spec);
+  static const std::vector<std::string> k_default{"regret"};
+  const std::span<const std::string> specs =
+      !probe_specs.empty() ? probe_specs
+      : !spec.probes.empty() ? std::span<const std::string>{spec.probes}
+                             : std::span<const std::string>{k_default};
+  const core::probe_list prototypes = core::make_probes(specs);
+  std::vector<const core::probe*> pointers;
+  pointers.reserve(prototypes.size());
+  for (const auto& p : prototypes) pointers.push_back(p.get());
+  return core::run_with_probes(make_engine(spec), make_environment(spec.environment),
+                               config, pointers);
 }
 
 }  // namespace sgl::scenario

@@ -95,6 +95,11 @@ struct scenario_spec {
   std::vector<core::rule_group> groups;        ///< grouped engine mixture
   std::vector<core::adoption_rule> agent_rules;///< per-agent rules (agent-based)
 
+  /// Default probe specs for this scenario (core/probe.h grammar, e.g.
+  /// "regret", "hitting_time(eps=0.25)").  Used by run_probes and the CLI
+  /// when the caller does not choose probes; empty means just "regret".
+  std::vector<std::string> probes;
+
   /// Optional pre-built topology, shared by every engine the factory
   /// creates.  When set it is used verbatim (the topology family/params are
   /// ignored for building, though family must not be `none`); when null,
@@ -122,9 +127,25 @@ struct scenario_spec {
 /// combination (e.g. topology requires the agent-based engine).
 [[nodiscard]] core::engine_factory make_engine(const scenario_spec& spec);
 
+/// Validates the cross-field consistency a single factory cannot see:
+/// params.validate(), environment.etas (and drifting end_etas) sized to
+/// params.num_options, and a `start` override sized to num_options.
+/// Throws std::invalid_argument with a message naming both sides — this is
+/// where an etas/num_options mismatch is reported, instead of the late
+/// engine/environment mismatch throw inside the runner.
+void validate_spec(const scenario_spec& spec);
+
 /// One-call convenience: run the scenario under the generic Monte-Carlo
-/// harness.
+/// harness.  Calls validate_spec first.
 [[nodiscard]] core::run_result run(const scenario_spec& spec,
                                    const core::run_config& config);
+
+/// Runs the scenario with an explicit probe set (core/probe.h spec
+/// grammar).  Empty `probe_specs` falls back to the scenario's own
+/// `probes` list, and failing that to {"regret"}.  Calls validate_spec.
+/// Returns the merged probes in spec order.
+[[nodiscard]] core::probe_list run_probes(const scenario_spec& spec,
+                                          const core::run_config& config,
+                                          std::span<const std::string> probe_specs = {});
 
 }  // namespace sgl::scenario

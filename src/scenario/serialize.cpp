@@ -1,0 +1,614 @@
+#include "scenario/serialize.h"
+
+#include <algorithm>
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+#include "support/json.h"  // json_number / json_escape
+#include "support/text.h"  // trim_ascii / parse_full_double / closest_name
+
+namespace sgl::scenario {
+namespace {
+
+// --- lexical helpers --------------------------------------------------------
+
+[[noreturn]] void fail(std::string_view key, const std::string& what) {
+  throw std::invalid_argument{"scenario key '" + std::string{key} + "': " + what};
+}
+
+double parse_double(std::string_view key, std::string_view text) {
+  const std::optional<double> parsed = parse_full_double(text);
+  if (!parsed) fail(key, "bad number '" + std::string{trim_ascii(text)} + "'");
+  return *parsed;
+}
+
+/// Unsigned integer, accepting both exact decimal ("100000") and numeric
+/// notation that denotes an integer ("1e5").
+std::uint64_t parse_unsigned(std::string_view key, std::string_view text) {
+  const std::string_view t = trim_ascii(text);
+  std::uint64_t exact = 0;
+  const auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), exact);
+  if (ec == std::errc{} && ptr == t.data() + t.size()) return exact;
+  const double parsed = parse_double(key, t);
+  if (!(parsed >= 0.0) || parsed != std::floor(parsed) || parsed > 9.007199254740992e15) {
+    fail(key, "expected a non-negative integer, got '" + std::string{t} + "'");
+  }
+  return static_cast<std::uint64_t>(parsed);
+}
+
+/// A string value: JSON-quoted ("...") or a bare token.
+std::string parse_string(std::string_view key, std::string_view text) {
+  const std::string_view t = trim_ascii(text);
+  if (t.empty() || t.front() != '"') return std::string{t};
+  std::string out;
+  out.reserve(t.size());
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    const char c = t[i];
+    if (c == '"') {
+      if (i + 1 != t.size()) fail(key, "text after the closing quote");
+      return out;
+    }
+    if (c != '\\') {
+      out += c;
+      continue;
+    }
+    if (++i == t.size()) fail(key, "dangling escape");
+    const char escaped = t[i];
+    switch (escaped) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        // \uXXXX (BMP only, as emitted by json_escape and by JSON encoders
+        // with ensure_ascii), decoded to UTF-8.
+        if (i + 4 >= t.size()) fail(key, "truncated \\u escape");
+        unsigned code = 0;
+        for (int digit = 0; digit < 4; ++digit) {
+          const char h = t[++i];
+          code <<= 4;
+          if (h >= '0' && h <= '9') {
+            code |= static_cast<unsigned>(h - '0');
+          } else if (h >= 'a' && h <= 'f') {
+            code |= static_cast<unsigned>(h - 'a' + 10);
+          } else if (h >= 'A' && h <= 'F') {
+            code |= static_cast<unsigned>(h - 'A' + 10);
+          } else {
+            fail(key, "bad \\u escape");
+          }
+        }
+        if (code >= 0xD800 && code < 0xE000) {
+          fail(key, "surrogate \\u escapes are not supported");
+        }
+        if (code < 0x80) {
+          out += static_cast<char>(code);
+        } else if (code < 0x800) {
+          out += static_cast<char>(0xC0U | (code >> 6));
+          out += static_cast<char>(0x80U | (code & 0x3FU));
+        } else {
+          out += static_cast<char>(0xE0U | (code >> 12));
+          out += static_cast<char>(0x80U | ((code >> 6) & 0x3FU));
+          out += static_cast<char>(0x80U | (code & 0x3FU));
+        }
+        break;
+      }
+      default: fail(key, std::string{"unsupported escape '\\"} + escaped + "'");
+    }
+  }
+  fail(key, "unterminated string");
+}
+
+/// Splits "[a, b, c]" into trimmed element texts ({} for "[]").
+std::vector<std::string_view> parse_array_elements(std::string_view key,
+                                                   std::string_view text) {
+  const std::string_view t = trim_ascii(text);
+  if (t.size() < 2 || t.front() != '[' || t.back() != ']') {
+    fail(key, "expected an array like [a, b, c], got '" + std::string{t} + "'");
+  }
+  const std::string_view body = trim_ascii(t.substr(1, t.size() - 2));
+  std::vector<std::string_view> out;
+  if (body.empty()) return out;
+  bool in_quotes = false;
+  bool escaped = false;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= body.size(); ++i) {
+    if (i < body.size()) {
+      if (escaped) {
+        escaped = false;
+        continue;
+      }
+      if (in_quotes && body[i] == '\\') {
+        escaped = true;
+        continue;
+      }
+      if (body[i] == '"') in_quotes = !in_quotes;
+    }
+    if (i == body.size() || (body[i] == ',' && !in_quotes)) {
+      out.push_back(trim_ascii(body.substr(start, i - start)));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<double> parse_double_array(std::string_view key, std::string_view text) {
+  std::vector<double> out;
+  for (const std::string_view element : parse_array_elements(key, text)) {
+    out.push_back(parse_double(key, element));
+  }
+  return out;
+}
+
+std::vector<std::string> parse_string_array(std::string_view key, std::string_view text) {
+  std::vector<std::string> out;
+  for (const std::string_view element : parse_array_elements(key, text)) {
+    out.push_back(parse_string(key, element));
+  }
+  return out;
+}
+
+std::string quote(std::string_view s) { return '"' + json_escape(s) + '"'; }
+
+std::string format_double_array(std::span<const double> values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += json_number(values[i]);
+  }
+  out += ']';
+  return out;
+}
+
+std::string format_string_array(std::span<const std::string> values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += quote(values[i]);
+  }
+  out += ']';
+  return out;
+}
+
+// --- enum names -------------------------------------------------------------
+
+template <typename Enum, std::size_t N>
+std::string_view enum_name(std::string_view key, Enum value,
+                           const std::array<std::pair<std::string_view, Enum>, N>& names) {
+  for (const auto& [name, e] : names) {
+    if (e == value) return name;
+  }
+  fail(key, "unmapped enum value");  // unreachable for in-range enums
+}
+
+template <typename Enum, std::size_t N>
+Enum enum_value(std::string_view key, std::string_view text,
+                const std::array<std::pair<std::string_view, Enum>, N>& names) {
+  const std::string parsed = parse_string(key, text);
+  for (const auto& [name, e] : names) {
+    if (name == parsed) return e;
+  }
+  std::string message = "unknown value '" + parsed + "'; known:";
+  for (const auto& [name, e] : names) {
+    message += ' ';
+    message += name;
+  }
+  fail(key, message);
+}
+
+constexpr std::array<std::pair<std::string_view, engine_kind>, 5> k_engine_names{{
+    {"auto", engine_kind::auto_select},
+    {"infinite", engine_kind::infinite},
+    {"aggregate", engine_kind::aggregate},
+    {"agent_based", engine_kind::agent_based},
+    {"grouped", engine_kind::grouped},
+}};
+
+constexpr std::array<std::pair<std::string_view, topology_spec::family_kind>, 10>
+    k_topology_names{{
+        {"none", topology_spec::family_kind::none},
+        {"complete", topology_spec::family_kind::complete},
+        {"ring", topology_spec::family_kind::ring},
+        {"grid", topology_spec::family_kind::grid},
+        {"torus", topology_spec::family_kind::torus},
+        {"star", topology_spec::family_kind::star},
+        {"erdos_renyi", topology_spec::family_kind::erdos_renyi},
+        {"watts_strogatz", topology_spec::family_kind::watts_strogatz},
+        {"barabasi_albert", topology_spec::family_kind::barabasi_albert},
+        {"two_cliques", topology_spec::family_kind::two_cliques},
+    }};
+
+constexpr std::array<std::pair<std::string_view, environment_spec::family_kind>, 4>
+    k_environment_names{{
+        {"bernoulli", environment_spec::family_kind::bernoulli},
+        {"exclusive", environment_spec::family_kind::exclusive},
+        {"switching", environment_spec::family_kind::switching},
+        {"drifting", environment_spec::family_kind::drifting},
+    }};
+
+// --- the key table ----------------------------------------------------------
+
+/// Non-indexed keys, in canonical serialization order.  `groups.N.size/
+/// alpha/beta` and `agent_rules.N.alpha/beta` are the indexed families.
+constexpr std::array<std::string_view, 24> k_keys{
+    "name",
+    "description",
+    "engine",
+    "num_agents",
+    "engine_threads",
+    "params.num_options",
+    "params.mu",
+    "params.beta",
+    "params.alpha",
+    "environment.family",
+    "environment.etas",
+    "environment.end_etas",
+    "environment.period",
+    "environment.horizon",
+    "topology.family",
+    "topology.rows",
+    "topology.cols",
+    "topology.edge_probability",
+    "topology.degree",
+    "topology.rewire_probability",
+    "topology.bridges",
+    "topology.seed",
+    "start",
+    "probes",
+};
+
+[[noreturn]] void unknown_key(std::string_view key) {
+  std::string message{"unknown scenario key '"};
+  message += key;
+  message += "'";
+  std::vector<std::string_view> candidates{k_keys.begin(), k_keys.end()};
+  candidates.insert(candidates.end(),
+                    {"groups.0.size", "groups.0.alpha", "groups.0.beta",
+                     "agent_rules.0.alpha", "agent_rules.0.beta"});
+  const std::string suggestion = closest_name(key, candidates);
+  if (!suggestion.empty()) {
+    message += " (did you mean '";
+    message += suggestion;
+    message += "'?)";
+  }
+  throw std::invalid_argument{message};
+}
+
+/// Parses "<family>.<index>.<field>" tails; returns false when `key` does
+/// not start with `family.`.
+bool split_indexed(std::string_view key, std::string_view family, std::size_t& index,
+                   std::string_view& field) {
+  if (!key.starts_with(family) || key.size() <= family.size() ||
+      key[family.size()] != '.') {
+    return false;
+  }
+  const std::string_view tail = key.substr(family.size() + 1);
+  const std::size_t dot = tail.find('.');
+  if (dot == std::string_view::npos) unknown_key(key);
+  const std::string_view index_text = tail.substr(0, dot);
+  const auto [ptr, ec] =
+      std::from_chars(index_text.data(), index_text.data() + index_text.size(), index);
+  if (ec != std::errc{} || ptr != index_text.data() + index_text.size()) unknown_key(key);
+  field = tail.substr(dot + 1);
+  return true;
+}
+
+/// Fetches entry `index` of `entries`, appending one default entry when the
+/// key addresses one past the end (how the text format builds lists).
+template <typename T>
+T& addressed_entry(std::string_view key, std::vector<T>& entries, std::size_t index) {
+  if (index == entries.size()) entries.emplace_back();
+  if (index >= entries.size()) {
+    fail(key, "index " + std::to_string(index) + " skips entries (list has " +
+                  std::to_string(entries.size()) + ")");
+  }
+  return entries[index];
+}
+
+}  // namespace
+
+void apply_override(scenario_spec& spec, std::string_view key, std::string_view value) {
+  const std::string_view k = trim_ascii(key);
+  const std::string_view v = trim_ascii(value);
+
+  if (k == "name") {
+    spec.name = parse_string(k, v);
+  } else if (k == "description") {
+    spec.description = parse_string(k, v);
+  } else if (k == "engine") {
+    spec.engine = enum_value(k, v, k_engine_names);
+  } else if (k == "num_agents") {
+    spec.num_agents = parse_unsigned(k, v);
+  } else if (k == "engine_threads") {
+    spec.engine_threads = static_cast<unsigned>(parse_unsigned(k, v));
+  } else if (k == "params.num_options") {
+    spec.params.num_options = static_cast<std::size_t>(parse_unsigned(k, v));
+  } else if (k == "params.mu") {
+    spec.params.mu = parse_double(k, v);
+  } else if (k == "params.beta") {
+    spec.params.beta = parse_double(k, v);
+  } else if (k == "params.alpha") {
+    spec.params.alpha = parse_double(k, v);
+  } else if (k == "environment.family") {
+    spec.environment.family = enum_value(k, v, k_environment_names);
+  } else if (k == "environment.etas") {
+    spec.environment.etas = parse_double_array(k, v);
+  } else if (k == "environment.end_etas") {
+    spec.environment.end_etas = parse_double_array(k, v);
+  } else if (k == "environment.period") {
+    spec.environment.period = parse_unsigned(k, v);
+  } else if (k == "environment.horizon") {
+    spec.environment.horizon = parse_unsigned(k, v);
+  } else if (k == "topology.family") {
+    spec.topology.family = enum_value(k, v, k_topology_names);
+  } else if (k == "topology.rows") {
+    spec.topology.rows = static_cast<std::size_t>(parse_unsigned(k, v));
+  } else if (k == "topology.cols") {
+    spec.topology.cols = static_cast<std::size_t>(parse_unsigned(k, v));
+  } else if (k == "topology.edge_probability") {
+    spec.topology.edge_probability = parse_double(k, v);
+  } else if (k == "topology.degree") {
+    spec.topology.degree = static_cast<std::size_t>(parse_unsigned(k, v));
+  } else if (k == "topology.rewire_probability") {
+    spec.topology.rewire_probability = parse_double(k, v);
+  } else if (k == "topology.bridges") {
+    spec.topology.bridges = static_cast<std::size_t>(parse_unsigned(k, v));
+  } else if (k == "topology.seed") {
+    spec.topology.seed = parse_unsigned(k, v);
+  } else if (k == "start") {
+    spec.start = parse_double_array(k, v);
+  } else if (k == "probes") {
+    spec.probes = parse_string_array(k, v);
+  } else {
+    std::size_t index = 0;
+    std::string_view field;
+    if (split_indexed(k, "groups", index, field)) {
+      core::rule_group& group = addressed_entry(k, spec.groups, index);
+      if (field == "size") {
+        group.size = parse_unsigned(k, v);
+      } else if (field == "alpha") {
+        group.rule.alpha = parse_double(k, v);
+      } else if (field == "beta") {
+        group.rule.beta = parse_double(k, v);
+      } else {
+        unknown_key(k);
+      }
+    } else if (split_indexed(k, "agent_rules", index, field)) {
+      core::adoption_rule& rule = addressed_entry(k, spec.agent_rules, index);
+      if (field == "alpha") {
+        rule.alpha = parse_double(k, v);
+      } else if (field == "beta") {
+        rule.beta = parse_double(k, v);
+      } else {
+        unknown_key(k);
+      }
+    } else {
+      unknown_key(k);
+    }
+  }
+}
+
+void apply_override(scenario_spec& spec, std::string_view assignment) {
+  const std::size_t eq = assignment.find('=');
+  if (eq == std::string_view::npos) {
+    throw std::invalid_argument{"override '" + std::string{assignment} +
+                                "' must be key=value"};
+  }
+  apply_override(spec, assignment.substr(0, eq), assignment.substr(eq + 1));
+}
+
+std::vector<std::pair<std::string, std::string>> scenario_fields(
+    const scenario_spec& spec) {
+  std::vector<std::pair<std::string, std::string>> fields;
+  const auto add = [&fields](std::string_view key, std::string value) {
+    fields.emplace_back(std::string{key}, std::move(value));
+  };
+  add("name", quote(spec.name));
+  add("description", quote(spec.description));
+  add("engine", quote(enum_name("engine", spec.engine, k_engine_names)));
+  add("num_agents", std::to_string(spec.num_agents));
+  add("engine_threads", std::to_string(spec.engine_threads));
+  add("params.num_options", std::to_string(spec.params.num_options));
+  add("params.mu", json_number(spec.params.mu));
+  add("params.beta", json_number(spec.params.beta));
+  add("params.alpha", json_number(spec.params.alpha));
+  add("environment.family",
+      quote(enum_name("environment.family", spec.environment.family, k_environment_names)));
+  add("environment.etas", format_double_array(spec.environment.etas));
+  add("environment.end_etas", format_double_array(spec.environment.end_etas));
+  add("environment.period", std::to_string(spec.environment.period));
+  add("environment.horizon", std::to_string(spec.environment.horizon));
+  add("topology.family",
+      quote(enum_name("topology.family", spec.topology.family, k_topology_names)));
+  add("topology.rows", std::to_string(spec.topology.rows));
+  add("topology.cols", std::to_string(spec.topology.cols));
+  add("topology.edge_probability", json_number(spec.topology.edge_probability));
+  add("topology.degree", std::to_string(spec.topology.degree));
+  add("topology.rewire_probability", json_number(spec.topology.rewire_probability));
+  add("topology.bridges", std::to_string(spec.topology.bridges));
+  add("topology.seed", std::to_string(spec.topology.seed));
+  add("start", format_double_array(spec.start));
+  add("probes", format_string_array(spec.probes));
+  for (std::size_t g = 0; g < spec.groups.size(); ++g) {
+    const std::string prefix = "groups." + std::to_string(g) + ".";
+    add(prefix + "size", std::to_string(spec.groups[g].size));
+    add(prefix + "alpha", json_number(spec.groups[g].rule.alpha));
+    add(prefix + "beta", json_number(spec.groups[g].rule.beta));
+  }
+  for (std::size_t i = 0; i < spec.agent_rules.size(); ++i) {
+    const std::string prefix = "agent_rules." + std::to_string(i) + ".";
+    add(prefix + "alpha", json_number(spec.agent_rules[i].alpha));
+    add(prefix + "beta", json_number(spec.agent_rules[i].beta));
+  }
+  return fields;
+}
+
+std::string serialize_scenario(const scenario_spec& spec) {
+  std::string out = "# sociolearn scenario v1\n";
+  for (const auto& [key, value] : scenario_fields(spec)) {
+    out += key;
+    out += " = ";
+    out += value;
+    out += '\n';
+  }
+  return out;
+}
+
+scenario_spec parse_scenario(std::string_view text) {
+  scenario_spec spec;
+  std::size_t line_number = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t newline = text.find('\n', start);
+    if (newline == std::string_view::npos) newline = text.size();
+    std::string_view line = text.substr(start, newline - start);
+    start = newline + 1;
+    ++line_number;
+
+    // Strip a trailing comment ('#' outside quotes).
+    bool in_quotes = false;
+    bool escaped = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (escaped) {
+        escaped = false;
+        continue;
+      }
+      if (in_quotes && line[i] == '\\') {
+        escaped = true;
+        continue;
+      }
+      if (line[i] == '"') in_quotes = !in_quotes;
+      if (line[i] == '#' && !in_quotes) {
+        line = line.substr(0, i);
+        break;
+      }
+    }
+    line = trim_ascii(line);
+    if (line.empty()) continue;
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::invalid_argument{"line " + std::to_string(line_number) +
+                                  ": expected 'key = value', got '" + std::string{line} +
+                                  "'"};
+    }
+    try {
+      apply_override(spec, line.substr(0, eq), line.substr(eq + 1));
+    } catch (const std::invalid_argument& error) {
+      throw std::invalid_argument{"line " + std::to_string(line_number) + ": " +
+                                  error.what()};
+    }
+  }
+  return spec;
+}
+
+sweep_axis parse_sweep_axis(std::string_view text) {
+  const std::string_view t = trim_ascii(text);
+  const std::size_t eq = t.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    throw std::invalid_argument{"sweep axis '" + std::string{t} +
+                                "' must be key=lo:hi:step or key=v1,v2,..."};
+  }
+  sweep_axis axis;
+  axis.key = std::string{trim_ascii(t.substr(0, eq))};
+  const std::string_view values = trim_ascii(t.substr(eq + 1));
+  if (values.empty()) {
+    throw std::invalid_argument{"sweep axis '" + std::string{t} + "' has no values"};
+  }
+
+  if (values.find(':') != std::string_view::npos) {
+    // Inclusive numeric range lo:hi:step.
+    std::array<double, 3> parts{};
+    std::size_t part = 0;
+    std::size_t from = 0;
+    for (std::size_t i = 0; i <= values.size(); ++i) {
+      if (i == values.size() || values[i] == ':') {
+        if (part >= 3) {
+          throw std::invalid_argument{"sweep range '" + std::string{values} +
+                                      "' must be lo:hi:step"};
+        }
+        parts[part++] = parse_double(axis.key, values.substr(from, i - from));
+        from = i + 1;
+      }
+    }
+    if (part != 3) {
+      throw std::invalid_argument{"sweep range '" + std::string{values} +
+                                  "' must be lo:hi:step"};
+    }
+    const auto [lo, hi, step] = parts;
+    if (!(step > 0.0)) {
+      throw std::invalid_argument{"sweep range '" + std::string{values} +
+                                  "': step must be > 0"};
+    }
+    if (lo > hi) {
+      throw std::invalid_argument{"sweep range '" + std::string{values} +
+                                  "': lo must be <= hi"};
+    }
+    const double count_d = std::floor((hi - lo) / step + 1e-9) + 1.0;
+    if (count_d > 10000.0) {
+      throw std::invalid_argument{"sweep range '" + std::string{values} +
+                                  "' expands to more than 10000 points"};
+    }
+    const auto count = static_cast<std::size_t>(count_d);
+    char buffer[40];
+    for (std::size_t i = 0; i < count; ++i) {
+      // 12 significant digits keep grid points on the intended decimals
+      // (0.55 + 2*0.05 prints as 0.65, not 0.65000000000000013) while
+      // staying deterministic.
+      std::snprintf(buffer, sizeof buffer, "%.12g", lo + static_cast<double>(i) * step);
+      axis.values.emplace_back(buffer);
+    }
+  } else {
+    std::size_t from = 0;
+    for (std::size_t i = 0; i <= values.size(); ++i) {
+      if (i == values.size() || values[i] == ',') {
+        const std::string_view item = trim_ascii(values.substr(from, i - from));
+        if (item.empty()) {
+          throw std::invalid_argument{"sweep list '" + std::string{values} +
+                                      "' has an empty value"};
+        }
+        axis.values.emplace_back(item);
+        from = i + 1;
+      }
+    }
+  }
+  return axis;
+}
+
+std::vector<std::vector<std::pair<std::string, std::string>>> expand_sweep(
+    std::span<const sweep_axis> axes) {
+  std::size_t total = 1;
+  for (const sweep_axis& axis : axes) {
+    if (axis.values.empty()) {
+      throw std::invalid_argument{"sweep axis '" + axis.key + "' has no values"};
+    }
+    if (total > 100000 / axis.values.size()) {
+      throw std::invalid_argument{"sweep grid exceeds 100000 runs"};
+    }
+    total *= axis.values.size();
+  }
+  std::vector<std::vector<std::pair<std::string, std::string>>> grid;
+  grid.reserve(total);
+  for (std::size_t index = 0; index < total; ++index) {
+    std::vector<std::pair<std::string, std::string>> point;
+    point.reserve(axes.size());
+    // Mixed-radix decomposition; the last axis varies fastest.
+    std::size_t remainder = index;
+    std::size_t radix = total;
+    for (const sweep_axis& axis : axes) {
+      radix /= axis.values.size();
+      const std::size_t digit = remainder / radix;
+      remainder %= radix;
+      point.emplace_back(axis.key, axis.values[digit]);
+    }
+    grid.push_back(std::move(point));
+  }
+  return grid;
+}
+
+}  // namespace sgl::scenario

@@ -1,22 +1,28 @@
 #include "support/flags.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdio>
+#include <numeric>
 #include <stdexcept>
 
 namespace sgl {
 namespace {
 
-const char* type_name(const std::variant<std::int64_t, double, bool, std::string>& v) {
+using flag_value =
+    std::variant<std::int64_t, double, bool, std::string, std::vector<std::string>>;
+
+const char* type_name(const flag_value& v) {
   switch (v.index()) {
     case 0: return "int";
     case 1: return "float";
     case 2: return "bool";
-    default: return "string";
+    case 3: return "string";
+    default: return "list";
   }
 }
 
-std::string value_to_string(const std::variant<std::int64_t, double, bool, std::string>& v) {
+std::string value_to_string(const flag_value& v) {
   switch (v.index()) {
     case 0: return std::to_string(std::get<std::int64_t>(v));
     case 1: {
@@ -25,7 +31,16 @@ std::string value_to_string(const std::variant<std::int64_t, double, bool, std::
       return buffer;
     }
     case 2: return std::get<bool>(v) ? "true" : "false";
-    default: return std::get<std::string>(v);
+    case 3: return std::get<std::string>(v);
+    default: {
+      const auto& items = std::get<std::vector<std::string>>(v);
+      return items.empty() ? "empty, repeatable"
+                           : std::accumulate(std::next(items.begin()), items.end(),
+                                             items.front(),
+                                             [](std::string acc, const std::string& s) {
+                                               return std::move(acc) + "," + s;
+                                             });
+    }
   }
 }
 
@@ -58,6 +73,9 @@ void flag_set::add_string(const std::string& name, std::string default_value,
                           const std::string& help) {
   add(name, std::move(default_value), help);
 }
+void flag_set::add_string_list(const std::string& name, const std::string& help) {
+  add(name, std::vector<std::string>{}, help);
+}
 
 const flag_set::entry& flag_set::find(const std::string& name) const {
   const auto it = entries_.find(name);
@@ -82,6 +100,16 @@ bool flag_set::get_bool(const std::string& name) const {
 }
 const std::string& flag_set::get_string(const std::string& name) const {
   return std::get<std::string>(find(name).current);
+}
+const std::vector<std::string>& flag_set::get_string_list(const std::string& name) const {
+  return std::get<std::vector<std::string>>(find(name).current);
+}
+
+std::string flag_set::closest_flag(const std::string& name) const {
+  std::vector<std::string_view> known;
+  known.reserve(entries_.size());
+  for (const auto& [flag, e] : entries_) known.push_back(flag);
+  return closest_name(name, known);
 }
 
 bool flag_set::assign(entry& e, const std::string& text) {
@@ -115,8 +143,11 @@ bool flag_set::assign(entry& e, const std::string& text) {
       }
       return false;
     }
-    default:
+    case 3:
       e.current = text;
+      return true;
+    default:
+      std::get<std::vector<std::string>>(e.current).push_back(text);
       return true;
   }
 }
@@ -143,8 +174,14 @@ parse_status flag_set::parse(int argc, const char* const* argv) {
     }
     const auto it = entries_.find(arg);
     if (it == entries_.end()) {
-      std::fprintf(stderr, "%s: unknown flag '--%s' (try --help)\n", program_name_.c_str(),
-                   arg.c_str());
+      const std::string suggestion = closest_flag(arg);
+      if (suggestion.empty()) {
+        std::fprintf(stderr, "%s: unknown flag '--%s' (try --help)\n",
+                     program_name_.c_str(), arg.c_str());
+      } else {
+        std::fprintf(stderr, "%s: unknown flag '--%s' (did you mean '--%s'? try --help)\n",
+                     program_name_.c_str(), arg.c_str(), suggestion.c_str());
+      }
       return parse_status::error;
     }
     entry& e = it->second;

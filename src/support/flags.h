@@ -2,14 +2,18 @@
 
 /// \file flags.h
 /// A small command-line flag parser for the bench and example binaries.
-/// Supports `--name value`, `--name=value`, bare boolean `--name`, and
-/// `--help`.  Unknown flags are an error so typos never silently fall back
-/// to defaults.
+/// Supports `--name value`, `--name=value`, bare boolean `--name`,
+/// repeatable list flags, and `--help`.  Unknown flags are an error (with a
+/// nearest-name suggestion) so typos never silently fall back to defaults.
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <variant>
+#include <vector>
+
+#include "support/text.h"  // edit_distance / closest_name for suggestions
 
 namespace sgl {
 
@@ -28,6 +32,8 @@ class flag_set {
   void add_double(const std::string& name, double default_value, const std::string& help);
   void add_bool(const std::string& name, bool default_value, const std::string& help);
   void add_string(const std::string& name, std::string default_value, const std::string& help);
+  /// A repeatable flag: every `--name value` occurrence appends to the list.
+  void add_string_list(const std::string& name, const std::string& help);
 
   /// Parses argv.  Returns parse_status; on `error` / `help` the caller
   /// should exit.
@@ -37,12 +43,18 @@ class flag_set {
   [[nodiscard]] double get_double(const std::string& name) const;
   [[nodiscard]] bool get_bool(const std::string& name) const;
   [[nodiscard]] const std::string& get_string(const std::string& name) const;
+  [[nodiscard]] const std::vector<std::string>& get_string_list(const std::string& name) const;
+
+  /// The registered flag name closest to `name` by edit distance, or ""
+  /// when nothing is close enough to be a plausible typo.
+  [[nodiscard]] std::string closest_flag(const std::string& name) const;
 
   /// Prints usage to stdout.
   void print_usage() const;
 
  private:
-  using value = std::variant<std::int64_t, double, bool, std::string>;
+  using value =
+      std::variant<std::int64_t, double, bool, std::string, std::vector<std::string>>;
 
   struct entry {
     value current;

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file json.h
+/// A minimal streaming JSON writer for machine-readable results — no DOM,
+/// no allocation beyond the nesting stack.  Numbers are emitted with the
+/// shortest representation that round-trips exactly (json_number), so a
+/// JSON result file carries full double precision.  Used by the CLI's
+/// `--format json` paths and the scenario serializer's spec echo.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sgl {
+
+/// `value` escaped for a JSON string literal, without the quotes.
+[[nodiscard]] std::string json_escape(std::string_view value);
+
+/// The shortest decimal text that parses back to exactly `value`
+/// ("0.65", "1e+06", "0.55000000000000004"); non-finite values become
+/// "null" (JSON has no NaN/Inf).
+[[nodiscard]] std::string json_number(double value);
+
+/// Streaming writer with well-formedness checks (mismatched begin/end,
+/// value without key inside an object, and so on throw std::logic_error).
+class json_writer {
+ public:
+  /// `indent` spaces per nesting level; 0 = compact single-line output.
+  explicit json_writer(std::ostream& os, int indent = 2);
+
+  json_writer& begin_object();
+  json_writer& end_object();
+  json_writer& begin_array();
+  json_writer& end_array();
+
+  /// Emits the key of the next object member.
+  json_writer& key(std::string_view k);
+
+  json_writer& value(double v);
+  json_writer& value(std::int64_t v);
+  json_writer& value(std::uint64_t v);
+  json_writer& value(bool v);
+  json_writer& value(std::string_view v);
+  json_writer& value(const char* v) { return value(std::string_view{v}); }
+  json_writer& null();
+
+  /// Emits pre-formatted JSON text verbatim as the next value.  The caller
+  /// guarantees `text` is itself valid JSON.
+  json_writer& raw(std::string_view text);
+
+ private:
+  struct level {
+    bool is_array = false;
+    bool first = true;
+  };
+
+  void before_value();
+  void newline_indent();
+
+  std::ostream& os_;
+  int indent_;
+  bool have_key_ = false;  // inside an object, key() was just written
+  std::vector<level> stack_;
+};
+
+}  // namespace sgl

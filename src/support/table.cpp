@@ -5,6 +5,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "support/json.h"
+
 namespace sgl {
 
 std::string fmt(double value, int precision) {
@@ -70,8 +72,6 @@ void text_table::print(std::ostream& os) const {
   for (const auto& row : rows_) print_row(row);
 }
 
-namespace {
-
 std::string csv_escape(const std::string& cell) {
   if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
   std::string out = "\"";
@@ -83,7 +83,19 @@ std::string csv_escape(const std::string& cell) {
   return out;
 }
 
-}  // namespace
+void text_table::write_json(std::ostream& os) const {
+  json_writer json{os};
+  json.begin_array();
+  for (const auto& row : rows_) {
+    json.begin_object();
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      json.key(header_[c]).value(row[c]);
+    }
+    json.end_object();
+  }
+  json.end_array();
+  os << '\n';
+}
 
 void text_table::write_csv(std::ostream& os) const {
   auto write_row = [&](const std::vector<std::string>& row) {

@@ -20,6 +20,11 @@ namespace sgl {
 /// "mean ± half_width" with a fixed precision.
 [[nodiscard]] std::string fmt_pm(double mean, double half_width, int precision = 4);
 
+/// RFC-4180-ish escaping for one CSV cell (quotes cells containing
+/// separators/quotes/newlines).  Shared by text_table::write_csv and
+/// callers that stream CSV row by row.
+[[nodiscard]] std::string csv_escape(const std::string& cell);
+
 /// A simple right-aligned table with a header row.
 class text_table {
  public:
@@ -36,6 +41,10 @@ class text_table {
 
   /// RFC-4180-ish CSV (quotes cells containing separators/quotes).
   void write_csv(std::ostream& os) const;
+
+  /// JSON: an array of objects, one per row, keyed by the header cells.
+  /// Cell values are emitted as JSON strings (the table layer is untyped).
+  void write_json(std::ostream& os) const;
 
  private:
   std::vector<std::string> header_;

@@ -1,0 +1,363 @@
+// Tests for the probe API: the built-in regret/trajectory probes must
+// reproduce the pre-redesign estimate_*/collect_* numbers EXACTLY (golden
+// values captured from the fixed-reduction implementation before probes
+// existed), probes must merge deterministically across thread counts, the
+// new probes must measure what they claim, and the probe spec grammar must
+// parse and reject correctly.
+
+#include "core/probe.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/params.h"
+#include "env/reward_model.h"
+#include "scenario/registry.h"
+#include "scenario/scenario.h"
+
+namespace sgl::core {
+namespace {
+
+env_factory bernoulli_factory(std::vector<double> etas) {
+  return [etas] { return std::make_unique<env::bernoulli_rewards>(etas); };
+}
+
+probe_list run_probe(const engine_factory& engines, const env_factory& envs,
+                     const run_config& config, const probe& prototype) {
+  const probe* pointers[] = {&prototype};
+  return run_with_probes(engines, envs, config, pointers);
+}
+
+// --- golden equivalence with the pre-redesign fixed reduction ---------------
+//
+// These constants were printed with %.17g by the seed implementation (the
+// hand-rolled reduction inside run_scenario, commit 9959ddf) and parse back
+// to the exact doubles it produced.  The probe-based runner must match them
+// bit for bit.
+
+TEST(probe_golden, finite_regret_estimate_matches_pre_redesign_numbers) {
+  run_config config;
+  config.horizon = 60;
+  config.replications = 24;
+  config.seed = 123;
+  config.threads = 3;
+  const regret_estimate est = estimate_finite_regret(
+      theorem_params(3, 0.65), 400, bernoulli_factory({0.8, 0.45, 0.4}), config);
+
+  EXPECT_EQ(est.regret.mean, 0.11268049156909628);
+  EXPECT_EQ(est.regret.half_width, 0.021475501421871532);
+  EXPECT_EQ(est.average_reward.mean, 0.68731950843090306);
+  EXPECT_EQ(est.average_reward.half_width, 0.021475501421871535);
+  EXPECT_EQ(est.best_mass.mean, 0.72277625267115508);
+  EXPECT_EQ(est.best_mass.half_width, 0.026129920786873245);
+  EXPECT_EQ(est.final_best_mass.mean, 0.74980178302420897);
+  EXPECT_EQ(est.final_best_mass.half_width, 0.057725300701185804);
+  EXPECT_EQ(est.empty_step_fraction, 0.0);
+  EXPECT_EQ(est.replications, 24U);
+}
+
+TEST(probe_golden, infinite_regret_estimate_matches_pre_redesign_numbers) {
+  run_config config;
+  config.horizon = 50;
+  config.replications = 16;
+  config.seed = 7;
+  config.threads = 2;
+  const regret_estimate est = estimate_infinite_regret(
+      theorem_params(4, 0.62), bernoulli_factory({0.8, 0.4, 0.4, 0.4}), config);
+
+  EXPECT_EQ(est.regret.mean, 0.11550083862632068);
+  EXPECT_EQ(est.regret.half_width, 0.028754513917564894);
+  EXPECT_EQ(est.average_reward.mean, 0.68449916137367917);
+  EXPECT_EQ(est.best_mass.mean, 0.69211775996976077);
+  EXPECT_EQ(est.best_mass.half_width, 0.04161534184372806);
+  EXPECT_EQ(est.final_best_mass.mean, 0.85030293216284636);
+  EXPECT_EQ(est.final_best_mass.half_width, 0.031665777695948506);
+  EXPECT_EQ(est.replications, 16U);
+}
+
+TEST(probe_golden, finite_trajectory_matches_pre_redesign_numbers) {
+  run_config config;
+  config.horizon = 40;
+  config.replications = 10;
+  config.seed = 31;
+  config.threads = 4;
+  const trajectory_estimate curves = collect_finite_trajectory(
+      theorem_params(2, 0.62), 250, bernoulli_factory({0.85, 0.35}), config);
+
+  EXPECT_EQ(curves.running_regret.mean(0), 0.24999999999999997);
+  EXPECT_EQ(curves.running_regret.mean(39), 0.083470043833588622);
+  EXPECT_EQ(curves.running_regret.ci(39).half_width, 0.041483229633138073);
+  EXPECT_EQ(curves.best_mass.mean(39), 0.91374372553448369);
+  EXPECT_EQ(curves.best_mass.ci(39).half_width, 0.03073259684297832);
+  EXPECT_EQ(curves.min_popularity.mean(39), 0.086256274465516244);
+  EXPECT_EQ(curves.best_mass.replications(), 10U);
+}
+
+TEST(probe_golden, ring_scenario_matches_pre_redesign_numbers) {
+  run_config config;
+  config.horizon = 30;
+  config.replications = 8;
+  config.seed = 5;
+  config.threads = 2;
+  const run_result result = scenario::run(scenario::get_scenario("ring"), config);
+
+  EXPECT_EQ(result.scalars.regret.mean, 0.17502155660354757);
+  EXPECT_EQ(result.scalars.regret.half_width, 0.031087072503648484);
+  EXPECT_EQ(result.scalars.average_reward.mean, 0.67497844339645274);
+  EXPECT_EQ(result.scalars.best_mass.mean, 0.68957747915354717);
+  EXPECT_EQ(result.scalars.final_best_mass.mean, 0.6832410721701172);
+}
+
+// --- probe-vs-wrapper equivalence -------------------------------------------
+
+TEST(probe, regret_probe_report_equals_estimate_wrapper) {
+  const dynamics_params params = theorem_params(3, 0.65);
+  const auto envs = bernoulli_factory({0.8, 0.45, 0.4});
+  run_config config;
+  config.horizon = 50;
+  config.replications = 12;
+  config.seed = 9;
+
+  const regret_estimate est = estimate_finite_regret(params, 200, envs, config);
+  const auto merged = run_probe(make_finite_engine_factory(params, 200), envs, config,
+                                regret_probe{});
+  const auto& probe = dynamic_cast<const regret_probe&>(*merged[0]);
+  const regret_estimate from_probe = to_regret_estimate(probe);
+  EXPECT_EQ(est.regret.mean, from_probe.regret.mean);
+  EXPECT_EQ(est.regret.half_width, from_probe.regret.half_width);
+  EXPECT_EQ(est.final_best_mass.mean, from_probe.final_best_mass.mean);
+
+  const probe_report report = probe.report();
+  ASSERT_NE(report.find_scalar("regret"), nullptr);
+  EXPECT_EQ(report.find_scalar("regret")->value, est.regret.mean);
+  EXPECT_EQ(report.find_scalar("regret")->half_width, est.regret.half_width);
+  EXPECT_EQ(report.find_scalar("replications")->value, 12.0);
+}
+
+TEST(probe, reports_are_thread_count_independent) {
+  const dynamics_params params = theorem_params(2, 0.65);
+  const auto envs = bernoulli_factory({0.85, 0.35});
+  run_config config;
+  config.horizon = 40;
+  config.replications = 20;
+  config.seed = 77;
+
+  const auto run_at = [&](unsigned threads) {
+    run_config c = config;
+    c.threads = threads;
+    std::vector<std::unique_ptr<probe>> prototypes;
+    prototypes.push_back(std::make_unique<regret_probe>());
+    prototypes.push_back(std::make_unique<hitting_time_probe>(0.3));
+    prototypes.push_back(std::make_unique<popularity_floor_probe>(0.01));
+    prototypes.push_back(std::make_unique<final_histogram_probe>());
+    std::vector<const probe*> pointers;
+    for (const auto& p : prototypes) pointers.push_back(p.get());
+    return collect_reports(
+        run_with_probes(make_finite_engine_factory(params, 300), envs, c, pointers));
+  };
+
+  const auto one = run_at(1);
+  const auto eight = run_at(8);
+  ASSERT_EQ(one.size(), eight.size());
+  for (std::size_t p = 0; p < one.size(); ++p) {
+    ASSERT_EQ(one[p].scalars.size(), eight[p].scalars.size()) << one[p].probe;
+    for (std::size_t s = 0; s < one[p].scalars.size(); ++s) {
+      EXPECT_EQ(one[p].scalars[s].value, eight[p].scalars[s].value)
+          << one[p].probe << "." << one[p].scalars[s].key;
+      EXPECT_EQ(one[p].scalars[s].half_width, eight[p].scalars[s].half_width)
+          << one[p].probe << "." << one[p].scalars[s].key;
+    }
+  }
+}
+
+// --- the new probes measure what they claim ---------------------------------
+
+TEST(probe, hitting_time_on_learning_run) {
+  const dynamics_params params = theorem_params(2, 0.65);
+  run_config config;
+  config.horizon = 120;
+  config.replications = 10;
+  config.seed = 3;
+  const auto merged =
+      run_probe(make_finite_engine_factory(params, 400),
+                bernoulli_factory({0.9, 0.2}), config, hitting_time_probe{0.3});
+  const auto& probe = dynamic_cast<const hitting_time_probe&>(*merged[0]);
+  // A strongly separated two-option instance concentrates well past 70%.
+  EXPECT_EQ(probe.hit_fraction_stats().mean(), 1.0);
+  EXPECT_GE(probe.hitting_time_stats().mean(), 1.0);
+  EXPECT_LT(probe.hitting_time_stats().mean(), 120.0);
+  const probe_report report = probe.report();
+  EXPECT_EQ(report.find_scalar("hits")->value, 10.0);
+  EXPECT_EQ(report.find_scalar("threshold")->value, 0.7);
+}
+
+TEST(probe, popularity_floor_stays_positive_with_exploration) {
+  const dynamics_params params = theorem_params(2, 0.62);
+  run_config config;
+  config.horizon = 80;
+  config.replications = 8;
+  config.seed = 11;
+  const auto merged =
+      run_probe(make_finite_engine_factory(params, 500),
+                bernoulli_factory({0.85, 0.35}), config, popularity_floor_probe{0.0});
+  const auto& probe = dynamic_cast<const popularity_floor_probe&>(*merged[0]);
+  EXPECT_GT(probe.min_popularity_stats().min(), 0.0);
+  EXPECT_LE(probe.min_popularity_stats().min(), probe.min_popularity_stats().mean());
+  // floor = 0 can never be violated.
+  EXPECT_EQ(probe.violation_rate_stats().mean(), 0.0);
+}
+
+TEST(probe, final_histogram_masses_sum_to_one) {
+  const dynamics_params params = theorem_params(3, 0.65);
+  run_config config;
+  config.horizon = 60;
+  config.replications = 6;
+  config.seed = 21;
+  const auto merged =
+      run_probe(make_finite_engine_factory(params, 300),
+                bernoulli_factory({0.8, 0.5, 0.3}), config, final_histogram_probe{});
+  const probe_report report = merged[0]->report();
+  const probe_series* means = report.find_series("final_popularity_mean");
+  ASSERT_NE(means, nullptr);
+  ASSERT_EQ(means->values.size(), 3U);
+  double total = 0.0;
+  for (const double v : means->values) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // The best option should dominate the histogram.
+  EXPECT_GT(means->values[0], means->values[1]);
+  EXPECT_GT(means->values[0], means->values[2]);
+}
+
+TEST(probe, recovery_counts_switches_and_measures_recovery) {
+  const dynamics_params params = theorem_params(2, 0.65);
+  run_config config;
+  config.horizon = 240;
+  config.replications = 6;
+  config.seed = 13;
+  const env_factory envs = [] {
+    return std::make_unique<env::switching_rewards>(std::vector<double>{0.85, 0.35}, 80);
+  };
+  const auto merged = run_probe(make_finite_engine_factory(params, 500), envs, config,
+                                recovery_probe{0.4});
+  const auto& probe = dynamic_cast<const recovery_probe&>(*merged[0]);
+  // The best option rotates at t = 80, 160, 240: three switches per
+  // replication, every one either recovered or counted unrecovered.
+  EXPECT_EQ(probe.switches(), 6U * 3U);
+  EXPECT_EQ(probe.switches(), probe.recovery_time_stats().count() + probe.unrecovered());
+  EXPECT_GT(probe.recovery_time_stats().count(), 0U);
+  EXPECT_GT(probe.recovery_time_stats().mean(), 0.0);
+}
+
+TEST(probe, deterministic_schedule_never_recovers_when_threshold_unreachable) {
+  // alpha = beta = 0.5 is signal-blind: mass stays diffuse, so a 0.99
+  // threshold is never reached and every switch counts as unrecovered.
+  dynamics_params params = theorem_params(2, 0.65);
+  params.alpha = 0.5;
+  params.beta = 0.5;
+  run_config config;
+  config.horizon = 100;
+  config.replications = 4;
+  config.seed = 17;
+  const env_factory envs = [] {
+    return std::make_unique<env::switching_rewards>(std::vector<double>{0.85, 0.35}, 40);
+  };
+  const auto merged = run_probe(make_finite_engine_factory(params, 100), envs, config,
+                                recovery_probe{0.01});
+  const auto& probe = dynamic_cast<const recovery_probe&>(*merged[0]);
+  EXPECT_EQ(probe.recovery_time_stats().count(), 0U);
+  EXPECT_EQ(probe.unrecovered(), probe.switches());
+  EXPECT_GT(probe.switches(), 0U);
+}
+
+// --- probes never consume the RNG stream ------------------------------------
+
+TEST(probe, adding_probes_does_not_change_results) {
+  const dynamics_params params = theorem_params(2, 0.65);
+  const auto envs = bernoulli_factory({0.85, 0.35});
+  run_config config;
+  config.horizon = 50;
+  config.replications = 8;
+  config.seed = 41;
+
+  const auto bare = run_probe(make_finite_engine_factory(params, 200), envs, config,
+                              regret_probe{});
+  const regret_probe scalars;
+  const hitting_time_probe hitting{0.2};
+  const trajectory_probe curves;
+  const final_histogram_probe histogram;
+  const probe* pointers[] = {&scalars, &hitting, &curves, &histogram};
+  const auto full =
+      run_with_probes(make_finite_engine_factory(params, 200), envs, config, pointers);
+
+  const auto& a = dynamic_cast<const regret_probe&>(*bare[0]);
+  const auto& b = dynamic_cast<const regret_probe&>(*full[0]);
+  EXPECT_EQ(a.regret_stats().mean(), b.regret_stats().mean());
+  EXPECT_EQ(a.final_best_mass_stats().mean(), b.final_best_mass_stats().mean());
+}
+
+// --- scenario-level probe selection -----------------------------------------
+
+TEST(probe, scenario_run_probes_uses_spec_defaults_then_fallback) {
+  scenario::scenario_spec spec = scenario::get_scenario("switching_recovery");
+  run_config config;
+  config.horizon = 40;
+  config.replications = 2;
+  config.seed = 1;
+  config.threads = 1;
+
+  const auto defaults = scenario::run_probes(spec, config);
+  ASSERT_EQ(defaults.size(), 2U);  // the spec's {regret, recovery(eps=0.4)}
+  EXPECT_EQ(defaults[0]->name(), "regret");
+  EXPECT_EQ(defaults[1]->name(), "recovery");
+
+  spec.probes.clear();
+  const auto fallback = scenario::run_probes(spec, config);
+  ASSERT_EQ(fallback.size(), 1U);
+  EXPECT_EQ(fallback[0]->name(), "regret");
+
+  const std::vector<std::string> chosen{"final_histogram"};
+  const auto explicit_choice = scenario::run_probes(spec, config, chosen);
+  ASSERT_EQ(explicit_choice.size(), 1U);
+  EXPECT_EQ(explicit_choice[0]->name(), "final_histogram");
+}
+
+// --- the spec grammar -------------------------------------------------------
+
+TEST(probe_grammar, parses_names_and_arguments) {
+  EXPECT_EQ(make_probe("regret")->name(), "regret");
+  EXPECT_EQ(make_probe(" trajectory ")->name(), "trajectory");
+  EXPECT_EQ(make_probe("hitting_time(eps=0.25)")->name(), "hitting_time");
+  EXPECT_EQ(make_probe("recovery( eps = 0.3 )")->name(), "recovery");
+  EXPECT_EQ(make_probe("popularity_floor(floor=0.001)")->name(), "popularity_floor");
+
+  const auto list = parse_probe_list("regret, hitting_time(eps=0.1), final_histogram");
+  ASSERT_EQ(list.size(), 3U);
+  EXPECT_EQ(list[0]->name(), "regret");
+  EXPECT_EQ(list[1]->name(), "hitting_time");
+  EXPECT_EQ(list[2]->name(), "final_histogram");
+}
+
+TEST(probe_grammar, rejects_bad_specs) {
+  EXPECT_THROW((void)make_probe("no_such_probe"), std::invalid_argument);
+  EXPECT_THROW((void)make_probe("hitting_time(eps=0.1"), std::invalid_argument);
+  EXPECT_THROW((void)make_probe("hitting_time(threshold=0.9)"), std::invalid_argument);
+  EXPECT_THROW((void)make_probe("hitting_time(eps=zero)"), std::invalid_argument);
+  EXPECT_THROW((void)make_probe("hitting_time(eps=2.0)"), std::invalid_argument);
+  EXPECT_THROW((void)make_probe("regret(eps=0.1)"), std::invalid_argument);
+  EXPECT_THROW((void)parse_probe_list(""), std::invalid_argument);
+
+  // Typos suggest the nearest known probe.
+  try {
+    (void)make_probe("hitting_tme");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string{error.what()}.find("hitting_time"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace sgl::core

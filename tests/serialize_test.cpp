@@ -1,0 +1,268 @@
+// Tests for the scenario text format: round-trip over the ENTIRE registry
+// (field-exact and run-bit-identical), the --set override grammar, and the
+// --sweep axis grammar, including the error paths.
+
+#include "scenario/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "scenario/registry.h"
+#include "scenario/scenario.h"
+
+namespace sgl::scenario {
+namespace {
+
+TEST(serialize, round_trip_is_field_exact_over_the_whole_registry) {
+  for (const auto& spec : all_scenarios()) {
+    const std::string text = serialize_scenario(spec);
+    const scenario_spec parsed = parse_scenario(text);
+    EXPECT_EQ(scenario_fields(spec), scenario_fields(parsed)) << spec.name;
+    // Serialization is canonical: a second round trip is textually stable.
+    EXPECT_EQ(text, serialize_scenario(parsed)) << spec.name;
+  }
+}
+
+TEST(serialize, round_trip_runs_bit_identically_over_the_whole_registry) {
+  for (const auto& spec : all_scenarios()) {
+    core::run_config config;
+    config.seed = 19;
+    config.threads = 2;
+    // Large populations get a minimal config so the full-registry sweep
+    // stays fast; bit-identicality is config-independent.
+    const bool large = spec.num_agents >= 100000;
+    config.horizon = large ? 4 : 12;
+    config.replications = large ? 1 : 2;
+
+    const scenario_spec parsed = parse_scenario(serialize_scenario(spec));
+    const core::run_result original = run(spec, config);
+    const core::run_result reparsed = run(parsed, config);
+    EXPECT_EQ(original.scalars.regret.mean, reparsed.scalars.regret.mean) << spec.name;
+    EXPECT_EQ(original.scalars.regret.half_width, reparsed.scalars.regret.half_width)
+        << spec.name;
+    EXPECT_EQ(original.scalars.average_reward.mean, reparsed.scalars.average_reward.mean)
+        << spec.name;
+    EXPECT_EQ(original.scalars.best_mass.mean, reparsed.scalars.best_mass.mean)
+        << spec.name;
+    EXPECT_EQ(original.scalars.final_best_mass.mean,
+              reparsed.scalars.final_best_mass.mean)
+        << spec.name;
+  }
+}
+
+TEST(serialize, groups_and_rules_round_trip) {
+  scenario_spec spec;
+  spec.name = "grouped";
+  spec.params = core::theorem_params(2, 0.65);
+  spec.environment.etas = {0.8, 0.4};
+  spec.groups = {{60, {0.2, 0.8}}, {40, {0.35, 0.65}}};
+  spec.agent_rules = {{0.1, 0.9}, {0.3, 0.7}};
+  const scenario_spec parsed = parse_scenario(serialize_scenario(spec));
+  ASSERT_EQ(parsed.groups.size(), 2U);
+  EXPECT_EQ(parsed.groups[0].size, 60U);
+  EXPECT_EQ(parsed.groups[0].rule.alpha, 0.2);
+  EXPECT_EQ(parsed.groups[1].rule.beta, 0.65);
+  ASSERT_EQ(parsed.agent_rules.size(), 2U);
+  EXPECT_EQ(parsed.agent_rules[1].alpha, 0.3);
+}
+
+TEST(parse_scenario, partial_specs_keep_defaults_and_allow_comments) {
+  const scenario_spec parsed = parse_scenario(
+      "# comment-only line\n"
+      "name = \"partial\"   # trailing comment\n"
+      "\n"
+      "params.beta = 0.7\n"
+      "environment.etas = [0.9, 0.3]\n");
+  EXPECT_EQ(parsed.name, "partial");
+  EXPECT_EQ(parsed.params.beta, 0.7);
+  ASSERT_EQ(parsed.environment.etas.size(), 2U);
+  // Untouched fields keep scenario_spec defaults.
+  EXPECT_EQ(parsed.num_agents, 1000U);
+  EXPECT_EQ(parsed.engine, engine_kind::auto_select);
+}
+
+TEST(parse_scenario, quoted_strings_handle_escapes_exactly) {
+  // An escaped backslash before the closing quote must not hide the quote
+  // from the comment stripper.
+  const scenario_spec parsed = parse_scenario("name = \"a\\\\\" # note\n");
+  EXPECT_EQ(parsed.name, "a\\");
+
+  // A backslash that escapes the would-be closing quote leaves the string
+  // unterminated.
+  EXPECT_THROW((void)parse_scenario("name = \"abc\\\"\n"), std::invalid_argument);
+  // Text after the closing quote is an error, not silently dropped.
+  EXPECT_THROW((void)parse_scenario("name = \"abc\" def\n"), std::invalid_argument);
+  // A lone trailing backslash is a dangling escape.
+  scenario_spec spec;
+  EXPECT_THROW(apply_override(spec, "name", "\"abc\\"), std::invalid_argument);
+
+  // Escaped quotes and separators survive an array round trip.
+  spec.probes = {"with \"quote\"", "with, comma"};
+  const scenario_spec round = parse_scenario(serialize_scenario(spec));
+  EXPECT_EQ(round.probes, spec.probes);
+
+  // \uXXXX escapes parse (json_escape emits them for control characters,
+  // and ensure_ascii JSON encoders emit them for everything non-ASCII).
+  EXPECT_EQ(parse_scenario("name = \"\\u0041\\u00e9\"\n").name, "A\xc3\xa9");
+  scenario_spec control;
+  control.name = std::string{"a\x01z"};
+  EXPECT_EQ(parse_scenario(serialize_scenario(control)).name, control.name);
+  EXPECT_THROW((void)parse_scenario("name = \"\\u00\"\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse_scenario("name = \"\\ud800x\"\n"), std::invalid_argument);
+}
+
+TEST(parse_scenario, errors_carry_line_numbers) {
+  try {
+    (void)parse_scenario("name = \"x\"\nnot a key value line\n");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string{error.what()}.find("line 2"), std::string::npos);
+  }
+}
+
+TEST(apply_override, typed_values_and_scientific_integers) {
+  scenario_spec spec;
+  apply_override(spec, "num_agents=1e5");
+  EXPECT_EQ(spec.num_agents, 100000U);
+  apply_override(spec, "params.num_options", "10");
+  EXPECT_EQ(spec.params.num_options, 10U);
+  apply_override(spec, "params.beta=0.72");
+  EXPECT_EQ(spec.params.beta, 0.72);
+  apply_override(spec, "engine", "\"agent_based\"");
+  EXPECT_EQ(spec.engine, engine_kind::agent_based);
+  apply_override(spec, "engine=infinite");  // bare enum token also accepted
+  EXPECT_EQ(spec.engine, engine_kind::infinite);
+  apply_override(spec, "topology.family=watts_strogatz");
+  EXPECT_EQ(spec.topology.family, topology_spec::family_kind::watts_strogatz);
+  apply_override(spec, "environment.etas=[0.9, 0.5, 0.1]");
+  ASSERT_EQ(spec.environment.etas.size(), 3U);
+  EXPECT_EQ(spec.environment.etas[2], 0.1);
+  apply_override(spec, "probes=[\"regret\", \"hitting_time(eps=0.2)\"]");
+  ASSERT_EQ(spec.probes.size(), 2U);
+  EXPECT_EQ(spec.probes[1], "hitting_time(eps=0.2)");
+}
+
+TEST(apply_override, indexed_keys_append_in_order) {
+  scenario_spec spec;
+  apply_override(spec, "groups.0.size=300");
+  apply_override(spec, "groups.0.alpha=0.05");
+  apply_override(spec, "groups.0.beta=0.95");
+  apply_override(spec, "groups.1.size=700");
+  ASSERT_EQ(spec.groups.size(), 2U);
+  EXPECT_EQ(spec.groups[0].size, 300U);
+  EXPECT_EQ(spec.groups[0].rule.beta, 0.95);
+  EXPECT_EQ(spec.groups[1].size, 700U);
+  // Addressing far past the end is an error (no silent gaps).
+  EXPECT_THROW(apply_override(spec, "groups.5.size=1"), std::invalid_argument);
+}
+
+TEST(apply_override, rejects_bad_keys_and_values) {
+  scenario_spec spec;
+  EXPECT_THROW(apply_override(spec, "params.beta"), std::invalid_argument);  // no '='
+  EXPECT_THROW(apply_override(spec, "params.beta=abc"), std::invalid_argument);
+  EXPECT_THROW(apply_override(spec, "num_agents=-5"), std::invalid_argument);
+  EXPECT_THROW(apply_override(spec, "num_agents=2.5"), std::invalid_argument);
+  EXPECT_THROW(apply_override(spec, "engine=warp_drive"), std::invalid_argument);
+  EXPECT_THROW(apply_override(spec, "environment.etas=0.5"), std::invalid_argument);
+  EXPECT_THROW(apply_override(spec, "groups.0.gamma=1"), std::invalid_argument);
+  EXPECT_THROW(apply_override(spec, "no.such.key=1"), std::invalid_argument);
+
+  try {
+    apply_override(spec, "params.bta=0.7");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string{error.what()}.find("params.beta"), std::string::npos)
+        << "should suggest the nearest key, got: " << error.what();
+  }
+}
+
+TEST(sweep_grammar, range_axis_expands_inclusively) {
+  const sweep_axis axis = parse_sweep_axis("params.beta=0.55:0.75:0.05");
+  EXPECT_EQ(axis.key, "params.beta");
+  ASSERT_EQ(axis.values.size(), 5U);
+  EXPECT_EQ(axis.values.front(), "0.55");
+  EXPECT_EQ(axis.values[2], "0.65");  // rounded to clean decimals
+  EXPECT_EQ(axis.values.back(), "0.75");
+}
+
+TEST(sweep_grammar, list_axis_keeps_value_texts) {
+  const sweep_axis axis = parse_sweep_axis("num_agents=1e3,1e4,1e5");
+  EXPECT_EQ(axis.key, "num_agents");
+  ASSERT_EQ(axis.values.size(), 3U);
+  EXPECT_EQ(axis.values[0], "1e3");
+  EXPECT_EQ(axis.values[2], "1e5");
+
+  // Non-numeric lists sweep enum-valued keys.
+  const sweep_axis families = parse_sweep_axis("topology.family=ring,torus");
+  ASSERT_EQ(families.values.size(), 2U);
+  EXPECT_EQ(families.values[1], "torus");
+}
+
+TEST(sweep_grammar, grid_is_cartesian_last_axis_fastest) {
+  const std::vector<sweep_axis> axes{parse_sweep_axis("params.beta=0.6,0.7"),
+                                     parse_sweep_axis("num_agents=100,200,300")};
+  const auto grid = expand_sweep(axes);
+  ASSERT_EQ(grid.size(), 6U);
+  EXPECT_EQ(grid[0][0].second, "0.6");
+  EXPECT_EQ(grid[0][1].second, "100");
+  EXPECT_EQ(grid[1][1].second, "200");  // last axis varies fastest
+  EXPECT_EQ(grid[2][1].second, "300");
+  EXPECT_EQ(grid[3][0].second, "0.7");
+  EXPECT_EQ(grid[3][1].second, "100");
+  EXPECT_EQ(grid[5][1].second, "300");
+
+  // No axes = exactly one run with no assignments.
+  const auto single = expand_sweep({});
+  ASSERT_EQ(single.size(), 1U);
+  EXPECT_TRUE(single[0].empty());
+}
+
+TEST(sweep_grammar, rejects_malformed_axes) {
+  EXPECT_THROW((void)parse_sweep_axis("params.beta"), std::invalid_argument);
+  EXPECT_THROW((void)parse_sweep_axis("=0.5,0.6"), std::invalid_argument);
+  EXPECT_THROW((void)parse_sweep_axis("params.beta="), std::invalid_argument);
+  EXPECT_THROW((void)parse_sweep_axis("params.beta=0.6:0.5:0.1"), std::invalid_argument);
+  EXPECT_THROW((void)parse_sweep_axis("params.beta=0.5:0.6:0"), std::invalid_argument);
+  EXPECT_THROW((void)parse_sweep_axis("params.beta=0.5:0.6:-0.1"), std::invalid_argument);
+  EXPECT_THROW((void)parse_sweep_axis("params.beta=0.5:0.6"), std::invalid_argument);
+  EXPECT_THROW((void)parse_sweep_axis("params.beta=0:1:1e-9"), std::invalid_argument);
+  EXPECT_THROW((void)parse_sweep_axis("params.beta=0.5,,0.6"), std::invalid_argument);
+}
+
+TEST(sweep_grammar, overrides_from_sweep_values_apply) {
+  const sweep_axis axis = parse_sweep_axis("params.beta=0.55:0.65:0.05");
+  scenario_spec spec = get_scenario("mixed_baseline");
+  apply_override(spec, axis.key, axis.values[1]);
+  EXPECT_EQ(spec.params.beta, 0.6);
+}
+
+TEST(validate_spec, names_both_sides_of_an_etas_mismatch) {
+  scenario_spec spec = get_scenario("ring");
+  spec.environment.etas = {0.8, 0.4, 0.2};
+  try {
+    validate_spec(spec);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("3"), std::string::npos) << what;
+    EXPECT_NE(what.find("num_options = 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("ring"), std::string::npos) << what;
+  }
+  core::run_config config;
+  config.horizon = 5;
+  config.replications = 1;
+  EXPECT_THROW((void)run(spec, config), std::invalid_argument);
+}
+
+TEST(validate_spec, drifting_checks_end_etas_too) {
+  scenario_spec spec = get_scenario("drifting-crossover");
+  EXPECT_NO_THROW(validate_spec(spec));
+  spec.environment.end_etas.pop_back();
+  EXPECT_THROW(validate_spec(spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sgl::scenario

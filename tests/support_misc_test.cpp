@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "support/flags.h"
+#include "support/json.h"
 #include "support/parallel.h"
 #include "support/stats.h"
 #include "support/table.h"
@@ -130,6 +131,61 @@ TEST(flag_set, unknown_flag_is_error) {
   EXPECT_EQ(flags.parse(3, argv), parse_status::error);
 }
 
+TEST(flag_set, equals_form_parses_every_type) {
+  flag_set flags{"prog", "test"};
+  flags.add_int64("reps", 10, "");
+  flags.add_double("beta", 0.6, "");
+  flags.add_bool("quick", false, "");
+  flags.add_string("out", "none", "");
+  const char* argv[] = {"prog", "--reps=25", "--beta=0.7", "--quick=true", "--out=x.csv"};
+  ASSERT_EQ(flags.parse(5, argv), parse_status::ok);
+  EXPECT_EQ(flags.get_int64("reps"), 25);
+  EXPECT_DOUBLE_EQ(flags.get_double("beta"), 0.7);
+  EXPECT_TRUE(flags.get_bool("quick"));
+  EXPECT_EQ(flags.get_string("out"), "x.csv");
+}
+
+TEST(flag_set, string_list_flags_accumulate) {
+  flag_set flags{"prog", "test"};
+  flags.add_string_list("set", "override");
+  const char* argv[] = {"prog", "--set", "a=1", "--set=b=2", "--set", "c=3"};
+  ASSERT_EQ(flags.parse(6, argv), parse_status::ok);
+  const std::vector<std::string> expected{"a=1", "b=2", "c=3"};
+  EXPECT_EQ(flags.get_string_list("set"), expected);
+}
+
+TEST(flag_set, string_list_defaults_empty) {
+  flag_set flags{"prog", "test"};
+  flags.add_string_list("set", "override");
+  const char* argv[] = {"prog"};
+  ASSERT_EQ(flags.parse(1, argv), parse_status::ok);
+  EXPECT_TRUE(flags.get_string_list("set").empty());
+}
+
+TEST(flag_set, suggests_nearest_flag_for_typos) {
+  flag_set flags{"prog", "test"};
+  flags.add_int64("horizon", 100, "");
+  flags.add_int64("reps", 10, "");
+  flags.add_string("name", "x", "");
+  EXPECT_EQ(flags.closest_flag("horzon"), "horizon");
+  EXPECT_EQ(flags.closest_flag("nme"), "name");
+  EXPECT_EQ(flags.closest_flag("repss"), "reps");
+  // Nothing close enough: no suggestion.
+  EXPECT_EQ(flags.closest_flag("zzzzzzzzzz"), "");
+  const char* argv[] = {"prog", "--horzon", "5"};
+  EXPECT_EQ(flags.parse(3, argv), parse_status::error);
+}
+
+TEST(edit_distance, counts_single_edits) {
+  EXPECT_EQ(edit_distance("", ""), 0U);
+  EXPECT_EQ(edit_distance("abc", "abc"), 0U);
+  EXPECT_EQ(edit_distance("abc", "abd"), 1U);   // substitute
+  EXPECT_EQ(edit_distance("abc", "ab"), 1U);    // delete
+  EXPECT_EQ(edit_distance("abc", "xabc"), 1U);  // insert
+  EXPECT_EQ(edit_distance("kitten", "sitting"), 3U);
+  EXPECT_EQ(edit_distance("", "abc"), 3U);
+}
+
 TEST(flag_set, bad_value_is_error) {
   flag_set flags{"prog", "test"};
   flags.add_int64("n", 1, "");
@@ -166,6 +222,59 @@ TEST(flag_set, duplicate_registration_throws) {
 TEST(flag_set, unregistered_get_throws) {
   flag_set flags{"prog", "test"};
   EXPECT_THROW(flags.get_int64("ghost"), std::invalid_argument);
+}
+
+// --- json -----------------------------------------------------------------------
+
+TEST(json, escape_handles_specials) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+}
+
+TEST(json, number_is_shortest_exact_round_trip) {
+  EXPECT_EQ(json_number(0.65), "0.65");
+  EXPECT_EQ(json_number(1000000.0), "1000000");
+  EXPECT_EQ(json_number(1e300), "1e+300");
+  EXPECT_EQ(json_number(0.0), "0");
+  // A value needing all 17 digits survives the round trip.
+  const double awkward = 0.1 + 0.2;
+  EXPECT_EQ(std::stod(json_number(awkward)), awkward);
+  EXPECT_EQ(json_number(std::nan("")), "null");
+}
+
+TEST(json, writer_produces_valid_nested_documents) {
+  std::ostringstream out;
+  json_writer json{out, 0};  // compact
+  json.begin_object();
+  json.key("name").value("x");
+  json.key("values").begin_array().value(1.5).value(std::uint64_t{2}).end_array();
+  json.key("nested").begin_object().key("flag").value(true).end_object();
+  json.key("none").null();
+  json.key("raw").raw("[0.85, 0.35]");
+  json.end_object();
+  EXPECT_EQ(out.str(),
+            "{\"name\":\"x\",\"values\":[1.5,2],\"nested\":{\"flag\":true},"
+            "\"none\":null,\"raw\":[0.85, 0.35]}");
+}
+
+TEST(json, writer_rejects_malformed_sequences) {
+  std::ostringstream out;
+  json_writer json{out};
+  json.begin_object();
+  EXPECT_THROW(json.value(1.0), std::logic_error);  // value without key
+  json.key("k");
+  EXPECT_THROW(json.key("k2"), std::logic_error);  // key after key
+  json.value(1.0);
+  EXPECT_THROW(json.end_array(), std::logic_error);  // mismatched close
+}
+
+TEST(text_table, json_is_an_array_of_row_objects) {
+  text_table t{{"a", "b"}};
+  t.add_row({"1", "x\"y"});
+  std::ostringstream out;
+  t.write_json(out);
+  EXPECT_EQ(out.str(), "[\n  {\n    \"a\": \"1\",\n    \"b\": \"x\\\"y\"\n  }\n]\n");
 }
 
 // --- parallel_for ---------------------------------------------------------------

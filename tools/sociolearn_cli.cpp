@@ -5,7 +5,15 @@
 //   sociolearn_cli scenarios
 //       lists the named scenarios of the registry.
 //   sociolearn_cli scenario  --name ring --horizon 400 --reps 50
-//       runs a registered scenario under the Monte-Carlo harness.
+//       runs a scenario under the Monte-Carlo harness.  The spec can come
+//       from the registry (--name) or a text file (--file spec.scn); --set
+//       key=value overrides individual fields (e.g. --set params.beta=0.7),
+//       --probes chooses the measurements, and --format json emits one
+//       machine-readable document per run (spec echo + probe results +
+//       timing).
+//   sociolearn_cli sweep     --name mixed_baseline --sweep params.beta=0.55:0.75:0.05
+//       the same command with one run per grid point (axes are repeatable;
+//       the cartesian product is taken, last axis fastest).
 //   sociolearn_cli simulate  --engine finite|aggregate|infinite --m ... --beta ...
 //       runs one trajectory and writes a per-step CSV to stdout.
 //   sociolearn_cli regret    --m ... --beta ... --agents ... --horizon ... --reps ...
@@ -13,30 +21,73 @@
 //   sociolearn_cli gossip    --nodes ... --rounds ... --drop ...
 //       runs the sensor-network protocol and writes the per-round CSV.
 //
-// Every run is constructed through the scenario layer (scenario/) and
-// executed by the generic runner (core/experiment.h); everything is
+// Every subcommand accepts --format table|json|csv.  Every run is
+// constructed through the scenario layer (scenario/) and executed by the
+// probe-based runner (core/experiment.h, core/probe.h); everything is
 // deterministic given --seed.
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/experiment.h"
+#include "core/probe.h"
 #include "core/theory.h"
 #include "env/reward_model.h"
 #include "protocol/gossip_learner.h"
 #include "scenario/registry.h"
 #include "scenario/scenario.h"
+#include "scenario/serialize.h"
 #include "support/flags.h"
+#include "support/json.h"
 #include "support/rng.h"
 #include "support/table.h"
 
 namespace {
 
 using namespace sgl;
+
+// --- output format ----------------------------------------------------------
+
+enum class output_format { table, json, csv };
+
+void add_format_flag(flag_set& flags, const std::string& default_format) {
+  flags.add_string("format", default_format, "output format: table | json | csv");
+}
+
+bool read_format(const flag_set& flags, output_format& format) {
+  const std::string& name = flags.get_string("format");
+  if (name == "table") {
+    format = output_format::table;
+  } else if (name == "json") {
+    format = output_format::json;
+  } else if (name == "csv") {
+    format = output_format::csv;
+  } else {
+    std::fprintf(stderr, "unknown --format '%s' (table | json | csv)\n", name.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Renders a finished table in the chosen format.
+void emit_table(const text_table& table, output_format format) {
+  switch (format) {
+    case output_format::table: table.print(std::cout); break;
+    case output_format::json: table.write_json(std::cout); break;
+    case output_format::csv: table.write_csv(std::cout); break;
+  }
+}
+
+// --- shared model flags -----------------------------------------------------
 
 void add_model_flags(flag_set& flags) {
   flags.add_int64("m", 4, "number of options");
@@ -70,7 +121,7 @@ scenario::scenario_spec read_scenario(const flag_set& flags) {
   return spec;
 }
 
-void print_estimate(const core::regret_estimate& est, double bound) {
+void print_estimate(const core::regret_estimate& est, double bound, output_format format) {
   text_table table{{"measure", "value"}};
   table.add_row({"regret", fmt_pm(est.regret.mean, est.regret.half_width)});
   table.add_row({"average reward",
@@ -82,13 +133,16 @@ void print_estimate(const core::regret_estimate& est, double bound) {
   table.add_row({"empty-step fraction", fmt(est.empty_step_fraction, 4)});
   table.add_row({"bound", fmt(bound, 4)});
   table.add_row({"replications", std::to_string(est.replications)});
-  table.print(std::cout);
+  emit_table(table, format);
 }
 
 int cmd_bounds(int argc, const char* const* argv) {
   flag_set flags{"sociolearn_cli bounds", "print the paper's constants"};
   add_model_flags(flags);
+  add_format_flag(flags, "table");
   if (flags.parse(argc, argv) != parse_status::ok) return 2;
+  output_format format = output_format::table;
+  if (!read_format(flags, format)) return 2;
   const core::dynamics_params params = read_params(flags);
   const std::size_t m = params.num_options;
   const double beta = params.beta;
@@ -113,24 +167,113 @@ int cmd_bounds(int argc, const char* const* argv) {
   }
   table.add_row({"theorem conditions met", "Thm 4.3/4.4 hypotheses",
                  params.satisfies_theorem_conditions() ? "yes" : "no"});
-  table.print(std::cout);
+  emit_table(table, format);
   return 0;
 }
 
 int cmd_scenarios(int argc, const char* const* argv) {
   flag_set flags{"sociolearn_cli scenarios", "list the named scenarios"};
+  add_format_flag(flags, "table");
   if (flags.parse(argc, argv) != parse_status::ok) return 2;
+  output_format format = output_format::table;
+  if (!read_format(flags, format)) return 2;
   text_table table{{"name", "description"}};
   for (const auto& spec : scenario::all_scenarios()) {
     table.add_row({spec.name, spec.description});
   }
-  table.print(std::cout);
+  emit_table(table, format);
   return 0;
 }
 
-int cmd_scenario(int argc, const char* const* argv) {
-  flag_set flags{"sociolearn_cli scenario", "run a registered scenario"};
-  flags.add_string("name", "quickstart", "scenario name (see 'scenarios')");
+// --- scenario / sweep -------------------------------------------------------
+
+/// One run's JSON document: spec echo, run config, sweep assignments,
+/// probe reports, timing.
+void write_run_json(json_writer& json, const scenario::scenario_spec& spec,
+                    const core::run_config& config,
+                    const std::vector<std::pair<std::string, std::string>>& assignments,
+                    const std::vector<core::probe_report>& reports, double seconds) {
+  json.begin_object();
+
+  json.key("scenario").begin_object();
+  for (const auto& [key, value] : scenario::scenario_fields(spec)) {
+    json.key(key).raw(value);  // canonical values are JSON-compatible
+  }
+  json.end_object();
+
+  json.key("run").begin_object();
+  json.key("horizon").value(config.horizon);
+  json.key("replications").value(config.replications);
+  json.key("seed").value(config.seed);
+  json.key("threads").value(static_cast<std::uint64_t>(config.threads));
+  json.end_object();
+
+  json.key("sweep").begin_object();
+  for (const auto& [key, value] : assignments) {
+    if (const std::optional<double> number = parse_full_double(value)) {
+      json.key(key).value(*number);
+    } else {
+      json.key(key).value(value);
+    }
+  }
+  json.end_object();
+
+  json.key("probes").begin_array();
+  for (const auto& report : reports) {
+    json.begin_object();
+    json.key("probe").value(report.probe);
+    json.key("scalars").begin_object();
+    for (const auto& scalar : report.scalars) {
+      json.key(scalar.key).begin_object();
+      json.key("value").value(scalar.value);
+      if (scalar.has_ci) json.key("half_width").value(scalar.half_width);
+      json.end_object();
+    }
+    json.end_object();
+    if (!report.series.empty()) {
+      json.key("series").begin_object();
+      for (const auto& series : report.series) {
+        json.key(series.key).begin_array();
+        for (const double v : series.values) json.value(v);
+        json.end_array();
+      }
+      json.end_object();
+    }
+    json.end_object();
+  }
+  json.end_array();
+
+  json.key("timing").begin_object();
+  json.key("seconds").value(seconds);
+  json.end_object();
+
+  json.end_object();
+}
+
+/// Legacy per-step CSV (the --curves output shape predating probes).
+void print_curves_csv(const core::trajectory_probe& curves) {
+  std::printf("t,running_regret,best_mass,min_popularity\n");
+  for (std::size_t t = 0; t < curves.best_mass().length(); ++t) {
+    std::printf("%zu,%.6f,%.6f,%.6f\n", t + 1, curves.running_regret().mean(t),
+                curves.best_mass().mean(t), curves.min_popularity().mean(t));
+  }
+}
+
+int cmd_scenario(int argc, const char* const* argv, bool sweep_command) {
+  flag_set flags{sweep_command ? "sociolearn_cli sweep" : "sociolearn_cli scenario",
+                 "run a scenario: registry or file base, overrides, sweeps, probes"};
+  flags.add_string("name", "",
+                   "registry scenario name (see 'scenarios'); takes precedence "
+                   "over --file");
+  flags.add_string("file", "", "scenario spec file ('key = value' lines, see DESIGN.md)");
+  flags.add_string_list("set", "field override key=value, applied last (repeatable)");
+  flags.add_string_list("sweep",
+                        "sweep axis key=lo:hi:step or key=v1,v2,... (repeatable; "
+                        "cartesian product, last axis fastest)");
+  flags.add_string("probes", "",
+                   "comma-separated probe specs, e.g. 'regret,hitting_time(eps=0.1)' "
+                   "(default: the scenario's probes, else regret)");
+  add_format_flag(flags, "table");
   flags.add_int64("horizon", 400, "steps T");
   flags.add_int64("reps", 100, "replications");
   flags.add_int64("seed", 1, "master RNG seed");
@@ -142,8 +285,33 @@ int cmd_scenario(int argc, const char* const* argv) {
   flags.add_int64("agents", -1, "override the scenario's population (-1 = keep)");
   flags.add_bool("curves", false, "emit per-step curves as CSV instead of the table");
   if (flags.parse(argc, argv) != parse_status::ok) return 2;
+  output_format format = output_format::table;
+  if (!read_format(flags, format)) return 2;
 
-  scenario::scenario_spec spec = scenario::get_scenario(flags.get_string("name"));
+  // Base spec, by documented precedence: file < registry < --set.  A
+  // registry spec is a complete value, so when --name is given the file
+  // could never contribute and is not even opened.
+  scenario::scenario_spec spec;
+  const std::string& file = flags.get_string("file");
+  std::string name = flags.get_string("name");
+  if (file.empty() && name.empty()) name = "quickstart";
+  if (!name.empty()) {
+    spec = scenario::get_scenario(name);
+  } else {
+    std::ifstream input{file};
+    if (!input) {
+      std::fprintf(stderr, "cannot open scenario file '%s'\n", file.c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << input.rdbuf();
+    spec = scenario::parse_scenario(buffer.str());
+  }
+  for (const std::string& assignment : flags.get_string_list("set")) {
+    scenario::apply_override(spec, assignment);
+  }
+
+  // Legacy convenience overrides, kept on top of --set.
   if (flags.get_int64("engine-threads") >= 0) {
     spec.engine_threads = static_cast<unsigned>(flags.get_int64("engine-threads"));
   }
@@ -178,31 +346,203 @@ int cmd_scenario(int argc, const char* const* argv) {
   config.threads = static_cast<unsigned>(flags.get_int64("threads"));
   config.collect_curves = flags.get_bool("curves");
 
-  const core::run_result result = scenario::run(spec, config);
+  // Probe selection: --probes > the spec's probes > regret; --curves
+  // additionally wants the trajectory probe.
+  std::vector<std::string> probe_specs =
+      core::split_probe_specs(flags.get_string("probes"));
+  if (probe_specs.empty()) probe_specs = spec.probes;
+  if (probe_specs.empty()) probe_specs = {"regret"};
   if (config.collect_curves) {
-    std::printf("t,running_regret,best_mass,min_popularity\n");
-    for (std::size_t t = 0; t < result.curves->best_mass.length(); ++t) {
-      std::printf("%zu,%.6f,%.6f,%.6f\n", t + 1, result.curves->running_regret.mean(t),
-                  result.curves->best_mass.mean(t), result.curves->min_popularity.mean(t));
+    bool have_trajectory = false;
+    for (const std::string& p : probe_specs) {
+      if (p.rfind("trajectory", 0) == 0) have_trajectory = true;
     }
-    return 0;
+    if (!have_trajectory) probe_specs.emplace_back("trajectory");
   }
-  std::printf("scenario: %s\n%s\n\n", spec.name.c_str(), spec.description.c_str());
-  // The 3δ vs 6δ bound follows the engine actually run, not N.
-  print_estimate(result.scalars,
-                 scenario::resolved_engine(spec) == scenario::engine_kind::infinite
-                     ? core::theory::infinite_regret_bound(spec.params.beta)
-                     : core::theory::finite_regret_bound(spec.params.beta));
+
+  // The sweep grid; one empty point when no axes were given.
+  std::vector<scenario::sweep_axis> axes;
+  for (const std::string& axis : flags.get_string_list("sweep")) {
+    axes.push_back(scenario::parse_sweep_axis(axis));
+  }
+  const auto grid = scenario::expand_sweep(axes);
+  // The sweep output contract (one array wrapping the run documents) is a
+  // property of the subcommand, not of how many axes happened to be given.
+  const bool sweeping = sweep_command || !axes.empty();
+
+  // Per-step curves for several grid points cannot be one flat CSV (no
+  // column identifies the run); JSON carries them per document.
+  if (config.collect_curves && format == output_format::csv && grid.size() > 1) {
+    std::fprintf(stderr,
+                 "--curves with a multi-point sweep needs --format json (one "
+                 "document per run); flat CSV cannot label the runs\n");
+    return 2;
+  }
+
+  // Reject bad grid points before any output: once the JSON array opens,
+  // an override or validation error would leave invalid JSON on stdout.
+  for (const auto& assignments : grid) {
+    scenario::scenario_spec scratch = spec;
+    for (const auto& [key, value] : assignments) {
+      scenario::apply_override(scratch, key, value);
+    }
+    scenario::validate_spec(scratch);
+  }
+
+  json_writer json{std::cout};
+  if (format == output_format::json && sweeping) json.begin_array();
+  bool csv_header_done = false;
+  const auto csv_row = [](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::printf("%s%s", c == 0 ? "" : ",", csv_escape(cells[c]).c_str());
+    }
+    std::printf("\n");
+  };
+
+  // Keep stdout parseable even if a run fails deep in the grid (engine
+  // construction errors the pre-validation cannot see): close the array,
+  // then let main report the error.  CSV rows stream as runs finish.
+  const auto close_partial_output = [&] {
+    if (format == output_format::json && sweeping) {
+      json.end_array();
+      std::cout << '\n';
+    }
+  };
+  try {
+  for (std::size_t run_index = 0; run_index < grid.size(); ++run_index) {
+    const auto& assignments = grid[run_index];
+    scenario::scenario_spec run_spec = spec;
+    for (const auto& [key, value] : assignments) {
+      scenario::apply_override(run_spec, key, value);
+    }
+
+    const auto started = std::chrono::steady_clock::now();
+    const core::probe_list merged = scenario::run_probes(run_spec, config, probe_specs);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+    const std::vector<core::probe_report> reports = core::collect_reports(merged);
+
+    // --curves keeps its historical output shape outside JSON: the per-step
+    // CSV, for the table and csv formats alike.
+    if (config.collect_curves && format != output_format::json) {
+      if (sweeping) {
+        std::printf("# run %zu/%zu:", run_index + 1, grid.size());
+        for (const auto& [key, value] : assignments) {
+          std::printf(" %s=%s", key.c_str(), value.c_str());
+        }
+        std::printf("\n");
+      }
+      for (const auto& probe : merged) {
+        if (const auto* curves = dynamic_cast<const core::trajectory_probe*>(probe.get())) {
+          print_curves_csv(*curves);
+        }
+      }
+      continue;
+    }
+
+    switch (format) {
+      case output_format::json:
+        write_run_json(json, run_spec, config, assignments, reports, seconds);
+        if (!sweeping) std::cout << '\n';
+        break;
+      case output_format::csv: {
+        if (!csv_header_done) {
+          std::vector<std::string> header{"scenario"};
+          for (const auto& axis : axes) header.push_back(axis.key);
+          for (const auto& report : reports) {
+            for (const auto& scalar : report.scalars) {
+              header.push_back(report.probe + "." + scalar.key);
+            }
+          }
+          header.emplace_back("seconds");
+          csv_row(header);
+          csv_header_done = true;
+        }
+        std::vector<std::string> row{run_spec.name};
+        for (const auto& [key, value] : assignments) row.push_back(value);
+        for (const auto& report : reports) {
+          for (const auto& scalar : report.scalars) {
+            row.push_back(json_number(scalar.value));
+          }
+        }
+        row.push_back(json_number(seconds));
+        csv_row(row);
+        break;
+      }
+      case output_format::table: {
+        if (sweeping) {
+          std::printf("# run %zu/%zu:", run_index + 1, grid.size());
+          for (const auto& [key, value] : assignments) {
+            std::printf(" %s=%s", key.c_str(), value.c_str());
+          }
+          std::printf("\n");
+        }
+        std::printf("scenario: %s\n%s\n\n", run_spec.name.c_str(),
+                    run_spec.description.c_str());
+        for (const auto& probe : merged) {
+          if (const auto* regret = dynamic_cast<const core::regret_probe*>(probe.get())) {
+            // The 3δ vs 6δ bound follows the engine actually run, not N.
+            print_estimate(
+                core::to_regret_estimate(*regret),
+                scenario::resolved_engine(run_spec) == scenario::engine_kind::infinite
+                    ? core::theory::infinite_regret_bound(run_spec.params.beta)
+                    : core::theory::finite_regret_bound(run_spec.params.beta),
+                format);
+            continue;
+          }
+          if (dynamic_cast<const core::trajectory_probe*>(probe.get()) != nullptr) {
+            continue;  // curves are CSV-only in table mode
+          }
+          const core::probe_report report = probe->report();
+          text_table table{{"probe metric", "value"}};
+          for (const auto& scalar : report.scalars) {
+            table.add_row({report.probe + "." + scalar.key,
+                           scalar.has_ci ? fmt_pm(scalar.value, scalar.half_width)
+                                         : fmt(scalar.value, 4)});
+          }
+          // Short series (per-option histograms etc.) render inline; long
+          // ones (per-step curves) only fit the JSON output.
+          constexpr std::size_t k_series_rows = 32;
+          for (const auto& series : report.series) {
+            if (series.values.size() > k_series_rows) {
+              table.add_row({report.probe + "." + series.key,
+                             std::to_string(series.values.size()) +
+                                 " points (use --format json)"});
+              continue;
+            }
+            for (std::size_t i = 0; i < series.values.size(); ++i) {
+              table.add_row({report.probe + "." + series.key + "[" + std::to_string(i) + "]",
+                             fmt(series.values[i], 4)});
+            }
+          }
+          std::printf("\n");
+          table.print(std::cout);
+        }
+        std::fprintf(stderr, "elapsed: %.3f s\n", seconds);
+        break;
+      }
+    }
+  }
+
+  } catch (...) {
+    close_partial_output();
+    throw;
+  }
+
+  close_partial_output();
   return 0;
 }
 
 int cmd_simulate(int argc, const char* const* argv) {
   flag_set flags{"sociolearn_cli simulate", "run one trajectory, CSV to stdout"};
   add_model_flags(flags);
+  add_format_flag(flags, "csv");
   flags.add_string("engine", "finite", "finite | aggregate | infinite");
   flags.add_int64("agents", 1000, "population size N (finite engines)");
   flags.add_int64("horizon", 200, "steps T");
   if (flags.parse(argc, argv) != parse_status::ok) return 2;
+  output_format format = output_format::table;
+  if (!read_format(flags, format)) return 2;
   const auto horizon = static_cast<std::uint64_t>(flags.get_int64("horizon"));
   const auto seed = static_cast<std::uint64_t>(flags.get_int64("seed"));
   const std::string engine_name = flags.get_string("engine");
@@ -229,30 +569,55 @@ int cmd_simulate(int argc, const char* const* argv) {
   rng process_gen = rng::from_stream(seed, 1);
   std::vector<std::uint8_t> r(spec.params.num_options);
 
-  std::printf("t");
-  for (std::size_t j = 0; j < spec.params.num_options; ++j) std::printf(",q%zu", j);
-  std::printf(",group_reward\n");
+  // The default CSV path streams row by row — a trajectory can be millions
+  // of steps; only the aligned/JSON renderings buffer the table.
+  const bool streaming = format == output_format::csv;
+  std::vector<std::string> header{"t"};
+  for (std::size_t j = 0; j < spec.params.num_options; ++j) {
+    header.push_back("q" + std::to_string(j));
+  }
+  header.emplace_back("group_reward");
+  std::optional<text_table> table;
+  if (streaming) {
+    for (std::size_t c = 0; c < header.size(); ++c) {
+      std::printf("%s%s", c == 0 ? "" : ",", header[c].c_str());
+    }
+    std::printf("\n");
+  } else {
+    table.emplace(header);
+  }
   for (std::uint64_t t = 1; t <= horizon; ++t) {
     environment->sample(t, reward_gen, r);
     engine->step(r, process_gen);
     const auto q = engine->popularity();
     double reward = 0.0;
     for (std::size_t j = 0; j < q.size(); ++j) reward += q[j] * r[j];
-    std::printf("%llu", static_cast<unsigned long long>(t));
-    for (const double x : q) std::printf(",%.6f", x);
-    std::printf(",%.6f\n", reward);
+    if (streaming) {
+      std::printf("%llu", static_cast<unsigned long long>(t));
+      for (const double x : q) std::printf(",%.6f", x);
+      std::printf(",%.6f\n", reward);
+      continue;
+    }
+    std::vector<std::string> row{std::to_string(t)};
+    for (const double x : q) row.push_back(fmt(x, 6));
+    row.push_back(fmt(reward, 6));
+    table->add_row(std::move(row));
   }
+  if (table) emit_table(*table, format);
   return 0;
 }
 
 int cmd_regret(int argc, const char* const* argv) {
   flag_set flags{"sociolearn_cli regret", "Monte-Carlo regret estimate"};
   add_model_flags(flags);
+  add_format_flag(flags, "table");
   flags.add_int64("agents", 1000, "population size N (0 = infinite dynamics)");
   flags.add_int64("horizon", 200, "steps T");
   flags.add_int64("reps", 200, "replications");
   flags.add_int64("threads", 0, "worker threads (0 = all)");
   if (flags.parse(argc, argv) != parse_status::ok) return 2;
+  output_format format = output_format::table;
+  if (!read_format(flags, format)) return 2;
 
   scenario::scenario_spec spec = read_scenario(flags);
   spec.num_agents = static_cast<std::uint64_t>(flags.get_int64("agents"));
@@ -267,18 +632,22 @@ int cmd_regret(int argc, const char* const* argv) {
   print_estimate(result.scalars,
                  spec.num_agents == 0
                      ? core::theory::infinite_regret_bound(spec.params.beta)
-                     : core::theory::finite_regret_bound(spec.params.beta));
+                     : core::theory::finite_regret_bound(spec.params.beta),
+                 format);
   return 0;
 }
 
 int cmd_gossip(int argc, const char* const* argv) {
   flag_set flags{"sociolearn_cli gossip", "run the sensor-network protocol, CSV out"};
   add_model_flags(flags);
+  add_format_flag(flags, "csv");
   flags.add_int64("nodes", 100, "number of nodes");
   flags.add_int64("rounds", 200, "protocol rounds");
   flags.add_double("drop", 0.0, "packet loss probability");
   flags.add_bool("sticky", false, "keep previous choice instead of sitting out");
   if (flags.parse(argc, argv) != parse_status::ok) return 2;
+  output_format format = output_format::table;
+  if (!read_format(flags, format)) return 2;
 
   protocol::gossip_params gossip;
   gossip.dynamics = read_params(flags);
@@ -295,10 +664,21 @@ int cmd_gossip(int argc, const char* const* argv) {
 
   const protocol::gossip_run_result result =
       protocol::run_gossip_experiment(gossip, oracle, config);
-  std::printf("round,best_fraction,committed_fraction\n");
-  for (std::size_t t = 0; t < result.best_fraction.size(); ++t) {
-    std::printf("%zu,%.6f,%.6f\n", t + 1, result.best_fraction[t],
-                result.committed_fraction[t]);
+  if (format == output_format::csv) {
+    // Default path streams: a long protocol run should not be buffered as
+    // row strings first.
+    std::printf("round,best_fraction,committed_fraction\n");
+    for (std::size_t t = 0; t < result.best_fraction.size(); ++t) {
+      std::printf("%zu,%.6f,%.6f\n", t + 1, result.best_fraction[t],
+                  result.committed_fraction[t]);
+    }
+  } else {
+    text_table table{{"round", "best_fraction", "committed_fraction"}};
+    for (std::size_t t = 0; t < result.best_fraction.size(); ++t) {
+      table.add_row({std::to_string(t + 1), fmt(result.best_fraction[t], 6),
+                     fmt(result.committed_fraction[t], 6)});
+    }
+    emit_table(table, format);
   }
   std::fprintf(stderr, "messages=%llu dropped=%llu bytes=%llu avg_regret=%.4f\n",
                static_cast<unsigned long long>(result.net.messages_sent),
@@ -314,10 +694,14 @@ void print_usage() {
       "subcommands:\n"
       "  bounds     print every theorem constant for given parameters\n"
       "  scenarios  list the named scenarios of the registry\n"
-      "  scenario   run a registered scenario under the Monte-Carlo harness\n"
+      "  scenario   run a scenario (--name or --file, --set overrides, --probes)\n"
+      "  sweep      same as scenario, one run per --sweep grid point\n"
       "  simulate   run one trajectory (finite/aggregate/infinite), CSV to stdout\n"
       "  regret     Monte-Carlo regret estimate with confidence intervals\n"
       "  gossip     run the sensor-network gossip protocol, per-round CSV\n\n"
+      "every subcommand accepts --format table|json|csv; 'scenario' and\n"
+      "'sweep' emit one JSON document per run (spec echo + probe results +\n"
+      "timing; sweeps wrap the documents in one array).\n"
       "run 'sociolearn_cli <subcommand> --help' for the flags of each.\n");
 }
 
@@ -334,7 +718,9 @@ int main(int argc, char** argv) {
   try {
     if (command == "bounds") return cmd_bounds(sub_argc, sub_argv);
     if (command == "scenarios") return cmd_scenarios(sub_argc, sub_argv);
-    if (command == "scenario") return cmd_scenario(sub_argc, sub_argv);
+    if (command == "scenario" || command == "sweep") {
+      return cmd_scenario(sub_argc, sub_argv, command == "sweep");
+    }
     if (command == "simulate") return cmd_simulate(sub_argc, sub_argv);
     if (command == "regret") return cmd_regret(sub_argc, sub_argv);
     if (command == "gossip") return cmd_gossip(sub_argc, sub_argv);
