@@ -40,6 +40,7 @@ void aggregate_dynamics::reset(std::span<const std::uint64_t> adopter_counts) {
     throw std::invalid_argument{"aggregate_dynamics::reset: more adopters than agents"};
   }
   reset();
+  custom_start_ = true;
   std::copy(adopter_counts.begin(), adopter_counts.end(), adopter_counts_.begin());
   adopters_ = total;
   if (total > 0) {

@@ -35,8 +35,14 @@ class aggregate_dynamics final : public dynamics_engine {
   void reset() override;
 
   /// Restart from given adopter counts (sum may be anything <= N; the
-  /// popularity becomes counts/sum, uniform when the sum is 0).
+  /// popularity becomes counts/sum, uniform when the sum is 0).  An engine
+  /// seeded this way stops reporting reusable(): the plain reset() returns
+  /// to the uniform start, not to these counts.
   void reset(std::span<const std::uint64_t> adopter_counts);
+
+  /// reset() restores the constructed state exactly — unless a custom
+  /// start was installed via reset(counts) (dynamics_engine.h contract).
+  [[nodiscard]] bool reusable() const noexcept override { return !custom_start_; }
 
   /// Advances one step given the realized signals R^{t+1} (size m).
   void step(std::span<const std::uint8_t> rewards, rng& gen) override;
@@ -72,6 +78,7 @@ class aggregate_dynamics final : public dynamics_engine {
   std::uint64_t adopters_ = 0;
   std::uint64_t empty_steps_ = 0;
   std::uint64_t steps_ = 0;
+  bool custom_start_ = false;  // reset(counts) was used: reset() != initial state
 };
 
 }  // namespace sgl::core

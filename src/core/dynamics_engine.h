@@ -38,6 +38,17 @@ class dynamics_engine {
   /// step/empty-step counters cleared.
   virtual void reset() = 0;
 
+  /// True when reset() restores the engine to the exact state its factory
+  /// delivered it in, so the Monte-Carlo harness may keep one instance per
+  /// worker and reset() it between replications instead of reconstructing
+  /// (core/experiment.h).  Configuration installed through setters
+  /// (topology, per-agent rules, thread counts) survives reset() and stays
+  /// reusable; an engine put into a state reset() does *not* restore — e.g.
+  /// a nonuniform start installed via an overloaded reset(span) — must
+  /// report false from then on.  Defaults to false: unknown engines are
+  /// reconstructed every replication, which is always correct.
+  [[nodiscard]] virtual bool reusable() const noexcept { return false; }
+
   /// Advances one step given the realized signals R^{t+1} (size must be
   /// num_options()).  Deterministic engines may ignore `gen`.
   virtual void step(std::span<const std::uint8_t> rewards, rng& gen) = 0;

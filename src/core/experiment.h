@@ -16,12 +16,13 @@
 /// non-stationary environments the benchmark is the per-step best mean
 /// Σ_t η_best(t)/T, which coincides with η₁ in the stationary case.
 ///
-/// The whole harness is one generic runner, run_with_probes(): an engine
-/// factory and an environment factory are invoked once per replication, the
-/// engine is advanced through the horizon, and every installed probe
-/// (core/probe.h) observes each step and is reduced deterministically across
-/// replications.  run_scenario() is the historical fixed reduction — now a
-/// thin wrapper that installs the built-in regret (and, on request,
+/// The whole harness is one generic runner, run_with_probes(): each worker
+/// borrows a replication_context (engine + environment built from the two
+/// factories, validated once, reset() between replications when both sides
+/// are reusable()), advances it through the horizon, and every installed
+/// probe (core/probe.h) observes each step and is reduced deterministically
+/// across replications.  run_scenario() is the historical fixed reduction —
+/// now a thin wrapper that installs the built-in regret (and, on request,
 /// trajectory) probes and converts their accumulators back into
 /// regret_estimate / trajectory_estimate, bit-identically to the pre-probe
 /// implementation.  The estimate_*/collect_* entry points remain thin
@@ -30,6 +31,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
@@ -46,12 +48,13 @@
 
 namespace sgl::core {
 
-/// Builds a fresh environment instance; called once per replication so that
-/// replications are independent and thread-safe.
+/// Builds a fresh environment instance.  Invoked once per worker context —
+/// and again per replication only when the instance is not reusable() — so
+/// every concurrent worker owns an independent instance.
 using env_factory = std::function<std::unique_ptr<env::reward_model>()>;
 
-/// Builds a fresh engine instance in its initial state; called once per
-/// replication (same independence contract as env_factory).
+/// Builds a fresh engine instance in its initial state (same independence
+/// contract as env_factory).
 using engine_factory = std::function<std::unique_ptr<dynamics_engine>()>;
 
 /// Common Monte-Carlo knobs.
@@ -61,6 +64,15 @@ struct run_config {
   std::uint64_t seed = 1;
   unsigned threads = 0;             ///< 0 = hardware concurrency
   bool collect_curves = false;      ///< also average the per-step curves
+
+  /// Reuse one engine/environment instance per worker across replications
+  /// (reset() between) instead of reconstructing, whenever both sides
+  /// report reusable().  Trajectories are bit-identical either way — the
+  /// switch exists for A/B verification and for exotic factories; leave it
+  /// on.  At large N reconstruction is the dominant per-replication cost
+  /// (buffer allocation + the committed-neighbour-view rebuild), so
+  /// turning this off is a measurable slowdown (bench/harness_bench.cpp).
+  bool reuse = true;
 };
 
 /// Which finite engine to use (identical law in the homogeneous mixed case).
@@ -94,6 +106,86 @@ struct trajectory_estimate {
 struct run_result {
   regret_estimate scalars;
   std::optional<trajectory_estimate> curves;  ///< engaged iff collect_curves
+};
+
+/// The runner's config validation, shared with external schedulers
+/// (scenario/sweep.cpp) so they reject exactly what run_with_probes would.
+/// Throws std::invalid_argument on a zero horizon or replication count.
+void check_run_config(const run_config& config);
+
+/// One worker's run state: engine + environment + per-step scratch
+/// buffers, built from the borrowed factories and validated once (engine/
+/// environment option-count match; network engines clamped to one internal
+/// thread when replications run concurrently).  run() advances one
+/// replication through the horizon on the streams derived from
+/// (config.seed, replication) while `probes` observe each step; between
+/// replications the context reset()s the engine and environment when both
+/// report reusable() (and config.reuse allows it), and reconstructs them
+/// otherwise — the trajectory is bit-identical either way.  The factories
+/// must outlive the context.  Exposed so schedulers outside this file (the
+/// sweep scheduler in scenario/sweep.h) drive replications through the
+/// exact same code path.
+class replication_context {
+ public:
+  replication_context(const engine_factory& make_engine, const env_factory& make_env,
+                      bool clamp_engine_threads);
+
+  /// Runs replication `replication` of the configured horizon, observed by
+  /// `probes` (begin_replication / on_step / end_replication).
+  void run(const run_config& config, std::uint64_t replication, const probe_list& probes);
+
+ private:
+  void rebuild();
+
+  const engine_factory& make_engine_;
+  const env_factory& make_env_;
+  bool clamp_engine_threads_;
+  bool reusable_ = false;  ///< engine && environment both report reusable()
+  bool fresh_ = true;      ///< just (re)built: the state is already initial
+  std::unique_ptr<env::reward_model> environment_;
+  std::unique_ptr<dynamics_engine> engine_;
+  std::vector<std::uint8_t> rewards_;  ///< hoisted per-step R^t buffer
+  std::vector<double> q_prev_;         ///< hoisted per-step Q^{t-1} buffer
+};
+
+/// A checkout pool of replication_contexts: workers borrow one per
+/// replication (or per shard) and return it, so the number of live
+/// engine/environment instances tracks the *concurrency*, not the
+/// replication count.  Thread-safe; the factories must outlive the pool.
+class context_pool {
+ public:
+  context_pool(const engine_factory& make_engine, const env_factory& make_env,
+               bool clamp_engine_threads)
+      : make_engine_{make_engine},
+        make_env_{make_env},
+        clamp_engine_threads_{clamp_engine_threads} {}
+
+  /// RAII borrow: releases the context back to the pool on destruction.
+  class lease {
+   public:
+    lease(context_pool& pool, std::unique_ptr<replication_context> context) noexcept
+        : pool_{pool}, context_{std::move(context)} {}
+    lease(const lease&) = delete;
+    lease& operator=(const lease&) = delete;
+    ~lease() { pool_.release(std::move(context_)); }
+    replication_context* operator->() const noexcept { return context_.get(); }
+
+   private:
+    context_pool& pool_;
+    std::unique_ptr<replication_context> context_;
+  };
+
+  /// Pops a pooled context, or builds (and validates) a fresh one.
+  [[nodiscard]] lease borrow();
+
+ private:
+  void release(std::unique_ptr<replication_context> context);
+
+  const engine_factory& make_engine_;
+  const env_factory& make_env_;
+  bool clamp_engine_threads_;
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<replication_context>> free_;
 };
 
 /// THE Monte-Carlo harness: `config.replications` independent replications,

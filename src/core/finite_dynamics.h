@@ -86,6 +86,12 @@ class finite_dynamics : public dynamics_engine {
   /// Everybody back to the initial state (no choices, uniform popularity).
   void reset() final;
 
+  /// reset() restores the factory-fresh state exactly (rules, topology and
+  /// thread settings are configuration and survive), so the harness may
+  /// reuse one instance across replications — which is what spares the
+  /// per-replication allocation of the agent/view buffers at large N.
+  [[nodiscard]] bool reusable() const noexcept final { return true; }
+
   /// Advances one step given the realized signals R^{t+1} (size m).
   void step(std::span<const std::uint8_t> rewards, rng& gen) final;
 

@@ -44,6 +44,10 @@ class grouped_dynamics final : public dynamics_engine {
   /// Back to the initial state (nobody committed, uniform popularity).
   void reset() override;
 
+  /// reset() restores the constructed state exactly (the group mixture is
+  /// fixed at construction), so the harness may reuse one instance.
+  [[nodiscard]] bool reusable() const noexcept override { return true; }
+
   /// Advances one step given the realized signals R^{t+1} (size m).
   void step(std::span<const std::uint8_t> rewards, rng& gen) override;
 

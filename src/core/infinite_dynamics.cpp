@@ -35,6 +35,7 @@ void infinite_dynamics::reset(std::span<const double> start) {
     throw std::invalid_argument{"infinite_dynamics::reset: not a probability vector"};
   }
   for (std::size_t j = 0; j < p_.size(); ++j) p_[j] = start[j] / total;
+  custom_start_ = true;
   log_potential_ = std::log(static_cast<double>(p_.size()));
   steps_ = 0;
   degenerate_steps_ = 0;

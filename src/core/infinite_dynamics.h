@@ -31,8 +31,14 @@ class infinite_dynamics final : public dynamics_engine {
   void reset() override;
 
   /// Restart from an arbitrary distribution (Theorem 4.6's nonuniform
-  /// start).  Must be a probability vector of size m (validated).
+  /// start).  Must be a probability vector of size m (validated).  An
+  /// engine started this way stops reporting reusable(): the plain reset()
+  /// returns to the uniform start, not to `start`.
   void reset(std::span<const double> start);
+
+  /// reset() restores the constructed state exactly — unless a nonuniform
+  /// start was installed via reset(span) (dynamics_engine.h contract).
+  [[nodiscard]] bool reusable() const noexcept override { return !custom_start_; }
 
   /// Advances one step given the realized signal vector R^{t+1}
   /// (size m, entries 0/1).  The process is deterministic given the signals.
@@ -80,6 +86,7 @@ class infinite_dynamics final : public dynamics_engine {
   double log_potential_ = 0.0;
   std::uint64_t steps_ = 0;
   std::uint64_t degenerate_steps_ = 0;
+  bool custom_start_ = false;  // reset(start) was used: reset() != initial state
 };
 
 }  // namespace sgl::core

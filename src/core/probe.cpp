@@ -33,6 +33,14 @@ std::vector<double> series_half_widths(const series_stats& s) {
 
 }  // namespace
 
+void best_option_cache::refresh(const probe_step_view& step) {
+  if (step.t == 1) cached = false;  // new replication: revalidate
+  if (cached) return;
+  best = step.environment.best_option(step.t);
+  best_mean = step.environment.mean(step.t, best);
+  cached = step.environment.is_stationary();
+}
+
 const probe_scalar* probe_report::find_scalar(std::string_view key) const noexcept {
   for (const auto& s : scalars) {
     if (s.key == key) return &s;
@@ -64,9 +72,9 @@ void regret_probe::on_step(const probe_step_view& step) {
     group_reward += step.popularity_before[j] * static_cast<double>(step.rewards[j]);
   }
   reward_sum_ += group_reward;
-  const std::size_t best = step.environment.best_option(step.t);
-  best_mean_sum_ += step.environment.mean(step.t, best);
-  best_mass_sum_ += step.popularity_before[best];
+  best_cache_.refresh(step);
+  best_mean_sum_ += best_cache_.best_mean;
+  best_mass_sum_ += step.popularity_before[best_cache_.best];
 }
 
 void regret_probe::end_replication(const dynamics_engine& engine,
@@ -135,8 +143,9 @@ void trajectory_probe::on_step(const probe_step_view& step) {
     group_reward += step.popularity_before[j] * static_cast<double>(step.rewards[j]);
   }
   reward_sum_ += group_reward;
-  const std::size_t best = step.environment.best_option(step.t);
-  best_mean_sum_ += step.environment.mean(step.t, best);
+  best_cache_.refresh(step);
+  const std::size_t best = best_cache_.best;
+  best_mean_sum_ += best_cache_.best_mean;
 
   const double td = static_cast<double>(step.t);
   regret_curve_.push_back((best_mean_sum_ - reward_sum_) / td);
@@ -198,8 +207,8 @@ void hitting_time_probe::begin_replication(std::uint64_t /*horizon*/) { hit_at_ 
 
 void hitting_time_probe::on_step(const probe_step_view& step) {
   if (hit_at_ != 0) return;
-  const std::size_t best = step.environment.best_option(step.t);
-  if (step.engine.popularity()[best] >= threshold_) hit_at_ = step.t;
+  best_cache_.refresh(step);
+  if (step.engine.popularity()[best_cache_.best] >= threshold_) hit_at_ = step.t;
 }
 
 void hitting_time_probe::end_replication(const dynamics_engine& /*engine*/,
@@ -338,7 +347,8 @@ void recovery_probe::begin_replication(std::uint64_t /*horizon*/) {
 }
 
 void recovery_probe::on_step(const probe_step_view& step) {
-  const std::size_t best = step.environment.best_option(step.t);
+  best_cache_.refresh(step);
+  const std::size_t best = best_cache_.best;
   if (prev_best_ != static_cast<std::size_t>(-1) && best != prev_best_) {
     if (pending_since_ != 0) ++unrecovered_;  // next switch arrived first
     pending_since_ = step.t;

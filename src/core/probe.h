@@ -122,6 +122,21 @@ using probe_list = std::vector<std::unique_ptr<probe>>;
 
 // --- built-in probes --------------------------------------------------------
 
+/// Cached (best option, best mean) of a *stationary* environment, filled on
+/// the first step of each replication and reused for the rest of it.
+/// best_option/best_mean walk all m options through virtual mean() calls —
+/// per step that is pure overhead once the environment admits a constant
+/// answer.  The cached values are the exact doubles the per-step lookup
+/// would produce, so probe accumulations stay bit-identical;
+/// non-stationary environments take the full lookup every step, as before.
+struct best_option_cache {
+  std::size_t best = 0;
+  double best_mean = 0.0;
+  bool cached = false;
+
+  void refresh(const probe_step_view& step);
+};
+
 /// The historical §2.2 scalar reduction, bit-identical to the pre-probe
 /// run_scenario (the accumulation order is pinned by tests/probe_test.cpp).
 class regret_probe final : public probe {
@@ -154,6 +169,7 @@ class regret_probe final : public probe {
   running_stats best_mass_;
   running_stats final_best_mass_;
   running_stats empty_fraction_;
+  best_option_cache best_cache_;
   double reward_sum_ = 0.0;
   double best_mean_sum_ = 0.0;
   double best_mass_sum_ = 0.0;
@@ -187,6 +203,7 @@ class trajectory_probe final : public probe {
   std::vector<double> regret_curve_;
   std::vector<double> best_curve_;
   std::vector<double> min_pop_curve_;
+  best_option_cache best_cache_;
   double reward_sum_ = 0.0;
   double best_mean_sum_ = 0.0;
 };
@@ -216,6 +233,7 @@ class hitting_time_probe final : public probe {
   double threshold_;  // 1 - eps
   running_stats hit_fraction_;
   running_stats time_;
+  best_option_cache best_cache_;
   std::uint64_t hit_at_ = 0;  // 0 = not yet hit this replication
 };
 
@@ -294,6 +312,7 @@ class recovery_probe final : public probe {
  private:
   double threshold_;  // 1 - eps
   running_stats times_;
+  best_option_cache best_cache_;
   std::uint64_t switches_ = 0;
   std::uint64_t unrecovered_ = 0;
   std::size_t prev_best_ = static_cast<std::size_t>(-1);

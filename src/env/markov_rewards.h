@@ -39,6 +39,8 @@ class markov_rewards final : public reward_model {
   void sample(std::uint64_t t, rng& gen, std::span<std::uint8_t> out) override;
   [[nodiscard]] double mean(std::uint64_t t, std::size_t option) const override;
   [[nodiscard]] bool is_stationary() const noexcept override { return false; }
+  /// The regime path is pre-drawn at construction and never mutated.
+  [[nodiscard]] bool reusable() const noexcept override { return true; }
 
   /// Regime active at step t.
   [[nodiscard]] std::size_t regime_at(std::uint64_t t) const;

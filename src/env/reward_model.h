@@ -51,6 +51,17 @@ class reward_model {
 
   /// True if mean(t, j) is the same for every t (the theorems' setting).
   [[nodiscard]] virtual bool is_stationary() const noexcept { return true; }
+
+  /// Restores any cross-replication mutable state to its initial value.
+  /// Every built-in model is immutable after construction (markov_rewards
+  /// pre-draws its regime path), so the default is a no-op.
+  virtual void reset() {}
+
+  /// True when the model may be reused across Monte-Carlo replications:
+  /// sample()/mean() depend only on (t, gen) and on state reset() restores.
+  /// The harness (core/experiment.h) reconstructs non-reusable models every
+  /// replication, which is always correct.  All built-ins return true.
+  [[nodiscard]] virtual bool reusable() const noexcept { return false; }
 };
 
 /// The paper's base model: independent R^t_j ~ Bernoulli(η_j).
@@ -63,6 +74,7 @@ class bernoulli_rewards final : public reward_model {
   [[nodiscard]] std::size_t num_options() const noexcept override { return etas_.size(); }
   void sample(std::uint64_t t, rng& gen, std::span<std::uint8_t> out) override;
   [[nodiscard]] double mean(std::uint64_t t, std::size_t option) const override;
+  [[nodiscard]] bool reusable() const noexcept override { return true; }
 
  private:
   std::vector<double> etas_;
@@ -80,6 +92,7 @@ class exclusive_rewards final : public reward_model {
   [[nodiscard]] std::size_t num_options() const noexcept override { return p_.size(); }
   void sample(std::uint64_t t, rng& gen, std::span<std::uint8_t> out) override;
   [[nodiscard]] double mean(std::uint64_t t, std::size_t option) const override;
+  [[nodiscard]] bool reusable() const noexcept override { return true; }
 
  private:
   std::vector<double> p_;
@@ -95,6 +108,7 @@ class switching_rewards final : public reward_model {
   [[nodiscard]] std::size_t num_options() const noexcept override { return base_.size(); }
   void sample(std::uint64_t t, rng& gen, std::span<std::uint8_t> out) override;
   [[nodiscard]] double mean(std::uint64_t t, std::size_t option) const override;
+  [[nodiscard]] bool reusable() const noexcept override { return true; }
   [[nodiscard]] bool is_stationary() const noexcept override { return false; }
 
  private:
@@ -112,6 +126,7 @@ class drifting_rewards final : public reward_model {
   [[nodiscard]] std::size_t num_options() const noexcept override { return start_.size(); }
   void sample(std::uint64_t t, rng& gen, std::span<std::uint8_t> out) override;
   [[nodiscard]] double mean(std::uint64_t t, std::size_t option) const override;
+  [[nodiscard]] bool reusable() const noexcept override { return true; }
   [[nodiscard]] bool is_stationary() const noexcept override { return false; }
 
  private:
@@ -131,6 +146,7 @@ class schedule_rewards final : public reward_model {
   void sample(std::uint64_t t, rng& gen, std::span<std::uint8_t> out) override;
   /// The long-run frequency of 1s for the option (the empirical η).
   [[nodiscard]] double mean(std::uint64_t t, std::size_t option) const override;
+  [[nodiscard]] bool reusable() const noexcept override { return true; }
   [[nodiscard]] bool is_stationary() const noexcept override { return false; }
 
  private:

@@ -1,7 +1,11 @@
 #include "scenario/scenario.h"
 
+#include <bit>
 #include <cmath>
+#include <deque>
+#include <mutex>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "core/aggregate_dynamics.h"
@@ -40,7 +44,107 @@ std::pair<std::size_t, std::size_t> lattice_shape(const topology_spec& spec,
   return {rows, num_agents / rows};
 }
 
+/// The cache key: family, N, and exactly the fields build_topology reads
+/// for that family — nothing else, so sweeps over unrelated keys hit.
+/// Doubles are keyed by their bit pattern (the cache must distinguish what
+/// the generator would distinguish, no more).
+std::string topology_cache_key(const topology_spec& spec, std::size_t num_agents) {
+  using family = topology_spec::family_kind;
+  std::string key = std::to_string(static_cast<int>(spec.family));
+  key += ':';
+  key += std::to_string(num_agents);
+  const auto add_u64 = [&key](std::uint64_t v) {
+    key += ':';
+    key += std::to_string(v);
+  };
+  const auto add_double = [&add_u64](double v) {
+    add_u64(std::bit_cast<std::uint64_t>(v));
+  };
+  switch (spec.family) {
+    case family::none:
+    case family::complete:
+    case family::ring:
+    case family::star:
+      break;
+    case family::grid:
+    case family::torus:
+      add_u64(spec.rows);
+      add_u64(spec.cols);
+      break;
+    case family::erdos_renyi:
+      add_double(spec.edge_probability);
+      add_u64(spec.seed);
+      break;
+    case family::watts_strogatz:
+      add_u64(spec.degree);
+      add_double(spec.rewire_probability);
+      add_u64(spec.seed);
+      break;
+    case family::barabasi_albert:
+      add_u64(spec.degree);
+      add_u64(spec.seed);
+      break;
+    case family::two_cliques:
+      add_u64(spec.bridges);
+      break;
+  }
+  return key;
+}
+
+struct topology_cache_state {
+  std::mutex mutex;
+  struct entry {
+    std::string key;
+    std::shared_ptr<const graph::graph> graph;
+  };
+  std::deque<entry> entries;  // MRU at the front, capacity k_capacity
+  topology_cache_stats stats;
+  static constexpr std::size_t k_capacity = 3;
+};
+
+topology_cache_state& topology_cache() {
+  static topology_cache_state cache;
+  return cache;
+}
+
 }  // namespace
+
+std::shared_ptr<const graph::graph> shared_topology(const topology_spec& spec,
+                                                    std::size_t num_agents) {
+  const std::string key = topology_cache_key(spec, num_agents);
+  auto& cache = topology_cache();
+  {
+    const std::scoped_lock lock{cache.mutex};
+    for (std::size_t i = 0; i < cache.entries.size(); ++i) {
+      if (cache.entries[i].key != key) continue;
+      ++cache.stats.hits;
+      if (i != 0) {
+        auto entry = std::move(cache.entries[i]);
+        cache.entries.erase(cache.entries.begin() + static_cast<std::ptrdiff_t>(i));
+        cache.entries.push_front(std::move(entry));
+      }
+      return cache.entries.front().graph;
+    }
+    ++cache.stats.misses;
+  }
+  // Build outside the lock: concurrent misses may build twice, but never
+  // block each other behind a multi-second generation.
+  auto built = std::make_shared<const graph::graph>(build_topology(spec, num_agents));
+  {
+    const std::scoped_lock lock{cache.mutex};
+    cache.entries.push_front({key, built});
+    while (cache.entries.size() > topology_cache_state::k_capacity) {
+      cache.entries.pop_back();
+    }
+  }
+  return built;
+}
+
+topology_cache_stats shared_topology_stats() noexcept {
+  auto& cache = topology_cache();
+  const std::scoped_lock lock{cache.mutex};
+  return cache.stats;
+}
 
 engine_kind resolved_engine(const scenario_spec& spec) noexcept {
   if (spec.engine != engine_kind::auto_select) return spec.engine;
@@ -131,8 +235,7 @@ core::engine_factory make_engine(const scenario_spec& spec) {
       }
       std::shared_ptr<const graph::graph> topology = spec.prebuilt_graph;
       if (networked && topology == nullptr) {
-        topology = std::make_shared<const graph::graph>(
-            build_topology(spec.topology, static_cast<std::size_t>(spec.num_agents)));
+        topology = shared_topology(spec.topology, static_cast<std::size_t>(spec.num_agents));
       }
       return [params = spec.params, num_agents = spec.num_agents, topology,
               rules = spec.agent_rules,

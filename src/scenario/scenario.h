@@ -119,6 +119,24 @@ struct scenario_spec {
 [[nodiscard]] graph::graph build_topology(const topology_spec& spec,
                                           std::size_t num_agents);
 
+/// build_topology behind a small process-wide MRU cache, keyed by the
+/// family, N, and only the spec fields that family actually reads (so two
+/// sweep points that differ in, say, params.beta — or even in an unused
+/// topology field — share one built graph).  Graph generation is the
+/// dominant per-point cost of sweeps over large random topologies; the
+/// cache is what makes a 16-point beta sweep on a 10^6-vertex graph pay
+/// for one build instead of sixteen.  Thread-safe; holds at most three
+/// graphs alive (MRU order), so memory stays bounded.
+[[nodiscard]] std::shared_ptr<const graph::graph> shared_topology(
+    const topology_spec& spec, std::size_t num_agents);
+
+/// Cumulative shared_topology() hit/miss counters (diagnostics + tests).
+struct topology_cache_stats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+[[nodiscard]] topology_cache_stats shared_topology_stats() noexcept;
+
 /// Environment factory for the runner (fresh instance per replication).
 [[nodiscard]] core::env_factory make_environment(const environment_spec& spec);
 

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file sweep.h
+/// The sweep scheduler: one flattened work queue for a whole parameter
+/// grid.
+///
+/// The naive way to run a sweep — the CLI's historical loop — executes one
+/// grid point at a time, paying a full harness spin-up per point (engine/
+/// environment construction, topology build, a parallel-reduce barrier)
+/// and idling the tail of the machine whenever a point has fewer
+/// replications than workers.  run_sweep flattens the grid into
+/// (point × replication-shard) work items scheduled together over the
+/// persistent worker pool (support/parallel.h): every worker stays busy
+/// until the whole grid drains, engines are reused through each point's
+/// context pool (core/experiment.h), and points that share a topology key
+/// share one built graph (scenario.h, shared_topology).
+///
+/// Determinism is inherited, not re-proven: each point keeps the exact
+/// shard decomposition, per-replication RNG streams
+/// (rng::from_stream(seed, 2r[+1])) and fixed-order shard merge that
+/// run_with_probes uses, so every point's merged probes are bit-identical
+/// to running that point alone — for any thread count, any interleaving,
+/// and with engine reuse on or off (tested in
+/// tests/harness_determinism_test.cpp).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/probe.h"
+#include "scenario/scenario.h"
+
+namespace sgl::scenario {
+
+/// One grid point's outcome.
+struct sweep_point_result {
+  scenario_spec spec;  ///< the base spec with this point's overrides applied
+  std::vector<std::pair<std::string, std::string>> assignments;  ///< the overrides
+  core::probe_list probes;  ///< merged probes, in probe-spec order
+  /// Wall-clock seconds this point spent in flight (first shard started to
+  /// last shard finished).  Points overlap under the flattened scheduler,
+  /// so these can sum to more than the sweep's elapsed time.
+  double seconds = 0.0;
+};
+
+/// Runs every grid point (a list of key=value override assignments, as
+/// produced by expand_sweep; an empty grid means one point with no
+/// overrides) of `base` under one flattened schedule.  `probe_specs`
+/// chooses the measurements for every point; when empty, each point falls
+/// back to its spec's own `probes` list, and failing that to {"regret"}.
+/// All points are overridden and validated (validate_spec + factory
+/// construction) before any replication runs, so errors surface before
+/// work — and before any caller output — starts.  Returns the results in
+/// grid order.  Throws as run_with_probes / apply_override / validate_spec.
+[[nodiscard]] std::vector<sweep_point_result> run_sweep(
+    const scenario_spec& base,
+    std::span<const std::vector<std::pair<std::string, std::string>>> grid,
+    const core::run_config& config, std::span<const std::string> probe_specs = {});
+
+}  // namespace sgl::scenario

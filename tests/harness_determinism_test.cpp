@@ -1,0 +1,392 @@
+// Schedule-invariance of the amortized Monte-Carlo harness (PR 4).
+//
+// Three laws are pinned here:
+//   1. Registry-wide golden run — every named scenario (shrunk to
+//      unit-test size), 2 replications, must hash to the values captured
+//      from the PRE-PR-4 harness, for threads 1 and 4 and with engine
+//      reuse on and off.  This is the proof that the persistent pool, the
+//      context reuse and the sweep scheduler changed wall clock only.
+//   2. The reset()-reuse law — for every engine kind, a fresh engine and a
+//      used-then-reset() engine produce identical trajectories from the
+//      same stream, and engines report reusable() exactly when that holds.
+//   3. The flattened sweep scheduler returns, per grid point, bit-identical
+//      probes to running each point alone through run_probes — again for
+//      any thread count and reuse setting — and shares built topologies
+//      across points via the keyed cache.
+//
+// Regenerating the golden table (ONLY when an intentional
+// bit-compatibility break ships): run every registry scenario through
+// shrink() + run_probes with golden_config(1, true) below, hash
+// dump_reports() with fnv1a(), and replace the table — ideally with a
+// binary built from the commit *before* the behavioural change, so the
+// table keeps pinning the old outputs unless the break is deliberate.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/aggregate_dynamics.h"
+#include "core/experiment.h"
+#include "core/finite_dynamics.h"
+#include "core/grouped_dynamics.h"
+#include "core/infinite_dynamics.h"
+#include "core/params.h"
+#include "core/probe.h"
+#include "graph/graph.h"
+#include "scenario/registry.h"
+#include "scenario/scenario.h"
+#include "scenario/serialize.h"
+#include "scenario/sweep.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace sgl;
+
+// --- canonical probe-report dump + hash (must match the capture tool) -------
+
+scenario::scenario_spec shrink(scenario::scenario_spec spec) {
+  if (spec.num_agents > 2000) spec.num_agents = 2000;
+  return spec;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+std::string dump_reports(const core::probe_list& probes) {
+  std::string out;
+  for (const auto& probe : probes) {
+    const core::probe_report report = probe->report();
+    out += report.probe;
+    out += '\n';
+    for (const auto& scalar : report.scalars) {
+      out += scalar.key;
+      out += '=';
+      append_double(out, scalar.value);
+      if (scalar.has_ci) {
+        out += "+-";
+        append_double(out, scalar.half_width);
+      }
+      out += '\n';
+    }
+    for (const auto& series : report.series) {
+      out += series.key;
+      out += "=[";
+      for (std::size_t i = 0; i < series.values.size(); ++i) {
+        if (i != 0) out += ',';
+        append_double(out, series.values[i]);
+      }
+      out += "]\n";
+    }
+  }
+  return out;
+}
+
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Captured from the harness as of PR 3 (horizon 40, 2 replications,
+// seed 7, each scenario's default probes, num_agents capped at 2000).
+// Any change here is a break in bit-compatibility with every experiment
+// recorded before PR 4.
+const std::map<std::string, std::uint64_t>& golden_hashes() {
+  static const std::map<std::string, std::uint64_t> golden{
+      {"quickstart", 0xc3608dc104f28a7aULL},
+      {"theorem-infinite", 0x551e80674b435a39ULL},
+      {"theorem-finite", 0x6fb83e153d3361a3ULL},
+      {"nonuniform-start", 0xb19fb10090b612b9ULL},
+      {"ef-exclusive", 0xd7acf835755c47bbULL},
+      {"switching-stocks", 0x9fa0f457cc2a5afcULL},
+      {"drifting-crossover", 0x066502c44bdda652ULL},
+      {"ring", 0x737109d56b618d57ULL},
+      {"small-world", 0x7fed3ab830745098ULL},
+      {"two-cliques", 0x9911e150972b1389ULL},
+      {"torus", 0xa813d762f4d0e746ULL},
+      {"network_ring_1e5", 0x4eafe1226b9d8fd1ULL},
+      {"network_ba_1e6", 0xd0ad9d6c92dd9b1fULL},
+      {"network_smallworld_1e6", 0x6aa90ffc580faf9aULL},
+      {"mixed_baseline", 0x6fb83e153d3361a3ULL},
+      {"switching_recovery", 0x4f7edc6c417486e9ULL},
+      {"two_cliques_consensus", 0x8f5a35a4ee114aa2ULL},
+      {"drift_tracking_1e5", 0x42f49b5ffa3a4f71ULL},
+      {"mixture-discernment", 0x1111f9065abc8130ULL},
+  };
+  return golden;
+}
+
+core::run_config golden_config(unsigned threads, bool reuse) {
+  core::run_config config;
+  config.horizon = 40;
+  config.replications = 2;
+  config.seed = 7;
+  config.threads = threads;
+  config.reuse = reuse;
+  return config;
+}
+
+TEST(harness_golden, registry_bit_identical_across_threads_and_reuse) {
+  const auto& golden = golden_hashes();
+  std::size_t covered = 0;
+  for (const auto& spec : scenario::all_scenarios()) {
+    const auto it = golden.find(spec.name);
+    ASSERT_NE(it, golden.end())
+        << "scenario '" << spec.name
+        << "' has no golden hash; regenerate the table (see the capture "
+           "recipe in this file's header)";
+    ++covered;
+    const scenario::scenario_spec small = shrink(spec);
+    for (const unsigned threads : {1U, 4U}) {
+      for (const bool reuse : {true, false}) {
+        const core::probe_list merged =
+            scenario::run_probes(small, golden_config(threads, reuse));
+        EXPECT_EQ(fnv1a(dump_reports(merged)), it->second)
+            << "scenario '" << spec.name << "' diverged from the pre-PR-4 "
+            << "harness with threads=" << threads << " reuse=" << reuse;
+      }
+    }
+  }
+  // The table must shrink when scenarios are retired, too.
+  EXPECT_EQ(covered, golden.size());
+}
+
+// --- the reset()-reuse law ---------------------------------------------------
+
+core::dynamics_params test_params(std::size_t m) {
+  core::dynamics_params params;
+  params.num_options = m;
+  params.beta = 0.65;
+  params.mu = 0.05;
+  return params;
+}
+
+/// Drives `engine` for `horizon` steps from fixed streams and returns the
+/// flattened popularity trajectory plus the counters.
+std::vector<double> trajectory_of(core::dynamics_engine& engine, std::uint64_t horizon,
+                                  std::uint64_t seed) {
+  rng reward_gen = rng::from_stream(seed, 0);
+  rng process_gen = rng::from_stream(seed, 1);
+  std::vector<std::uint8_t> rewards(engine.num_options());
+  std::vector<double> out;
+  for (std::uint64_t t = 1; t <= horizon; ++t) {
+    for (auto& r : rewards) r = reward_gen.next_bernoulli(0.6) ? 1 : 0;
+    engine.step(rewards, process_gen);
+    for (const double q : engine.popularity()) out.push_back(q);
+  }
+  out.push_back(static_cast<double>(engine.empty_steps()));
+  out.push_back(static_cast<double>(engine.steps()));
+  return out;
+}
+
+/// The law itself: run a fresh engine; run the same engine again after
+/// reset(); both trajectories must match a second fresh engine bit for bit.
+template <typename MakeEngine>
+void expect_reset_reuse_law(MakeEngine make_engine, std::uint64_t horizon = 60) {
+  auto reused = make_engine();
+  ASSERT_TRUE(reused->reusable());
+  const std::vector<double> first = trajectory_of(*reused, horizon, 11);
+  reused->reset();
+  const std::vector<double> again = trajectory_of(*reused, horizon, 11);
+  auto fresh = make_engine();
+  const std::vector<double> reference = trajectory_of(*fresh, horizon, 11);
+  EXPECT_EQ(first, reference);
+  EXPECT_EQ(again, reference);
+}
+
+TEST(reset_reuse_law, aggregate) {
+  expect_reset_reuse_law(
+      [] { return std::make_unique<core::aggregate_dynamics>(test_params(4), 500); });
+}
+
+TEST(reset_reuse_law, infinite) {
+  expect_reset_reuse_law(
+      [] { return std::make_unique<core::infinite_dynamics>(test_params(4)); });
+}
+
+TEST(reset_reuse_law, grouped) {
+  expect_reset_reuse_law([] {
+    return std::make_unique<core::grouped_dynamics>(
+        test_params(3),
+        std::vector<core::rule_group>{{200, {0.1, 0.9}}, {300, {0.35, 0.65}}});
+  });
+}
+
+TEST(reset_reuse_law, finite_mixed_homogeneous) {
+  expect_reset_reuse_law(
+      [] { return std::make_unique<core::finite_dynamics>(test_params(4), 400); });
+}
+
+TEST(reset_reuse_law, finite_per_agent_rules) {
+  expect_reset_reuse_law([] {
+    auto engine = std::make_unique<core::finite_dynamics>(test_params(3), 120);
+    std::vector<core::adoption_rule> rules(120);
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      rules[i] = i % 2 == 0 ? core::adoption_rule{0.1, 0.9} : core::adoption_rule{0.3, 0.7};
+    }
+    engine->set_agent_rules(std::move(rules));
+    return engine;
+  });
+}
+
+TEST(reset_reuse_law, finite_network_sparse_and_dense) {
+  static const graph::graph ring = graph::graph::ring(300);
+  expect_reset_reuse_law([] {
+    auto engine = std::make_unique<core::finite_dynamics>(test_params(2), 300);
+    engine->set_topology(&ring);
+    return engine;
+  });
+  static const graph::graph cliques = graph::graph::two_cliques(150, 2);
+  expect_reset_reuse_law([] {
+    auto engine = std::make_unique<core::finite_dynamics>(test_params(2), 300);
+    engine->set_topology(&cliques);
+    return engine;
+  });
+}
+
+TEST(reset_reuse_law, custom_starts_disable_reuse) {
+  core::infinite_dynamics infinite{test_params(4)};
+  EXPECT_TRUE(infinite.reusable());
+  const std::vector<double> start{0.7, 0.1, 0.1, 0.1};
+  infinite.reset(std::span<const double>{start});
+  EXPECT_FALSE(infinite.reusable()) << "reset() returns to uniform, not to `start`";
+
+  core::aggregate_dynamics aggregate{test_params(4), 100};
+  EXPECT_TRUE(aggregate.reusable());
+  const std::vector<std::uint64_t> counts{40, 30, 20, 10};
+  aggregate.reset(std::span<const std::uint64_t>{counts});
+  EXPECT_FALSE(aggregate.reusable());
+}
+
+// --- the sweep scheduler -----------------------------------------------------
+
+TEST(run_sweep, bit_identical_to_sequential_run_probes) {
+  const scenario::scenario_spec base = scenario::get_scenario("mixed_baseline");
+  std::vector<scenario::sweep_axis> axes;
+  axes.push_back(scenario::parse_sweep_axis("params.beta=0.6,0.65"));
+  axes.push_back(scenario::parse_sweep_axis("num_agents=500,1000"));
+  const auto grid = scenario::expand_sweep(axes);
+  ASSERT_EQ(grid.size(), 4U);
+  const std::vector<std::string> probes{"regret", "final_histogram"};
+
+  core::run_config config;
+  config.horizon = 60;
+  config.replications = 5;
+  config.seed = 3;
+
+  // The reference: each point alone, single-threaded, through run_probes.
+  std::vector<std::string> reference;
+  for (const auto& assignments : grid) {
+    scenario::scenario_spec point = base;
+    for (const auto& [key, value] : assignments) {
+      scenario::apply_override(point, key, value);
+    }
+    config.threads = 1;
+    reference.push_back(dump_reports(scenario::run_probes(point, config, probes)));
+  }
+
+  for (const unsigned threads : {1U, 4U}) {
+    for (const bool reuse : {true, false}) {
+      config.threads = threads;
+      config.reuse = reuse;
+      const auto results = scenario::run_sweep(base, grid, config, probes);
+      ASSERT_EQ(results.size(), grid.size());
+      for (std::size_t p = 0; p < results.size(); ++p) {
+        EXPECT_EQ(results[p].assignments, grid[p]);
+        EXPECT_EQ(dump_reports(results[p].probes), reference[p])
+            << "point " << p << " threads=" << threads << " reuse=" << reuse;
+      }
+    }
+  }
+}
+
+TEST(run_sweep, empty_grid_is_one_point_and_matches_run_probes) {
+  const scenario::scenario_spec base = scenario::get_scenario("theorem-finite");
+  core::run_config config;
+  config.horizon = 50;
+  config.replications = 4;
+  config.seed = 5;
+  config.threads = 1;
+  const auto results = scenario::run_sweep(base, {}, config);
+  ASSERT_EQ(results.size(), 1U);
+  EXPECT_TRUE(results[0].assignments.empty());
+  EXPECT_EQ(dump_reports(results[0].probes),
+            dump_reports(scenario::run_probes(base, config)));
+}
+
+TEST(run_sweep, empty_trailing_shards_still_match_run_probes) {
+  // 65 replications: reduce_layout gives 64 shards of chunk 2, so shards
+  // 33..63 cover no replications.  Their accumulators must still merge
+  // (as run_with_probes merges its empty shards) without ever borrowing
+  // an engine, and the result must stay bit-identical.
+  const scenario::scenario_spec base = scenario::get_scenario("theorem-finite");
+  core::run_config config;
+  config.horizon = 10;
+  config.replications = 65;
+  config.seed = 13;
+  config.threads = 1;
+  const std::string reference = dump_reports(scenario::run_probes(base, config));
+  for (const unsigned threads : {1U, 4U}) {
+    config.threads = threads;
+    const auto results = scenario::run_sweep(base, {}, config);
+    ASSERT_EQ(results.size(), 1U);
+    EXPECT_EQ(dump_reports(results[0].probes), reference) << "threads=" << threads;
+  }
+}
+
+TEST(run_sweep, validates_every_point_before_running) {
+  const scenario::scenario_spec base = scenario::get_scenario("mixed_baseline");
+  std::vector<std::vector<std::pair<std::string, std::string>>> grid;
+  grid.push_back({{"params.beta", "0.6"}});
+  grid.push_back({{"params.beta", "1.5"}});  // invalid: beta must be < 1
+  core::run_config config;
+  config.horizon = 10;
+  config.replications = 2;
+  EXPECT_THROW((void)scenario::run_sweep(base, grid, config), std::invalid_argument);
+}
+
+TEST(run_sweep, topology_cache_shares_graphs_across_points) {
+  const scenario::scenario_spec base = scenario::get_scenario("small-world");
+  std::vector<scenario::sweep_axis> axes;
+  axes.push_back(scenario::parse_sweep_axis("params.beta=0.6,0.62,0.64,0.66"));
+  const auto grid = scenario::expand_sweep(axes);
+  core::run_config config;
+  config.horizon = 10;
+  config.replications = 2;
+  config.seed = 2;
+
+  const scenario::topology_cache_stats before = scenario::shared_topology_stats();
+  (void)scenario::run_sweep(base, grid, config);
+  const scenario::topology_cache_stats after = scenario::shared_topology_stats();
+  // Four points, one topology key: at most one build, at least three hits.
+  EXPECT_LE(after.misses - before.misses, 1U);
+  EXPECT_GE(after.hits - before.hits, 3U);
+}
+
+// --- the harness reuses contexts, not streams --------------------------------
+
+TEST(run_config_reuse, off_matches_on_bit_for_bit) {
+  const scenario::scenario_spec spec = scenario::get_scenario("ring");
+  core::run_config config;
+  config.horizon = 80;
+  config.replications = 6;
+  config.seed = 9;
+  config.reuse = true;
+  const std::string with_reuse = dump_reports(scenario::run_probes(spec, config));
+  config.reuse = false;
+  const std::string without_reuse = dump_reports(scenario::run_probes(spec, config));
+  EXPECT_EQ(with_reuse, without_reuse);
+}
+
+}  // namespace

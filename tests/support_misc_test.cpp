@@ -352,5 +352,56 @@ TEST(parallel_reduce, propagates_exceptions) {
 
 TEST(default_thread_count, is_positive) { EXPECT_GE(default_thread_count(), 1U); }
 
+// --- the persistent worker pool --------------------------------------------------
+
+TEST(parallel_tasks, runs_every_task_exactly_once) {
+  constexpr std::size_t n = 257;
+  std::vector<std::atomic<int>> visits(n);
+  parallel_tasks(n, [&](std::size_t i) { visits[i].fetch_add(1); }, 8);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(visits[i].load(), 1) << i;
+}
+
+TEST(parallel_tasks, propagates_first_exception_and_stops_claiming) {
+  std::atomic<int> ran{0};
+  EXPECT_THROW(parallel_tasks(
+                   1000,
+                   [&](std::size_t i) {
+                     ran.fetch_add(1);
+                     if (i == 3) throw std::runtime_error{"boom"};
+                   },
+                   2),
+               std::runtime_error);
+  // Unstarted tasks are skipped after the failure; only a bounded prefix
+  // (plus in-flight tasks) ran.
+  EXPECT_LT(ran.load(), 1000);
+}
+
+TEST(parallel_tasks, nested_submissions_do_not_deadlock) {
+  // An engine fanning out inside a replication that is itself a pool task:
+  // the inner job must drain even when every worker is busy with the outer
+  // one.  (On a single-core host everything runs inline, which is the same
+  // contract.)
+  constexpr std::size_t outer = 6;
+  constexpr std::size_t inner = 8;
+  std::atomic<int> total{0};
+  parallel_tasks(
+      outer,
+      [&](std::size_t) {
+        parallel_for(0, inner, [&](std::size_t) { total.fetch_add(1); }, 4);
+      },
+      4);
+  EXPECT_EQ(total.load(), static_cast<int>(outer * inner));
+}
+
+TEST(parallel_tasks, reentrant_after_many_submissions) {
+  // The pool is a process-wide singleton: thousands of short jobs must not
+  // leak or wedge it (this is the sweep scheduler's usage pattern).
+  std::atomic<std::size_t> sum{0};
+  for (int round = 0; round < 2000; ++round) {
+    parallel_tasks(4, [&](std::size_t i) { sum.fetch_add(i); }, 2);
+  }
+  EXPECT_EQ(sum.load(), 2000U * (0 + 1 + 2 + 3));
+}
+
 }  // namespace
 }  // namespace sgl

@@ -26,7 +26,6 @@
 // probe-based runner (core/experiment.h, core/probe.h); everything is
 // deterministic given --seed.
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -46,6 +45,7 @@
 #include "scenario/registry.h"
 #include "scenario/scenario.h"
 #include "scenario/serialize.h"
+#include "scenario/sweep.h"
 #include "support/flags.h"
 #include "support/json.h"
 #include "support/rng.h"
@@ -284,6 +284,10 @@ int cmd_scenario(int argc, const char* const* argv, bool sweep_command) {
                   "for any value");
   flags.add_int64("agents", -1, "override the scenario's population (-1 = keep)");
   flags.add_bool("curves", false, "emit per-step curves as CSV instead of the table");
+  flags.add_bool("no-reuse", false,
+                 "rebuild the engine/environment every replication instead of "
+                 "reset()-reusing one per worker (A/B check; bit-identical "
+                 "results, slower)");
   if (flags.parse(argc, argv) != parse_status::ok) return 2;
   output_format format = output_format::table;
   if (!read_format(flags, format)) return 2;
@@ -345,6 +349,7 @@ int cmd_scenario(int argc, const char* const* argv, bool sweep_command) {
   config.seed = static_cast<std::uint64_t>(flags.get_int64("seed"));
   config.threads = static_cast<unsigned>(flags.get_int64("threads"));
   config.collect_curves = flags.get_bool("curves");
+  config.reuse = !flags.get_bool("no-reuse");
 
   // Probe selection: --probes > the spec's probes > regret; --curves
   // additionally wants the trajectory probe.
@@ -379,15 +384,16 @@ int cmd_scenario(int argc, const char* const* argv, bool sweep_command) {
     return 2;
   }
 
-  // Reject bad grid points before any output: once the JSON array opens,
-  // an override or validation error would leave invalid JSON on stdout.
-  for (const auto& assignments : grid) {
-    scenario::scenario_spec scratch = spec;
-    for (const auto& [key, value] : assignments) {
-      scenario::apply_override(scratch, key, value);
-    }
-    scenario::validate_spec(scratch);
-  }
+  // Run the whole grid through the flattened sweep scheduler: every point
+  // is overridden and validated before any replication starts, all
+  // (point × shard) work items drain over the shared worker pool, engines
+  // are reset()-reused per point, and points with the same topology key
+  // share one built graph.  Per-point results are bit-identical to the
+  // historical one-point-at-a-time loop (tests/harness_determinism_test).
+  // Output begins only after the runs finish, so an error deep in the grid
+  // can no longer leave a partial JSON array on stdout.
+  const std::vector<scenario::sweep_point_result> results =
+      scenario::run_sweep(spec, grid, config, probe_specs);
 
   json_writer json{std::cout};
   if (format == output_format::json && sweeping) json.begin_array();
@@ -399,34 +405,21 @@ int cmd_scenario(int argc, const char* const* argv, bool sweep_command) {
     std::printf("\n");
   };
 
-  // Keep stdout parseable even if a run fails deep in the grid (engine
-  // construction errors the pre-validation cannot see): close the array,
-  // then let main report the error.  CSV rows stream as runs finish.
-  const auto close_partial_output = [&] {
-    if (format == output_format::json && sweeping) {
-      json.end_array();
-      std::cout << '\n';
-    }
-  };
-  try {
-  for (std::size_t run_index = 0; run_index < grid.size(); ++run_index) {
-    const auto& assignments = grid[run_index];
-    scenario::scenario_spec run_spec = spec;
-    for (const auto& [key, value] : assignments) {
-      scenario::apply_override(run_spec, key, value);
-    }
-
-    const auto started = std::chrono::steady_clock::now();
-    const core::probe_list merged = scenario::run_probes(run_spec, config, probe_specs);
-    const double seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+  for (std::size_t run_index = 0; run_index < results.size(); ++run_index) {
+    const scenario::sweep_point_result& point = results[run_index];
+    const auto& assignments = point.assignments;
+    const scenario::scenario_spec& run_spec = point.spec;
+    const core::probe_list& merged = point.probes;
+    // In-flight wall clock of this point; under the flattened schedule
+    // points overlap, so the values can sum past the sweep's elapsed time.
+    const double seconds = point.seconds;
     const std::vector<core::probe_report> reports = core::collect_reports(merged);
 
     // --curves keeps its historical output shape outside JSON: the per-step
     // CSV, for the table and csv formats alike.
     if (config.collect_curves && format != output_format::json) {
       if (sweeping) {
-        std::printf("# run %zu/%zu:", run_index + 1, grid.size());
+        std::printf("# run %zu/%zu:", run_index + 1, results.size());
         for (const auto& [key, value] : assignments) {
           std::printf(" %s=%s", key.c_str(), value.c_str());
         }
@@ -471,7 +464,7 @@ int cmd_scenario(int argc, const char* const* argv, bool sweep_command) {
       }
       case output_format::table: {
         if (sweeping) {
-          std::printf("# run %zu/%zu:", run_index + 1, grid.size());
+          std::printf("# run %zu/%zu:", run_index + 1, results.size());
           for (const auto& [key, value] : assignments) {
             std::printf(" %s=%s", key.c_str(), value.c_str());
           }
@@ -524,12 +517,10 @@ int cmd_scenario(int argc, const char* const* argv, bool sweep_command) {
     }
   }
 
-  } catch (...) {
-    close_partial_output();
-    throw;
+  if (format == output_format::json && sweeping) {
+    json.end_array();
+    std::cout << '\n';
   }
-
-  close_partial_output();
   return 0;
 }
 
