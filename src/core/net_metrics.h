@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file net_metrics.h
+/// The narrow bridge between the probe layer and network-backed engines.
+///
+/// Protocol-grade measurements — message and byte cost, commit latency,
+/// adoption under churn — only make sense for engines that run over a
+/// simulated network (protocol/protocol_engine.h).  Instead of making the
+/// core probe layer depend on the protocol layer, an engine that can
+/// account for its network opts in by implementing net_instrumented; the
+/// message_cost / commit_latency / adoption probes (core/probe.h) discover
+/// the capability with a dynamic_cast and report nothing for engines
+/// without it.
+
+#include <cstdint>
+
+namespace sgl::core {
+
+/// A cumulative snapshot of a replication's network activity, taken after
+/// any step.  Counters restart from zero at every engine reset() (a fresh
+/// replication), so end-of-replication snapshots cover exactly one
+/// replication.
+struct net_metrics {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;  ///< lost in transit or dst down
+  std::uint64_t timers_fired = 0;
+  std::uint64_t bytes_sent = 0;
+
+  std::uint64_t nodes = 0;      ///< population size N
+  std::uint64_t alive = 0;      ///< nodes not crashed after the last step
+  std::uint64_t committed = 0;  ///< alive nodes holding a choice
+
+  /// Sum over commit events of the rounds the node spent uncommitted
+  /// before that commit, and the number of such events.  Their ratio is
+  /// the mean commit latency in rounds.
+  double commit_latency_rounds = 0.0;
+  std::uint64_t commit_events = 0;
+};
+
+/// Implemented by engines that can report net_metrics (the gossip protocol
+/// engine).  Purely observational: calling it must not change engine state
+/// or consume randomness.
+class net_instrumented {
+ public:
+  virtual ~net_instrumented() = default;
+  [[nodiscard]] virtual net_metrics sample_net() const = 0;
+};
+
+}  // namespace sgl::core

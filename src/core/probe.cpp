@@ -388,13 +388,171 @@ probe_report recovery_probe::report() const {
   return out;
 }
 
+// --- message_cost_probe -----------------------------------------------------
+
+namespace {
+
+/// The net-instrumented view of an engine, or nullptr when it has none.
+const net_instrumented* net_view(const dynamics_engine& engine) {
+  return dynamic_cast<const net_instrumented*>(&engine);
+}
+
+}  // namespace
+
+std::unique_ptr<probe> message_cost_probe::clone() const {
+  return std::make_unique<message_cost_probe>();
+}
+
+void message_cost_probe::begin_replication(std::uint64_t /*horizon*/) {}
+
+void message_cost_probe::on_step(const probe_step_view& /*step*/) {}
+
+void message_cost_probe::end_replication(const dynamics_engine& engine,
+                                         const env::reward_model& /*environment*/,
+                                         std::uint64_t horizon) {
+  const net_instrumented* net = net_view(engine);
+  if (net == nullptr) return;
+  const net_metrics metrics = net->sample_net();
+  const double h = static_cast<double>(horizon);
+  const double sent = static_cast<double>(metrics.messages_sent);
+  messages_per_round_.add(sent / h);
+  messages_per_node_round_.add(
+      metrics.nodes == 0 ? 0.0 : sent / h / static_cast<double>(metrics.nodes));
+  bytes_per_round_.add(static_cast<double>(metrics.bytes_sent) / h);
+  timers_per_round_.add(static_cast<double>(metrics.timers_fired) / h);
+  drop_rate_.add(metrics.messages_sent == 0
+                     ? 0.0
+                     : static_cast<double>(metrics.messages_dropped) / sent);
+}
+
+void message_cost_probe::merge(const probe& other) {
+  const auto& o = dynamic_cast<const message_cost_probe&>(other);
+  messages_per_round_.merge(o.messages_per_round_);
+  messages_per_node_round_.merge(o.messages_per_node_round_);
+  bytes_per_round_.merge(o.bytes_per_round_);
+  timers_per_round_.merge(o.timers_per_round_);
+  drop_rate_.merge(o.drop_rate_);
+}
+
+probe_report message_cost_probe::report() const {
+  probe_report out;
+  out.probe = name();
+  out.scalars.push_back(ci_scalar("messages_per_round", messages_per_round_));
+  out.scalars.push_back(ci_scalar("messages_per_node_round", messages_per_node_round_));
+  out.scalars.push_back(ci_scalar("bytes_per_round", bytes_per_round_));
+  out.scalars.push_back(ci_scalar("timers_per_round", timers_per_round_));
+  out.scalars.push_back(ci_scalar("drop_rate", drop_rate_));
+  out.scalars.push_back(
+      plain_scalar("replications", static_cast<double>(messages_per_round_.count())));
+  return out;
+}
+
+// --- commit_latency_probe ---------------------------------------------------
+
+std::unique_ptr<probe> commit_latency_probe::clone() const {
+  return std::make_unique<commit_latency_probe>();
+}
+
+void commit_latency_probe::begin_replication(std::uint64_t /*horizon*/) {}
+
+void commit_latency_probe::on_step(const probe_step_view& /*step*/) {}
+
+void commit_latency_probe::end_replication(const dynamics_engine& engine,
+                                           const env::reward_model& /*environment*/,
+                                           std::uint64_t horizon) {
+  const net_instrumented* net = net_view(engine);
+  if (net == nullptr) return;
+  const net_metrics metrics = net->sample_net();
+  if (metrics.commit_events > 0) {
+    latency_.add(metrics.commit_latency_rounds /
+                 static_cast<double>(metrics.commit_events));
+  }
+  commits_per_round_.add(static_cast<double>(metrics.commit_events) /
+                         static_cast<double>(horizon));
+}
+
+void commit_latency_probe::merge(const probe& other) {
+  const auto& o = dynamic_cast<const commit_latency_probe&>(other);
+  latency_.merge(o.latency_);
+  commits_per_round_.merge(o.commits_per_round_);
+}
+
+probe_report commit_latency_probe::report() const {
+  probe_report out;
+  out.probe = name();
+  out.scalars.push_back(ci_scalar("commit_latency_rounds", latency_));
+  out.scalars.push_back(ci_scalar("commits_per_round", commits_per_round_));
+  out.scalars.push_back(
+      plain_scalar("replications", static_cast<double>(commits_per_round_.count())));
+  return out;
+}
+
+// --- adoption_probe ---------------------------------------------------------
+
+std::unique_ptr<probe> adoption_probe::clone() const {
+  return std::make_unique<adoption_probe>();
+}
+
+void adoption_probe::begin_replication(std::uint64_t /*horizon*/) {
+  committed_fraction_sum_ = 0.0;
+  observed_steps_ = 0;
+}
+
+void adoption_probe::on_step(const probe_step_view& step) {
+  const net_instrumented* net = net_view(step.engine);
+  if (net == nullptr) return;
+  const net_metrics metrics = net->sample_net();
+  committed_fraction_sum_ += metrics.alive == 0
+                                 ? 0.0
+                                 : static_cast<double>(metrics.committed) /
+                                       static_cast<double>(metrics.alive);
+  ++observed_steps_;
+}
+
+void adoption_probe::end_replication(const dynamics_engine& engine,
+                                     const env::reward_model& /*environment*/,
+                                     std::uint64_t /*horizon*/) {
+  const net_instrumented* net = net_view(engine);
+  if (net == nullptr || observed_steps_ == 0) return;
+  committed_fraction_.add(committed_fraction_sum_ /
+                          static_cast<double>(observed_steps_));
+  const net_metrics metrics = net->sample_net();
+  final_committed_fraction_.add(metrics.alive == 0
+                                    ? 0.0
+                                    : static_cast<double>(metrics.committed) /
+                                          static_cast<double>(metrics.alive));
+  final_alive_fraction_.add(metrics.nodes == 0
+                                ? 0.0
+                                : static_cast<double>(metrics.alive) /
+                                      static_cast<double>(metrics.nodes));
+}
+
+void adoption_probe::merge(const probe& other) {
+  const auto& o = dynamic_cast<const adoption_probe&>(other);
+  committed_fraction_.merge(o.committed_fraction_);
+  final_committed_fraction_.merge(o.final_committed_fraction_);
+  final_alive_fraction_.merge(o.final_alive_fraction_);
+}
+
+probe_report adoption_probe::report() const {
+  probe_report out;
+  out.probe = name();
+  out.scalars.push_back(ci_scalar("committed_fraction", committed_fraction_));
+  out.scalars.push_back(ci_scalar("final_committed_fraction", final_committed_fraction_));
+  out.scalars.push_back(ci_scalar("final_alive_fraction", final_alive_fraction_));
+  out.scalars.push_back(
+      plain_scalar("replications", static_cast<double>(committed_fraction_.count())));
+  return out;
+}
+
 // --- probe spec grammar -----------------------------------------------------
 
 namespace {
 
-constexpr std::array<std::string_view, 6> k_probe_names{
-    "regret",          "trajectory", "hitting_time",
-    "popularity_floor", "final_histogram", "recovery"};
+constexpr std::array<std::string_view, 9> k_probe_names{
+    "regret",          "trajectory",      "hitting_time",
+    "popularity_floor", "final_histogram", "recovery",
+    "message_cost",    "commit_latency",  "adoption"};
 
 double parse_probe_number(std::string_view spec, std::string_view text) {
   const std::optional<double> parsed = parse_full_double(text);
@@ -476,6 +634,18 @@ std::unique_ptr<probe> make_probe(std::string_view spec) {
   if (name == "final_histogram") {
     no_args(trimmed, parsed);
     return std::make_unique<final_histogram_probe>();
+  }
+  if (name == "message_cost") {
+    no_args(trimmed, parsed);
+    return std::make_unique<message_cost_probe>();
+  }
+  if (name == "commit_latency") {
+    no_args(trimmed, parsed);
+    return std::make_unique<commit_latency_probe>();
+  }
+  if (name == "adoption") {
+    no_args(trimmed, parsed);
+    return std::make_unique<adoption_probe>();
   }
   if (name == "hitting_time") {
     return std::make_unique<hitting_time_probe>(only_arg(trimmed, parsed, "eps", 0.1));

@@ -35,6 +35,15 @@
 ///   final_histogram   — per-option mean of the final popularity Q^T.
 ///   recovery(eps)     — steps from each best-option switch until
 ///                       Q^t_{best(t)} >= 1 - eps again (§6 "stocks").
+///
+/// Protocol probes (meaningful for engines implementing
+/// core::net_instrumented — the netsim-backed gossip engine; they report
+/// zero replications for everything else):
+///   message_cost      — messages / bytes / timers per round, drop rate.
+///   commit_latency    — mean rounds an uncommitted spell lasts before the
+///                       node commits, and commit events per round.
+///   adoption          — committed and alive fractions (mean over rounds
+///                       and final) — the churn view of convergence.
 
 #include <cstdint>
 #include <memory>
@@ -45,6 +54,7 @@
 #include <vector>
 
 #include "core/dynamics_engine.h"
+#include "core/net_metrics.h"
 #include "env/reward_model.h"
 #include "support/stats.h"
 
@@ -317,6 +327,92 @@ class recovery_probe final : public probe {
   std::uint64_t unrecovered_ = 0;
   std::size_t prev_best_ = static_cast<std::size_t>(-1);
   std::uint64_t pending_since_ = 0;  // 0 = no outstanding switch
+};
+
+/// Wire-cost accounting for net-instrumented engines: per-round messages,
+/// bytes, timers (normalized by the horizon) and the end-to-end drop rate.
+/// The "appropriate for low-power devices" reading of §6 needs exactly
+/// this: what does the distributed implementation cost on the air?
+class message_cost_probe final : public probe {
+ public:
+  [[nodiscard]] std::string name() const override { return "message_cost"; }
+  [[nodiscard]] std::unique_ptr<probe> clone() const override;
+  void begin_replication(std::uint64_t horizon) override;
+  void on_step(const probe_step_view& step) override;
+  void end_replication(const dynamics_engine& engine,
+                       const env::reward_model& environment,
+                       std::uint64_t horizon) override;
+  void merge(const probe& other) override;
+  [[nodiscard]] probe_report report() const override;
+
+  [[nodiscard]] const running_stats& messages_per_round_stats() const noexcept {
+    return messages_per_round_;
+  }
+  [[nodiscard]] const running_stats& drop_rate_stats() const noexcept { return drop_rate_; }
+
+ private:
+  running_stats messages_per_round_;
+  running_stats messages_per_node_round_;
+  running_stats bytes_per_round_;
+  running_stats timers_per_round_;
+  running_stats drop_rate_;
+};
+
+/// Commit latency for net-instrumented engines: the mean length, in
+/// protocol rounds, of an uncommitted spell before the node commits, plus
+/// commit events per round.  The protocol analogue of hitting-time-style
+/// convergence metrics (cf. Su–Zubeldia–Lynch).
+class commit_latency_probe final : public probe {
+ public:
+  [[nodiscard]] std::string name() const override { return "commit_latency"; }
+  [[nodiscard]] std::unique_ptr<probe> clone() const override;
+  void begin_replication(std::uint64_t horizon) override;
+  void on_step(const probe_step_view& step) override;
+  void end_replication(const dynamics_engine& engine,
+                       const env::reward_model& environment,
+                       std::uint64_t horizon) override;
+  void merge(const probe& other) override;
+  [[nodiscard]] probe_report report() const override;
+
+  [[nodiscard]] const running_stats& latency_stats() const noexcept { return latency_; }
+  [[nodiscard]] const running_stats& commits_per_round_stats() const noexcept {
+    return commits_per_round_;
+  }
+
+ private:
+  running_stats latency_;  // per-replication mean latency (rounds); only
+                           // replications with >= 1 commit event contribute
+  running_stats commits_per_round_;
+};
+
+/// Adoption under churn for net-instrumented engines: the committed
+/// fraction (of alive nodes) averaged over the horizon and at the end, and
+/// the final alive fraction.
+class adoption_probe final : public probe {
+ public:
+  [[nodiscard]] std::string name() const override { return "adoption"; }
+  [[nodiscard]] std::unique_ptr<probe> clone() const override;
+  void begin_replication(std::uint64_t horizon) override;
+  void on_step(const probe_step_view& step) override;
+  void end_replication(const dynamics_engine& engine,
+                       const env::reward_model& environment,
+                       std::uint64_t horizon) override;
+  void merge(const probe& other) override;
+  [[nodiscard]] probe_report report() const override;
+
+  [[nodiscard]] const running_stats& committed_fraction_stats() const noexcept {
+    return committed_fraction_;
+  }
+  [[nodiscard]] const running_stats& final_alive_fraction_stats() const noexcept {
+    return final_alive_fraction_;
+  }
+
+ private:
+  running_stats committed_fraction_;        // mean over the horizon, per rep
+  running_stats final_committed_fraction_;
+  running_stats final_alive_fraction_;
+  double committed_fraction_sum_ = 0.0;
+  std::uint64_t observed_steps_ = 0;
 };
 
 // --- probe spec grammar -----------------------------------------------------

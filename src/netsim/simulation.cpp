@@ -1,5 +1,6 @@
 #include "netsim/simulation.h"
 
+#include <bit>
 #include <stdexcept>
 
 #include "support/distributions.h"
@@ -50,7 +51,10 @@ node_id simulation::add_node(std::unique_ptr<node> n) {
   if (n == nullptr) throw std::invalid_argument{"simulation::add_node: null node"};
   const node_id id = static_cast<node_id>(nodes_.size());
   nodes_.push_back(std::move(n));
-  node_gens_.push_back(rng::from_stream(seed_, 0x1000ULL + id));
+  // Node streams live above 2^32 so they can never collide with the
+  // network stream (0xfeed) or any other sub-2^32 auxiliary stream for
+  // any 32-bit node id (the old 0x1000 + id base met 0xfeed at id 61165).
+  node_gens_.push_back(rng::from_stream(seed_, (1ULL << 32) + id));
   alive_.push_back(true);
   epoch_.push_back(0);
   return id;
@@ -139,9 +143,21 @@ void simulation::partition(std::span<const node_id> group_a) {
 
 void simulation::heal_partition() noexcept { partitioned_ = false; }
 
+void simulation::trace(std::uint64_t word) noexcept {
+  trace_hash_ ^= word;
+  trace_hash_ *= 0x100000001b3ULL;
+}
+
 void simulation::dispatch(const event& ev) {
   now_ = ev.time;
+  trace(std::bit_cast<std::uint64_t>(ev.time));
+  trace((static_cast<std::uint64_t>(ev.dst) << 8) |
+        static_cast<std::uint64_t>(ev.kind));
   if (ev.kind == event_kind::deliver) {
+    trace((static_cast<std::uint64_t>(ev.msg.src) << 32) |
+          static_cast<std::uint32_t>(ev.msg.kind));
+    trace(static_cast<std::uint64_t>(ev.msg.a));
+    trace(static_cast<std::uint64_t>(ev.msg.b));
     if (!alive_[ev.dst]) {
       ++stats_.messages_dropped;
       return;
@@ -154,6 +170,7 @@ void simulation::dispatch(const event& ev) {
     context ctx{*this, ev.dst};
     nodes_[ev.dst]->on_message(ctx, ev.msg);
   } else {
+    trace(static_cast<std::uint32_t>(ev.timer_id));
     // Timers set before a crash are stale in the new epoch.
     if (!alive_[ev.dst] || ev.epoch != epoch_[ev.dst]) return;
     ++stats_.timers_fired;

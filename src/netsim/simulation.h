@@ -11,8 +11,9 @@
 /// latency-ridden asynchronous links, with crash/restart fault injection.
 ///
 /// Determinism: events are ordered by (time, sequence number); every node
-/// owns an RNG stream derived from (seed, node id) and the network owns its
-/// own stream for latency/drops, so runs are reproducible bit-for-bit.
+/// owns an RNG stream derived from (seed, 2^32 + node id) and the network
+/// owns its own sub-2^32 stream for latency/drops — disjoint for every
+/// 32-bit node id — so runs are reproducible bit-for-bit.
 
 #include <cstdint>
 #include <memory>
@@ -131,6 +132,12 @@ class simulation {
   [[nodiscard]] std::size_t num_nodes() const noexcept { return nodes_.size(); }
   [[nodiscard]] const network_stats& stats() const noexcept { return stats_; }
 
+  /// FNV-1a fold of every dispatched event (time, kind, destination,
+  /// payload).  Two runs that dispatched the same events in the same order
+  /// have equal hashes, so replays / thread-count / engine-reuse invariance
+  /// can be asserted on the full event trace without recording it.
+  [[nodiscard]] std::uint64_t trace_hash() const noexcept { return trace_hash_; }
+
   /// Fault injection.  Crashing drops the node's queued timers and any
   /// messages delivered while down; restart re-runs on_start.
   void crash_node(node_id id);
@@ -172,6 +179,7 @@ class simulation {
   };
 
   void dispatch(const event& ev);
+  void trace(std::uint64_t word) noexcept;
   void enqueue_message(node_id src, node_id dst, const message& msg);
   void enqueue_timer(node_id dst, double delay, std::int32_t timer_id);
   void require_started(bool started, const char* who) const;
@@ -191,6 +199,7 @@ class simulation {
   double now_ = 0.0;
   bool started_ = false;
   network_stats stats_;
+  std::uint64_t trace_hash_ = 0xcbf29ce484222325ULL;  ///< FNV-1a offset basis
   std::uint64_t seed_;
 };
 

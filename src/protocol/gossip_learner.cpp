@@ -43,12 +43,12 @@ void gossip_params::validate() const {
 
 // --- gossip_learner --------------------------------------------------------------
 
-gossip_learner::gossip_learner(const gossip_params& params, const signal_oracle* oracle)
-    : params_{params}, oracle_{oracle} {
+gossip_learner::gossip_learner(const gossip_params& params, const signal_source* signals)
+    : params_{params}, signals_{signals} {
   params_.validate();
-  if (oracle_ == nullptr) throw std::invalid_argument{"gossip_learner: null oracle"};
-  if (oracle_->num_options() != params_.dynamics.num_options) {
-    throw std::invalid_argument{"gossip_learner: oracle/model option-count mismatch"};
+  if (signals_ == nullptr) throw std::invalid_argument{"gossip_learner: null signal source"};
+  if (signals_->num_options() != params_.dynamics.num_options) {
+    throw std::invalid_argument{"gossip_learner: signal/model option-count mismatch"};
   }
 }
 
@@ -57,8 +57,14 @@ std::uint64_t gossip_learner::current_round(const netsim::context& ctx) const no
 }
 
 void gossip_learner::on_start(netsim::context& ctx) {
-  // Uniform initial commitment — the protocol analogue of Q⁰ = 1/m.
-  choice_ = static_cast<std::int32_t>(ctx.gen().next_below(params_.dynamics.num_options));
+  if (params_.start_committed) {
+    // Uniform initial commitment — the protocol analogue of Q⁰ = 1/m.
+    choice_ =
+        static_cast<std::int32_t>(ctx.gen().next_below(params_.dynamics.num_options));
+  } else {
+    choice_ = -1;
+  }
+  latched_choice_ = choice_;
   // Random phase so wakeups are spread across the round, then periodic.
   const double phase = (0.05 + 0.9 * ctx.gen().next_double()) * params_.round_interval;
   ctx.set_timer(phase, k_round_timer);
@@ -91,7 +97,7 @@ void gossip_learner::on_message(netsim::context& ctx, const netsim::message& msg
     case k_sample_request: {
       netsim::message reply;
       reply.kind = k_sample_reply;
-      reply.a = choice_;
+      reply.a = params_.lockstep ? latched_choice_ : choice_;
       ctx.send(msg.src, reply);
       break;
     }
@@ -119,7 +125,7 @@ void gossip_learner::on_message(netsim::context& ctx, const netsim::message& msg
 }
 
 void gossip_learner::consider(netsim::context& ctx, std::size_t option) {
-  const std::uint8_t signal = oracle_->signal(current_round(ctx), option);
+  const std::uint8_t signal = signals_->signal(current_round(ctx), option);
   const double adopt_p =
       signal != 0 ? params_.dynamics.beta : params_.dynamics.resolved_alpha();
   if (ctx.gen().next_bernoulli(adopt_p)) {

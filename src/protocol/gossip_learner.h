@@ -33,17 +33,29 @@
 
 namespace sgl::protocol {
 
+/// Where a node's sensing of R^r_j comes from.  Every node sensing option j
+/// during round r must see the same realization — the paper's shared
+/// R^t_j — without any global coordination in the protocol itself.  Two
+/// implementations exist: the self-contained signal_oracle below (pure
+/// function of the seed, for standalone runs) and the harness-posted board
+/// in protocol_engine.h (the environment's sampled R^t, for scenario runs).
+class signal_source {
+ public:
+  virtual ~signal_source() = default;
+  [[nodiscard]] virtual std::uint8_t signal(std::uint64_t round,
+                                            std::size_t option) const = 0;
+  [[nodiscard]] virtual std::size_t num_options() const noexcept = 0;
+};
+
 /// Shared signal oracle: R^r_j as a pure function of (seed, round, option),
-/// Bernoulli(η_j).  Every node sensing option j during round r sees the
-/// same realization — the paper's shared R^t_j — without any global
-/// coordination in the protocol itself.
-class signal_oracle {
+/// Bernoulli(η_j).
+class signal_oracle final : public signal_source {
  public:
   /// Throws std::invalid_argument if any η is outside [0,1] or none given.
   signal_oracle(std::vector<double> etas, std::uint64_t seed);
 
-  [[nodiscard]] std::uint8_t signal(std::uint64_t round, std::size_t option) const;
-  [[nodiscard]] std::size_t num_options() const noexcept { return etas_.size(); }
+  [[nodiscard]] std::uint8_t signal(std::uint64_t round, std::size_t option) const override;
+  [[nodiscard]] std::size_t num_options() const noexcept override { return etas_.size(); }
   [[nodiscard]] std::span<const double> etas() const noexcept { return etas_; }
   [[nodiscard]] std::size_t best_option() const noexcept;
 
@@ -59,6 +71,19 @@ struct gossip_params {
   bool sticky = false;  ///< keep the previous choice instead of sitting out
   std::uint32_t max_retries = 4;   ///< re-asks after an uncommitted reply
 
+  /// Reply with the choice latched at the last round boundary instead of
+  /// the live one, so all of a round's samples read the previous round's
+  /// state — the synchronous two-stage update of §2.1.  The driver must
+  /// call latch() on every node at each round boundary (protocol_engine
+  /// does); without latching the protocol is asynchronous within a round.
+  bool lockstep = false;
+
+  /// Start committed to a uniformly random option (the standalone runs'
+  /// historical behaviour).  The harness adapter starts uncommitted to
+  /// match the dynamics_engine initial-state contract (nobody committed,
+  /// uniform popularity).
+  bool start_committed = true;
+
   /// Throws std::invalid_argument on a non-positive round interval.
   void validate() const;
 };
@@ -70,8 +95,8 @@ class gossip_learner final : public netsim::node {
   static constexpr std::int32_t k_sample_reply = 2;
   static constexpr std::int32_t k_round_timer = 7;
 
-  /// `oracle` is borrowed and must outlive the simulation.
-  gossip_learner(const gossip_params& params, const signal_oracle* oracle);
+  /// `signals` is borrowed and must outlive the simulation.
+  gossip_learner(const gossip_params& params, const signal_source* signals);
 
   void on_start(netsim::context& ctx) override;
   void on_message(netsim::context& ctx, const netsim::message& msg) override;
@@ -80,14 +105,19 @@ class gossip_learner final : public netsim::node {
   /// Current choice; -1 while sitting out.
   [[nodiscard]] std::int32_t choice() const noexcept { return choice_; }
 
+  /// Lockstep support: snapshots the current choice as the one SAMPLE_REQ
+  /// replies carry until the next latch (gossip_params::lockstep).
+  void latch() noexcept { latched_choice_ = choice_; }
+
  private:
   void consider(netsim::context& ctx, std::size_t option);
   void send_sample_request(netsim::context& ctx);
   [[nodiscard]] std::uint64_t current_round(const netsim::context& ctx) const noexcept;
 
   gossip_params params_;
-  const signal_oracle* oracle_;
+  const signal_source* signals_;
   std::int32_t choice_ = -1;
+  std::int32_t latched_choice_ = -1;
   std::uint32_t retries_left_ = 0;
 };
 

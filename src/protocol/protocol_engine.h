@@ -1,0 +1,158 @@
+#pragma once
+
+/// \file protocol_engine.h
+/// The gossip protocol as a first-class dynamics_engine.
+///
+/// PRs 1–4 made everything in the repo — probes, scenario I/O, sweeps, the
+/// CLI, the bench gate — drive engines solely through the
+/// core::dynamics_engine interface.  This adapter plugs the asynchronous
+/// netsim/gossip port of §2.1 into that interface: step(t) advances the
+/// discrete-event simulation one protocol round (round_interval simulated
+/// seconds), the environment's sampled R^t is posted to a shared signal
+/// board every node senses during that round, and popularity() is read off
+/// the empirical distribution of the nodes' single-integer states — the
+/// paper's "weights as popularity" reading, now measurable by every probe.
+///
+/// Determinism (tested in tests/protocol_engine_test.cpp):
+///   * the simulation seed is the first word drawn from the harness's
+///     per-replication process stream (rng::from_stream(seed, 2r+1)), so a
+///     replication's trajectory is a pure function of (seed, replication) —
+///     independent of thread count, scheduling, and engine reuse;
+///   * per-node / network / churn streams derive from that seed exactly as
+///     documented in DESIGN.md "Protocol RNG stream derivation";
+///   * reset() discards the simulation; the next step() draws a fresh seed
+///     from its stream, so reset()-reuse is bit-identical to
+///     reconstruction (reusable() returns true).
+///
+/// The engine also implements core::net_instrumented, so the message_cost /
+/// commit_latency / adoption probes can account for wire traffic, commit
+/// spells, and churn.
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/dynamics_engine.h"
+#include "core/net_metrics.h"
+#include "core/params.h"
+#include "graph/graph.h"
+#include "netsim/simulation.h"
+#include "protocol/gossip_learner.h"
+#include "support/rng.h"
+
+namespace sgl::protocol {
+
+/// Everything a protocol run needs beyond the dynamics parameters: the
+/// round cadence, the link model, the retry budget, fault injection, and
+/// the synchrony mode.  Mirrors the scenario layer's `protocol.*` keys.
+struct engine_config {
+  core::dynamics_params dynamics;  ///< m, μ, α, β
+
+  double round_interval = 1.0;  ///< simulated seconds per protocol round
+  double base_latency = 0.05;   ///< per-message delivery latency
+  double jitter_mean = 0.0;     ///< Exponential latency jitter (0 = none)
+  double drop_probability = 0.0;  ///< i.i.d. Bernoulli packet loss
+  std::uint32_t max_retries = 4;  ///< re-asks after an uncommitted reply
+
+  /// Per-node, per-round fault injection: an alive node crashes with
+  /// probability crash_rate at the round boundary; a crashed node restarts
+  /// (rejoining uncommitted, on_start re-run) with probability
+  /// restart_rate.
+  double crash_rate = 0.0;
+  double restart_rate = 0.0;
+
+  bool sticky = false;    ///< keep the previous choice instead of sitting out
+  bool lockstep = false;  ///< replies carry round-boundary choices (§2.1 sync)
+
+  /// The netsim link model these knobs describe (the single source used
+  /// by both validate() and the simulation setup).
+  [[nodiscard]] netsim::link_model links() const noexcept;
+
+  /// Throws std::invalid_argument on a non-positive round interval, link
+  /// parameters link_model rejects, or rates outside [0,1].
+  void validate() const;
+};
+
+/// The harness-posted signal board: serves the environment's sampled R^t
+/// to every node for the duration of the current round, realizing the
+/// paper's shared-signal assumption inside the asynchronous protocol.
+class posted_signals final : public signal_source {
+ public:
+  explicit posted_signals(std::size_t num_options) : row_(num_options, 0) {}
+
+  void post(std::span<const std::uint8_t> rewards) {
+    std::copy(rewards.begin(), rewards.end(), row_.begin());
+  }
+
+  [[nodiscard]] std::uint8_t signal(std::uint64_t /*round*/,
+                                    std::size_t option) const override {
+    return row_[option];
+  }
+  [[nodiscard]] std::size_t num_options() const noexcept override { return row_.size(); }
+
+ private:
+  std::vector<std::uint8_t> row_;
+};
+
+class protocol_engine final : public core::dynamics_engine,
+                              public core::net_instrumented {
+ public:
+  /// `topology` restricts gossip partners (shared so generated graphs stay
+  /// alive across every engine a factory builds); nullptr = fully mixed.
+  /// Throws std::invalid_argument on invalid config, num_nodes == 0, or a
+  /// topology whose vertex count differs from num_nodes.
+  protocol_engine(const engine_config& config, std::size_t num_nodes,
+                  std::shared_ptr<const graph::graph> topology = nullptr);
+
+  void reset() override;
+  [[nodiscard]] bool reusable() const noexcept override { return true; }
+  void step(std::span<const std::uint8_t> rewards, rng& gen) override;
+  [[nodiscard]] std::span<const double> popularity() const noexcept override {
+    return popularity_;
+  }
+  [[nodiscard]] std::span<const std::uint64_t> adopter_counts() const noexcept override {
+    return counts_;
+  }
+  [[nodiscard]] std::uint64_t empty_steps() const noexcept override { return empty_steps_; }
+  [[nodiscard]] std::uint64_t steps() const noexcept override { return steps_; }
+
+  [[nodiscard]] core::net_metrics sample_net() const override;
+
+  /// The live simulation (nullptr before the first step after a reset);
+  /// exposed for determinism tests (trace_hash) and inspection.
+  [[nodiscard]] const netsim::simulation* simulation() const noexcept {
+    return sim_.get();
+  }
+
+ private:
+  /// Builds and starts the simulation, seeding it from the next word of
+  /// the harness's process stream.
+  void build(rng& gen);
+
+  engine_config config_;
+  std::size_t num_nodes_;
+  std::shared_ptr<const graph::graph> topology_;
+  posted_signals board_;
+
+  std::unique_ptr<netsim::simulation> sim_;
+  std::vector<gossip_learner*> learners_;  ///< borrowed from sim_
+  rng churn_gen_;
+
+  std::vector<double> popularity_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t steps_ = 0;
+  std::uint64_t empty_steps_ = 0;
+  std::uint64_t alive_ = 0;
+  std::uint64_t committed_ = 0;
+
+  // Commit-latency bookkeeping: the round each node's current uncommitted
+  // spell started (0 = uncommitted since the beginning).
+  std::vector<std::uint64_t> uncommitted_since_;
+  std::vector<std::uint8_t> was_committed_;
+  double commit_latency_rounds_ = 0.0;
+  std::uint64_t commit_events_ = 0;
+};
+
+}  // namespace sgl::protocol

@@ -258,6 +258,94 @@ std::vector<scenario_spec> build_catalog() {
     catalog.push_back(std::move(spec));
   }
   {
+    // §6's converse at sensor-network scale: the protocol engine runs the
+    // asynchronous netsim/gossip port of the dynamics, one round per
+    // harness step, on a 100x100 torus (the lattice stand-in for a
+    // geometric radio field).  Message/byte cost and commit latency ride
+    // along as probe scalars.
+    auto spec = base("gossip_sensor_1e4",
+                     "Gossip protocol on a 100x100 sensor torus (N=10^4): "
+                     "asynchronous rounds over 5%-latency links, with "
+                     "message-cost and commit-latency accounting");
+    spec.params = core::theorem_params(4, 0.65);
+    spec.engine = engine_kind::protocol;
+    spec.num_agents = 10000;
+    spec.environment.etas = {0.85, 0.45, 0.40, 0.35};
+    spec.topology.family = topology_spec::family_kind::torus;
+    spec.probes = {"regret", "message_cost", "commit_latency"};
+    catalog.push_back(std::move(spec));
+  }
+  {
+    // The canonical lossy-link base: sweep protocol.drop_probability (or
+    // jitter/latency) over it to chart convergence vs packet loss.
+    auto spec = base("gossip_lossy_sweep",
+                     "Fully mixed gossip over lossy links (N=500, 10% drop "
+                     "by default) — the canonical base for "
+                     "--sweep protocol.drop_probability grids");
+    spec.params = core::theorem_params(2, 0.65);
+    spec.engine = engine_kind::protocol;
+    spec.num_agents = 500;
+    spec.environment.etas = {0.85, 0.35};
+    spec.protocol.drop_probability = 0.1;
+    spec.probes = {"regret", "message_cost", "commit_latency"};
+    catalog.push_back(std::move(spec));
+  }
+  {
+    // Churn: every round 2% of the nodes crash and 10% of the crashed
+    // restart (rejoining uncommitted), so the population is perpetually
+    // partially informed — the bounded-memory fault setting of the
+    // collaborative-bandit line.
+    auto spec = base("gossip_crash_recovery",
+                     "Gossip under churn (N=400): 2% of nodes crash per "
+                     "round, crashed nodes restart at 10% per round; the "
+                     "adoption probe tracks committed/alive fractions");
+    spec.params = core::theorem_params(2, 0.65);
+    spec.engine = engine_kind::protocol;
+    spec.num_agents = 400;
+    spec.environment.etas = {0.85, 0.35};
+    spec.protocol.crash_rate = 0.02;
+    spec.protocol.restart_rate = 0.1;
+    spec.probes = {"regret", "adoption", "message_cost"};
+    catalog.push_back(std::move(spec));
+  }
+  {
+    // The protocol on the low-conductance classic: gossip partners
+    // restricted to ring neighbours, jittery links.
+    auto spec = base("gossip_ring_300",
+                     "Gossip restricted to the cycle C_300 with exponential "
+                     "link jitter — the protocol analogue of the Section 6 "
+                     "low-conductance stress case");
+    spec.params = core::theorem_params(2, 0.65);
+    spec.engine = engine_kind::protocol;
+    spec.num_agents = 300;
+    spec.environment.etas = {0.85, 0.35};
+    spec.topology.family = topology_spec::family_kind::ring;
+    spec.protocol.jitter_mean = 0.02;
+    spec.probes = {"regret", "message_cost", "hitting_time(eps=0.25)"};
+    catalog.push_back(std::move(spec));
+  }
+  {
+    // The degenerate synchronous configuration: zero latency, zero drops,
+    // lockstep replies, fully mixed, deep retry budget.  Its adoption law
+    // provably matches finite_dynamics (tests/protocol_law_test.cpp); it
+    // is the bridge between the message-passing and the agent-based
+    // formulations.
+    auto spec = base("gossip_sync_ideal",
+                     "Degenerate synchronous gossip (N=400): zero latency, "
+                     "zero loss, lockstep rounds, fully mixed — the "
+                     "configuration whose adoption law matches "
+                     "finite_dynamics (statistical test tier)");
+    spec.params = core::theorem_params(2, 0.65);
+    spec.engine = engine_kind::protocol;
+    spec.num_agents = 400;
+    spec.environment.etas = {0.85, 0.35};
+    spec.protocol.base_latency = 0.0;
+    spec.protocol.lockstep = true;
+    spec.protocol.max_retries = 16;
+    spec.probes = {"regret", "final_histogram", "commit_latency"};
+    catalog.push_back(std::move(spec));
+  }
+  {
     // Heterogeneity as a three-way rule mixture (exact grouped engine).
     auto spec = base("mixture-discernment",
                      "Heterogeneous mixture: 300 discerning (0.05/0.95), 400 "

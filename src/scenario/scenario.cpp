@@ -3,6 +3,7 @@
 #include <bit>
 #include <cmath>
 #include <deque>
+#include <limits>
 #include <mutex>
 #include <stdexcept>
 #include <string>
@@ -11,6 +12,7 @@
 #include "core/aggregate_dynamics.h"
 #include "core/finite_dynamics.h"
 #include "core/infinite_dynamics.h"
+#include "protocol/protocol_engine.h"
 #include "support/rng.h"
 
 namespace sgl::scenario {
@@ -105,6 +107,28 @@ struct topology_cache_state {
 topology_cache_state& topology_cache() {
   static topology_cache_state cache;
   return cache;
+}
+
+/// The protocol engine's configuration, assembled from the spec's params
+/// and protocol.* fields.  Shared by make_engine and validate_spec so the
+/// ranges are checked exactly where the values are read.
+protocol::engine_config to_engine_config(const scenario_spec& spec) {
+  protocol::engine_config config;
+  config.dynamics = spec.params;
+  config.round_interval = spec.protocol.round_interval;
+  config.base_latency = spec.protocol.base_latency;
+  config.jitter_mean = spec.protocol.jitter_mean;
+  config.drop_probability = spec.protocol.drop_probability;
+  if (spec.protocol.max_retries > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument{
+        "protocol.max_retries exceeds the engine's 32-bit retry budget"};
+  }
+  config.max_retries = static_cast<std::uint32_t>(spec.protocol.max_retries);
+  config.crash_rate = spec.protocol.crash_rate;
+  config.restart_rate = spec.protocol.restart_rate;
+  config.sticky = spec.protocol.sticky;
+  config.lockstep = spec.protocol.lockstep;
+  return config;
 }
 
 }  // namespace
@@ -215,9 +239,9 @@ core::env_factory make_environment(const environment_spec& spec) {
 core::engine_factory make_engine(const scenario_spec& spec) {
   const engine_kind kind = resolved_engine(spec);
   const bool networked = spec.topology.family != topology_spec::family_kind::none;
-  if (networked && kind != engine_kind::agent_based) {
+  if (networked && kind != engine_kind::agent_based && kind != engine_kind::protocol) {
     throw std::invalid_argument{
-        "make_engine: a topology requires the agent-based engine"};
+        "make_engine: a topology requires the agent-based or protocol engine"};
   }
   if (!spec.agent_rules.empty() && kind != engine_kind::agent_based) {
     throw std::invalid_argument{
@@ -260,6 +284,20 @@ core::engine_factory make_engine(const scenario_spec& spec) {
       return [params = spec.params, groups = spec.groups] {
         return std::make_unique<core::grouped_dynamics>(params, groups);
       };
+    case engine_kind::protocol: {
+      if (spec.num_agents == 0) {
+        throw std::invalid_argument{"make_engine: protocol engine needs N >= 1"};
+      }
+      std::shared_ptr<const graph::graph> topology = spec.prebuilt_graph;
+      if (networked && topology == nullptr) {
+        topology = shared_topology(spec.topology, static_cast<std::size_t>(spec.num_agents));
+      }
+      return [config = to_engine_config(spec), num_agents = spec.num_agents,
+              topology] {
+        return std::make_unique<protocol::protocol_engine>(
+            config, static_cast<std::size_t>(num_agents), topology);
+      };
+    }
     case engine_kind::auto_select:
       break;  // unreachable: resolve() never returns auto_select
   }
@@ -296,6 +334,44 @@ void validate_spec(const scenario_spec& spec) {
     throw std::invalid_argument{
         where("start has ") + std::to_string(spec.start.size()) +
         " entries but params.num_options = " + std::to_string(m) + " (they must match)"};
+  }
+
+  // Field families the resolved engine would silently ignore are errors:
+  // the run would not be what the spec claims.
+  const engine_kind kind = resolved_engine(spec);
+  if (!spec.start.empty() && kind != engine_kind::infinite) {
+    throw std::invalid_argument{
+        where("a nonuniform start seeds the infinite engine only; this spec "
+              "resolves to another engine (drop start or set engine = "
+              "\"infinite\" with num_agents = 0)")};
+  }
+  if (!spec.groups.empty() && kind != engine_kind::grouped) {
+    throw std::invalid_argument{
+        where("groups configure the grouped engine only; this spec resolves "
+              "to another engine (drop groups or set engine = \"grouped\")")};
+  }
+  if (!spec.agent_rules.empty() && kind != engine_kind::agent_based) {
+    throw std::invalid_argument{
+        where("per-agent rules configure the agent-based engine only (set "
+              "engine = \"agent_based\" or drop agent_rules)")};
+  }
+  if (kind == engine_kind::protocol) {
+    if (spec.num_agents == 0) {
+      throw std::invalid_argument{where("the protocol engine needs num_agents >= 1")};
+    }
+    try {
+      to_engine_config(spec).validate();
+    } catch (const std::invalid_argument& error) {
+      throw std::invalid_argument{where(error.what())};
+    }
+  } else if (spec.protocol != protocol_spec{}) {
+    // apply_override gates protocol.* keys at assignment time, but the
+    // engine can legally be changed afterwards (later lines win); catch
+    // the flip here so non-default protocol knobs are never silently
+    // dropped by a non-protocol run.
+    throw std::invalid_argument{
+        where("protocol.* fields are set but the spec does not run the "
+              "protocol engine (set engine = \"protocol\" or drop them)")};
   }
 }
 

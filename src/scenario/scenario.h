@@ -30,6 +30,8 @@ enum class engine_kind {
   aggregate,    ///< exact O(m) aggregate (Propositions 4.1/4.2)
   agent_based,  ///< explicit agents (§2.1); required for topology/rules
   grouped,      ///< exact O(G·m) aggregate of a rule mixture
+  protocol,     ///< netsim-backed gossip protocol (§6 converse); never
+                ///< auto-selected — set it explicitly
 };
 
 /// Social-network restriction for stage-1 sampling (§6, open problem 1).
@@ -73,6 +75,26 @@ struct environment_spec {
   std::uint64_t horizon = 1000;   ///< drifting ramp length
 };
 
+/// Gossip-protocol knobs (engine_kind::protocol only; the `protocol.*` key
+/// family of the text format).  Mirrors protocol::engine_config minus the
+/// dynamics parameters, which come from `params`.
+struct protocol_spec {
+  double round_interval = 1.0;    ///< simulated seconds per protocol round
+  double base_latency = 0.05;     ///< per-message delivery latency
+  double jitter_mean = 0.0;       ///< Exponential latency jitter (0 = none)
+  double drop_probability = 0.0;  ///< i.i.d. Bernoulli packet loss
+  std::uint64_t max_retries = 4;  ///< re-asks after an uncommitted reply
+  double crash_rate = 0.0;        ///< per-node per-round crash probability
+  double restart_rate = 0.0;      ///< per-node per-round restart probability
+  bool sticky = false;    ///< keep the previous choice instead of sitting out
+  bool lockstep = false;  ///< replies carry round-boundary choices (§2.1 sync)
+
+  /// Field-wise equality; validate_spec compares against protocol_spec{}
+  /// to catch non-default protocol knobs stranded on a non-protocol
+  /// engine, so a new knob is covered here automatically.
+  friend bool operator==(const protocol_spec&, const protocol_spec&) = default;
+};
+
 /// A fully described run: engine + environment + topology + parameters.
 struct scenario_spec {
   std::string name;
@@ -90,6 +112,7 @@ struct scenario_spec {
 
   environment_spec environment;
   topology_spec topology;
+  protocol_spec protocol;  ///< read only by the protocol engine
 
   std::vector<double> start;                   ///< nonuniform P⁰ (infinite only)
   std::vector<core::rule_group> groups;        ///< grouped engine mixture
@@ -147,10 +170,14 @@ struct topology_cache_stats {
 
 /// Validates the cross-field consistency a single factory cannot see:
 /// params.validate(), environment.etas (and drifting end_etas) sized to
-/// params.num_options, and a `start` override sized to num_options.
-/// Throws std::invalid_argument with a message naming both sides — this is
-/// where an etas/num_options mismatch is reported, instead of the late
-/// engine/environment mismatch throw inside the runner.
+/// params.num_options, a `start` override sized to num_options, the
+/// protocol knobs' ranges, and field families the resolved engine does not
+/// read (a non-empty `start` needs the infinite engine, `groups` the
+/// grouped engine, and the protocol engine takes neither — silently
+/// ignoring them would misreport what ran).  Throws std::invalid_argument
+/// with a message naming both sides — this is where an etas/num_options
+/// mismatch is reported, instead of the late engine/environment mismatch
+/// throw inside the runner.
 void validate_spec(const scenario_spec& spec);
 
 /// One-call convenience: run the scenario under the generic Monte-Carlo

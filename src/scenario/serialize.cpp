@@ -155,6 +155,14 @@ std::vector<std::string> parse_string_array(std::string_view key, std::string_vi
 
 std::string quote(std::string_view s) { return '"' + json_escape(s) + '"'; }
 
+/// A boolean value: bare or quoted `true` / `false`.
+bool parse_bool(std::string_view key, std::string_view text) {
+  const std::string parsed = parse_string(key, text);
+  if (parsed == "true") return true;
+  if (parsed == "false") return false;
+  fail(key, "expected true or false, got '" + parsed + "'");
+}
+
 std::string format_double_array(std::span<const double> values) {
   std::string out = "[";
   for (std::size_t i = 0; i < values.size(); ++i) {
@@ -201,12 +209,13 @@ Enum enum_value(std::string_view key, std::string_view text,
   fail(key, message);
 }
 
-constexpr std::array<std::pair<std::string_view, engine_kind>, 5> k_engine_names{{
+constexpr std::array<std::pair<std::string_view, engine_kind>, 6> k_engine_names{{
     {"auto", engine_kind::auto_select},
     {"infinite", engine_kind::infinite},
     {"aggregate", engine_kind::aggregate},
     {"agent_based", engine_kind::agent_based},
     {"grouped", engine_kind::grouped},
+    {"protocol", engine_kind::protocol},
 }};
 
 constexpr std::array<std::pair<std::string_view, topology_spec::family_kind>, 10>
@@ -235,7 +244,9 @@ constexpr std::array<std::pair<std::string_view, environment_spec::family_kind>,
 
 /// Non-indexed keys, in canonical serialization order.  `groups.N.size/
 /// alpha/beta` and `agent_rules.N.alpha/beta` are the indexed families.
-constexpr std::array<std::string_view, 24> k_keys{
+/// The `protocol.*` family is serialized only for protocol-engine specs
+/// and rejected for every other engine (engine-family gating below).
+constexpr std::array<std::string_view, 33> k_keys{
     "name",
     "description",
     "engine",
@@ -258,6 +269,15 @@ constexpr std::array<std::string_view, 24> k_keys{
     "topology.rewire_probability",
     "topology.bridges",
     "topology.seed",
+    "protocol.round_interval",
+    "protocol.base_latency",
+    "protocol.jitter_mean",
+    "protocol.drop_probability",
+    "protocol.max_retries",
+    "protocol.crash_rate",
+    "protocol.restart_rate",
+    "protocol.sticky",
+    "protocol.lockstep",
     "start",
     "probes",
 };
@@ -276,6 +296,26 @@ constexpr std::array<std::string_view, 24> k_keys{
     message += suggestion;
     message += "'?)";
   }
+  throw std::invalid_argument{message};
+}
+
+/// Rejects a key whose family the spec's chosen engine does not read.  A
+/// plausible-but-irrelevant key silently accepted would make the run claim
+/// a configuration it never used; rejecting here keeps `--set` and spec
+/// files honest.  Keys that can flip auto-selection (groups, agent_rules,
+/// topology) stay legal while the engine is `auto`; `protocol.*` keys are
+/// never auto-selected, so they require engine = "protocol" to have been
+/// set first (canonical serialization emits `engine` before every family
+/// key, so round trips are unaffected).
+[[noreturn]] void family_mismatch(std::string_view key, std::string_view readers,
+                                  engine_kind actual) {
+  std::string message{"scenario key '"};
+  message += key;
+  message += "' is read only by the ";
+  message += readers;
+  message += " engine, but this spec's engine is '";
+  message += enum_name("engine", actual, k_engine_names);
+  message += "' — set a matching engine before it, or drop the key";
   throw std::invalid_argument{message};
 }
 
@@ -345,7 +385,14 @@ void apply_override(scenario_spec& spec, std::string_view key, std::string_view 
   } else if (k == "environment.horizon") {
     spec.environment.horizon = parse_unsigned(k, v);
   } else if (k == "topology.family") {
-    spec.topology.family = enum_value(k, v, k_topology_names);
+    const auto family = enum_value(k, v, k_topology_names);
+    if (family != topology_spec::family_kind::none &&
+        spec.engine != engine_kind::auto_select &&
+        spec.engine != engine_kind::agent_based &&
+        spec.engine != engine_kind::protocol) {
+      family_mismatch(k, "agent_based or protocol", spec.engine);
+    }
+    spec.topology.family = family;
   } else if (k == "topology.rows") {
     spec.topology.rows = static_cast<std::size_t>(parse_unsigned(k, v));
   } else if (k == "topology.cols") {
@@ -360,14 +407,57 @@ void apply_override(scenario_spec& spec, std::string_view key, std::string_view 
     spec.topology.bridges = static_cast<std::size_t>(parse_unsigned(k, v));
   } else if (k == "topology.seed") {
     spec.topology.seed = parse_unsigned(k, v);
+  } else if (k.starts_with("protocol.")) {
+    const std::string_view field = k.substr(9);
+    const bool known = field == "round_interval" || field == "base_latency" ||
+                       field == "jitter_mean" || field == "drop_probability" ||
+                       field == "max_retries" || field == "crash_rate" ||
+                       field == "restart_rate" || field == "sticky" ||
+                       field == "lockstep";
+    if (!known) unknown_key(k);
+    if (spec.engine != engine_kind::protocol) family_mismatch(k, "protocol", spec.engine);
+    protocol_spec& p = spec.protocol;
+    if (field == "round_interval") {
+      p.round_interval = parse_double(k, v);
+    } else if (field == "base_latency") {
+      p.base_latency = parse_double(k, v);
+    } else if (field == "jitter_mean") {
+      p.jitter_mean = parse_double(k, v);
+    } else if (field == "drop_probability") {
+      p.drop_probability = parse_double(k, v);
+    } else if (field == "max_retries") {
+      p.max_retries = parse_unsigned(k, v);
+    } else if (field == "crash_rate") {
+      p.crash_rate = parse_double(k, v);
+    } else if (field == "restart_rate") {
+      p.restart_rate = parse_double(k, v);
+    } else if (field == "sticky") {
+      p.sticky = parse_bool(k, v);
+    } else if (field == "lockstep") {
+      p.lockstep = parse_bool(k, v);
+    } else {
+      // Unreachable while the chain matches the `known` list above; a new
+      // field added only to that list must fail loudly, not silently land
+      // in the last branch.
+      unknown_key(k);
+    }
   } else if (k == "start") {
-    spec.start = parse_double_array(k, v);
+    std::vector<double> start = parse_double_array(k, v);
+    if (!start.empty() && spec.engine != engine_kind::auto_select &&
+        spec.engine != engine_kind::infinite) {
+      family_mismatch(k, "infinite", spec.engine);
+    }
+    spec.start = std::move(start);
   } else if (k == "probes") {
     spec.probes = parse_string_array(k, v);
   } else {
     std::size_t index = 0;
     std::string_view field;
     if (split_indexed(k, "groups", index, field)) {
+      if (spec.engine != engine_kind::auto_select &&
+          spec.engine != engine_kind::grouped) {
+        family_mismatch(k, "grouped", spec.engine);
+      }
       core::rule_group& group = addressed_entry(k, spec.groups, index);
       if (field == "size") {
         group.size = parse_unsigned(k, v);
@@ -379,6 +469,10 @@ void apply_override(scenario_spec& spec, std::string_view key, std::string_view 
         unknown_key(k);
       }
     } else if (split_indexed(k, "agent_rules", index, field)) {
+      if (spec.engine != engine_kind::auto_select &&
+          spec.engine != engine_kind::agent_based) {
+        family_mismatch(k, "agent_based", spec.engine);
+      }
       core::adoption_rule& rule = addressed_entry(k, spec.agent_rules, index);
       if (field == "alpha") {
         rule.alpha = parse_double(k, v);
@@ -432,6 +526,20 @@ std::vector<std::pair<std::string, std::string>> scenario_fields(
   add("topology.rewire_probability", json_number(spec.topology.rewire_probability));
   add("topology.bridges", std::to_string(spec.topology.bridges));
   add("topology.seed", std::to_string(spec.topology.seed));
+  if (spec.engine == engine_kind::protocol) {
+    // Only the protocol engine reads these keys, and only it may set them
+    // (apply_override's engine-family gating); emitting them for other
+    // engines would break the parse(serialize(s)) round trip.
+    add("protocol.round_interval", json_number(spec.protocol.round_interval));
+    add("protocol.base_latency", json_number(spec.protocol.base_latency));
+    add("protocol.jitter_mean", json_number(spec.protocol.jitter_mean));
+    add("protocol.drop_probability", json_number(spec.protocol.drop_probability));
+    add("protocol.max_retries", std::to_string(spec.protocol.max_retries));
+    add("protocol.crash_rate", json_number(spec.protocol.crash_rate));
+    add("protocol.restart_rate", json_number(spec.protocol.restart_rate));
+    add("protocol.sticky", spec.protocol.sticky ? "true" : "false");
+    add("protocol.lockstep", spec.protocol.lockstep ? "true" : "false");
+  }
   add("start", format_double_array(spec.start));
   add("probes", format_string_array(spec.probes));
   for (std::size_t g = 0; g < spec.groups.size(); ++g) {

@@ -118,6 +118,13 @@ const std::map<std::string, std::uint64_t>& golden_hashes() {
       {"network_ring_1e5", 0x4eafe1226b9d8fd1ULL},
       {"network_ba_1e6", 0xd0ad9d6c92dd9b1fULL},
       {"network_smallworld_1e6", 0x6aa90ffc580faf9aULL},
+      // Protocol scenarios (captured at their introduction, same recipe;
+      // pinned for threads 1/4 x reuse on/off like every other entry).
+      {"gossip_sensor_1e4", 0x9da69ff016826b51ULL},
+      {"gossip_lossy_sweep", 0xb11ed27a37aa3254ULL},
+      {"gossip_crash_recovery", 0xb685e7730fef8668ULL},
+      {"gossip_ring_300", 0xfe7534e2f5d77a62ULL},
+      {"gossip_sync_ideal", 0x45ff2dc5d0f3003aULL},
       {"mixed_baseline", 0x6fb83e153d3361a3ULL},
       {"switching_recovery", 0x4f7edc6c417486e9ULL},
       {"two_cliques_consensus", 0x8f5a35a4ee114aa2ULL},

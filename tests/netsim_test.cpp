@@ -266,10 +266,12 @@ TEST(simulation, deterministic_with_same_seed) {
     sim.set_link_model(links);
     sim.start();
     sim.run_until(50.0);
-    return pa->receive_times;
+    return std::make_pair(pa->receive_times, sim.trace_hash());
   };
   EXPECT_EQ(run(11), run(11));
   EXPECT_NE(run(11), run(12));
+  // The trace hash alone distinguishes the runs, too.
+  EXPECT_NE(run(11).second, run(12).second);
 }
 
 TEST(simulation, lifecycle_errors) {

@@ -133,10 +133,10 @@ TEST(apply_override, typed_values_and_scientific_integers) {
   EXPECT_EQ(spec.params.beta, 0.72);
   apply_override(spec, "engine", "\"agent_based\"");
   EXPECT_EQ(spec.engine, engine_kind::agent_based);
-  apply_override(spec, "engine=infinite");  // bare enum token also accepted
-  EXPECT_EQ(spec.engine, engine_kind::infinite);
   apply_override(spec, "topology.family=watts_strogatz");
   EXPECT_EQ(spec.topology.family, topology_spec::family_kind::watts_strogatz);
+  apply_override(spec, "engine=infinite");  // bare enum token also accepted
+  EXPECT_EQ(spec.engine, engine_kind::infinite);
   apply_override(spec, "environment.etas=[0.9, 0.5, 0.1]");
   ASSERT_EQ(spec.environment.etas.size(), 3U);
   EXPECT_EQ(spec.environment.etas[2], 0.1);
@@ -237,6 +237,113 @@ TEST(sweep_grammar, overrides_from_sweep_values_apply) {
   scenario_spec spec = get_scenario("mixed_baseline");
   apply_override(spec, axis.key, axis.values[1]);
   EXPECT_EQ(spec.params.beta, 0.6);
+}
+
+TEST(serialize, protocol_keys_round_trip_and_are_engine_scoped) {
+  scenario_spec spec = get_scenario("gossip_lossy_sweep");
+  apply_override(spec, "protocol.drop_probability=0.25");
+  apply_override(spec, "protocol.jitter_mean=0.5");
+  apply_override(spec, "protocol.max_retries=0");
+  apply_override(spec, "protocol.sticky=true");
+  apply_override(spec, "protocol.lockstep", "true");
+  EXPECT_EQ(spec.protocol.drop_probability, 0.25);
+  EXPECT_EQ(spec.protocol.max_retries, 0U);
+  EXPECT_TRUE(spec.protocol.sticky);
+  EXPECT_TRUE(spec.protocol.lockstep);
+
+  const std::string text = serialize_scenario(spec);
+  EXPECT_NE(text.find("protocol.drop_probability = 0.25"), std::string::npos);
+  const scenario_spec parsed = parse_scenario(text);
+  EXPECT_EQ(scenario_fields(spec), scenario_fields(parsed));
+
+  // Non-protocol specs never emit protocol.* keys (they could not be
+  // parsed back: the family is rejected for their engines).
+  EXPECT_EQ(serialize_scenario(get_scenario("mixed_baseline")).find("protocol."),
+            std::string::npos);
+
+  EXPECT_THROW(apply_override(spec, "protocol.sticky=maybe"), std::invalid_argument);
+}
+
+TEST(apply_override, rejects_family_keys_the_engine_does_not_use) {
+  // protocol.* on a non-protocol spec: rejected with the engine named.
+  scenario_spec aggregate = get_scenario("mixed_baseline");
+  try {
+    apply_override(aggregate, "protocol.drop_probability=0.5");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("protocol"), std::string::npos) << what;
+    EXPECT_NE(what.find("aggregate"), std::string::npos) << what;
+  }
+  // Same for a default (auto_select) spec: protocol is never auto-selected.
+  scenario_spec blank;
+  EXPECT_THROW(apply_override(blank, "protocol.drop_probability=0.5"),
+               std::invalid_argument);
+  // Setting the engine first makes the same key legal.
+  apply_override(blank, "engine=protocol");
+  EXPECT_NO_THROW(apply_override(blank, "protocol.drop_probability=0.5"));
+
+  // A typo'd protocol key still gets the nearest-key suggestion (and is
+  // reported as unknown even when the engine family would not match).
+  try {
+    apply_override(aggregate, "protocol.drop_probabilty=0.5");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string{error.what()}.find("protocol.drop_probability"),
+              std::string::npos)
+        << error.what();
+  }
+
+  // start / groups / agent_rules / topology.family are likewise rejected
+  // when an explicitly chosen engine cannot read them...
+  EXPECT_THROW(apply_override(aggregate, "start=[0.5, 0.5]"), std::invalid_argument);
+  EXPECT_THROW(apply_override(aggregate, "groups.0.size=10"), std::invalid_argument);
+  EXPECT_THROW(apply_override(aggregate, "agent_rules.0.beta=0.9"),
+               std::invalid_argument);
+  EXPECT_THROW(apply_override(aggregate, "topology.family=ring"),
+               std::invalid_argument);
+  // ...but stay legal while the engine is auto (they flip auto-selection),
+  // and `start = []` (the serialized empty default) is always accepted.
+  scenario_spec auto_spec;
+  EXPECT_NO_THROW(apply_override(auto_spec, "groups.0.size=10"));
+  EXPECT_NO_THROW(apply_override(aggregate, "start=[]"));
+}
+
+TEST(validate_spec, protocol_engine_cross_checks) {
+  scenario_spec spec = get_scenario("gossip_sync_ideal");
+  EXPECT_NO_THROW(validate_spec(spec));
+  spec.protocol.drop_probability = 2.0;
+  try {
+    validate_spec(spec);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string{error.what()}.find("gossip_sync_ideal"), std::string::npos)
+        << error.what();
+  }
+
+  // A retry budget past the engine's 32-bit field must be rejected, not
+  // silently truncated (2^32 would wrap to 0 and disable retries).
+  scenario_spec retries = get_scenario("gossip_sync_ideal");
+  retries.protocol.max_retries = (1ULL << 32);
+  EXPECT_THROW(validate_spec(retries), std::invalid_argument);
+}
+
+TEST(validate_spec, engine_flip_cannot_strand_protocol_keys) {
+  // apply_override gates protocol.* at assignment time, but "later lines
+  // win" lets the engine change afterwards; validate_spec must then refuse
+  // to run a spec whose non-default protocol knobs the engine would
+  // silently ignore.
+  scenario_spec spec = get_scenario("gossip_lossy_sweep");
+  apply_override(spec, "engine=aggregate");
+  EXPECT_THROW(validate_spec(spec), std::invalid_argument);
+  core::run_config config;
+  config.horizon = 5;
+  config.replications = 1;
+  EXPECT_THROW((void)run(spec, config), std::invalid_argument);
+
+  // Default protocol knobs on a non-protocol spec stay legal (every
+  // non-protocol spec carries them).
+  EXPECT_NO_THROW(validate_spec(get_scenario("mixed_baseline")));
 }
 
 TEST(validate_spec, names_both_sides_of_an_etas_mismatch) {

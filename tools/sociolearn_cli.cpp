@@ -19,7 +19,12 @@
 //   sociolearn_cli regret    --m ... --beta ... --agents ... --horizon ... --reps ...
 //       Monte-Carlo regret estimate with confidence intervals.
 //   sociolearn_cli gossip    --nodes ... --rounds ... --drop ...
-//       runs the sensor-network protocol and writes the per-round CSV.
+//       runs the sensor-network protocol standalone and writes the
+//       per-round CSV.  Protocol runs under the full Monte-Carlo harness
+//       (replications, probes, sweeps) go through the `scenario`/`sweep`
+//       subcommands instead: the gossip_* registry scenarios run the
+//       netsim-backed protocol engine, configured by `protocol.*` keys
+//       (e.g. --sweep protocol.drop_probability=0:0.3:0.1).
 //
 // Every subcommand accepts --format table|json|csv.  Every run is
 // constructed through the scenario layer (scenario/) and executed by the
@@ -689,7 +694,9 @@ void print_usage() {
       "  sweep      same as scenario, one run per --sweep grid point\n"
       "  simulate   run one trajectory (finite/aggregate/infinite), CSV to stdout\n"
       "  regret     Monte-Carlo regret estimate with confidence intervals\n"
-      "  gossip     run the sensor-network gossip protocol, per-round CSV\n\n"
+      "  gossip     run the gossip protocol standalone, per-round CSV (the\n"
+      "             gossip_* scenarios run it under the full harness with\n"
+      "             probes/sweeps via protocol.* keys)\n\n"
       "every subcommand accepts --format table|json|csv; 'scenario' and\n"
       "'sweep' emit one JSON document per run (spec echo + probe results +\n"
       "timing; sweeps wrap the documents in one array).\n"
