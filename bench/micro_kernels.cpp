@@ -19,6 +19,7 @@
 #include "core/grouped_dynamics.h"
 #include "core/infinite_dynamics.h"
 #include "core/params.h"
+#include "core/step_kernel.h"
 #include "graph/graph.h"
 #include "netsim/simulation.h"
 #include "scenario/scenario.h"
@@ -184,7 +185,8 @@ const graph::graph& cached_topology(const std::string& kind, std::size_t n) {
 }
 
 void network_step_benchmark(benchmark::State& state, const std::string& kind,
-                            double beta, std::vector<std::uint8_t> rewards) {
+                            double beta, std::vector<std::uint8_t> rewards,
+                            core::kernel_kind kernel = core::kernel_kind::auto_select) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const graph::graph& g = cached_topology(kind, n);
 
@@ -194,6 +196,7 @@ void network_step_benchmark(benchmark::State& state, const std::string& kind,
   p.beta = beta;
   core::finite_dynamics dyn{p, n};
   dyn.set_topology(&g);
+  dyn.set_kernel(kernel);
 
   rng gen{8};
   for (int t = 0; t < 30; ++t) dyn.step(rewards, gen);  // past the transient
@@ -247,6 +250,117 @@ void BM_network_step_ring_very_sparse(benchmark::State& state) {
   network_step_benchmark(state, "ring", 0.98, {0, 0});
 }
 BENCHMARK(BM_network_step_ring_very_sparse)->Arg(1000000)->Unit(benchmark::kMicrosecond);
+
+// Scalar-pinned twins of the headline network steps: the default runs
+// above auto-select the v3 SIMD kernel when the host has one, so the
+// scalar/auto pair in one report is the measured kernel speedup (the
+// "network" name keeps them inside the CI perf-smoke filter).
+void BM_network_step_ring_scalar(benchmark::State& state) {
+  network_step_benchmark(state, "ring", 0.62, {1, 0}, core::kernel_kind::scalar);
+}
+BENCHMARK(BM_network_step_ring_scalar)->Arg(1000000)->Unit(benchmark::kMicrosecond);
+
+void BM_network_step_ba_scalar(benchmark::State& state) {
+  network_step_benchmark(state, "ba", 0.62, {1, 0}, core::kernel_kind::scalar);
+}
+BENCHMARK(BM_network_step_ba_scalar)->Arg(1000000)->Unit(benchmark::kMicrosecond);
+
+// --- raw v3 kernels, no engine around them ----------------------------------
+//
+// Every agent sees the same small committed-neighbour row, so the working
+// set is the SoA arrays alone: this is the per-agent cost of the sampling
+// arithmetic itself (counter RNG + stage 1 + branchless stage 2), the
+// number the DESIGN.md kernel table quotes.  The generic-TU twin gives the
+// same loop compiled without vector target flags.
+
+void kernel_net2_benchmark(benchmark::State& state, core::kernel::net2_fn fn) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<std::uint32_t> rows(n, 3U | (1U << 16));
+  std::vector<std::int32_t> previous(n);
+  std::vector<std::int32_t> choices(n, -1);
+  std::vector<std::uint64_t> changed(n);
+  rng fill{12};
+  for (auto& c : previous) {
+    c = static_cast<std::int32_t>(fill.next_u64() % 3) - 1;
+  }
+  rng gen{13};
+  for (auto _ : state) {
+    std::uint32_t changed_len = 0;
+    std::uint64_t stage[2] = {0, 0};
+    std::uint64_t adopt[2] = {0, 0};
+    core::kernel::net2_args a;
+    a.step_seed = gen.next_u64();
+    a.lo = 0;
+    a.hi = n;
+    a.rows = rows.data();
+    a.previous = previous.data();
+    a.choices = choices.data();
+    a.t_mu = prob_to_u64(0.05);
+    a.thr_explore[0] = prob_to_u64(0.05 * 0.62);
+    a.thr_explore[1] = prob_to_u64(0.05 * 0.38);
+    a.thr_copy[0] = prob_to_u64(0.05 + 0.95 * 0.62);
+    a.thr_copy[1] = prob_to_u64(0.05 + 0.95 * 0.38);
+    a.changed = changed.data();
+    a.changed_len = &changed_len;
+    a.stage = stage;
+    a.adopt = adopt;
+    fn(a);
+    benchmark::DoNotOptimize(changed_len);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_kernel_net2_active(benchmark::State& state) {
+  kernel_net2_benchmark(state, core::kernel::net2_step());
+}
+BENCHMARK(BM_kernel_net2_active)->Arg(1 << 20)->Unit(benchmark::kMicrosecond);
+
+void BM_kernel_net2_generic(benchmark::State& state) {
+  kernel_net2_benchmark(state, core::kernel::net2_step_generic);
+}
+BENCHMARK(BM_kernel_net2_generic)->Arg(1 << 20)->Unit(benchmark::kMicrosecond);
+
+void kernel_mixed_benchmark(benchmark::State& state, core::kernel::mixed_fn fn) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t m = 10;
+  const std::vector<std::uint64_t> alpha_thr(n, prob_to_u64(0.35));
+  const std::vector<std::uint64_t> beta_thr(n, prob_to_u64(0.65));
+  std::vector<std::uint64_t> pop_cdf(m - 1);
+  for (std::size_t j = 0; j + 1 < m; ++j) {
+    pop_cdf[j] = prob_to_u64(static_cast<double>(j + 1) / static_cast<double>(m));
+  }
+  std::vector<std::int32_t> choices(n, -1);
+  std::vector<std::uint32_t> considered(n);
+  rng gen{14};
+  for (auto _ : state) {
+    core::kernel::mixed_args a;
+    a.step_seed = gen.next_u64();
+    a.n = n;
+    a.m = m;
+    a.t_mu = prob_to_u64(0.05);
+    a.pop_cdf = pop_cdf.data();
+    a.reward_bits = 0x155;
+    a.alpha_thr = alpha_thr.data();
+    a.beta_thr = beta_thr.data();
+    a.choices = choices.data();
+    a.considered = considered.data();
+    fn(a);
+    benchmark::DoNotOptimize(choices.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_kernel_mixed_active(benchmark::State& state) {
+  kernel_mixed_benchmark(state, core::kernel::mixed_step());
+}
+BENCHMARK(BM_kernel_mixed_active)->Arg(1 << 20)->Unit(benchmark::kMicrosecond);
+
+void BM_kernel_mixed_generic(benchmark::State& state) {
+  kernel_mixed_benchmark(state, core::kernel::mixed_step_generic);
+}
+BENCHMARK(BM_kernel_mixed_generic)->Arg(1 << 20)->Unit(benchmark::kMicrosecond);
 
 void BM_hedge_update(benchmark::State& state) {
   const auto m = static_cast<std::size_t>(state.range(0));

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <type_traits>
 
+#include "core/step_kernel.h"
 #include "support/distributions.h"
 #include "support/parallel.h"
 
@@ -34,6 +35,29 @@ void finite_dynamics::set_agent_rules(std::vector<adoption_rule> rules) {
     }
   }
   rules_ = std::move(rules);
+  // SoA u64 thresholds for the v3 kernels.  prob_to_u64's endpoint
+  // conventions keep alpha = 0 / beta = 1 rules exact there too.
+  alpha_thr_.resize(rules_.size());
+  beta_thr_.resize(rules_.size());
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    alpha_thr_[i] = prob_to_u64(rules_[i].alpha);
+    beta_thr_[i] = prob_to_u64(rules_[i].beta);
+  }
+}
+
+void finite_dynamics::set_kernel(kernel_kind kind) {
+  if (kind == kernel_kind::simd && !kernel::vector_isa_available()) {
+    throw std::invalid_argument{
+        "finite_dynamics::set_kernel: kernel=simd but the runtime dispatcher "
+        "resolved no vector ISA on this host (or SGL_KERNEL=scalar is set); "
+        "use kernel=auto or kernel=scalar"};
+  }
+  kernel_ = kind;
+}
+
+bool finite_dynamics::use_vector_kernel() const noexcept {
+  return kernel_ == kernel_kind::simd ||
+         (kernel_ == kernel_kind::auto_select && kernel::vector_isa_available());
 }
 
 void finite_dynamics::set_topology(const graph::graph* topology) {
@@ -47,6 +71,31 @@ void finite_dynamics::set_topology(const graph::graph* topology) {
       topology != nullptr &&
       (topology->average_degree() > dense_degree_threshold ||
        (params_.num_options == 2 && topology->max_degree() > 0xFFFF));
+  // Locality heuristic for the delta pass (one O(E) sweep, amortized over
+  // the run): on scatter graphs — a quarter or more of the edges jumping
+  // further than a bucket span — the serial delta walk regroups its
+  // updates through vertex buckets so the read-modify-writes stay
+  // cache-resident; local graphs (ring, torus, unrewired lattices) keep
+  // the cheaper direct walk.  The packed item layout spends 4 bits on the
+  // transition code, so huge graphs fall back to the direct walk too.
+  scatter_topology_ = false;
+  if (topology != nullptr && !network_dense_ && params_.num_options == 2 &&
+      choices_.size() <= (std::size_t{1} << 28)) {
+    const auto adjacency = topology->adjacency();
+    const auto offsets = topology->offsets();
+    std::size_t nonlocal = 0;
+    for (std::size_t u = 0; u + 1 < offsets.size(); ++u) {
+      for (std::size_t e = offsets[u]; e < offsets[u + 1]; ++e) {
+        const auto d = u > adjacency[e] ? u - adjacency[e] : adjacency[e] - u;
+        nonlocal += d >= (std::size_t{1} << delta_bucket_shift);
+      }
+    }
+    scatter_topology_ = nonlocal * 4 >= adjacency.size();
+  }
+  if (!scatter_topology_) {
+    delta_buckets_.clear();
+    delta_buckets_.shrink_to_fit();
+  }
   rebuild_neighbor_view();
 }
 
@@ -137,6 +186,10 @@ void finite_dynamics::step_batched(std::span<const std::uint8_t> rewards, rng& g
 }
 
 void finite_dynamics::step_per_agent(std::span<const std::uint8_t> rewards, rng& gen) {
+  if (!rules_.empty() && params_.num_options <= 64 && use_vector_kernel()) {
+    step_mixed_vec(rewards, gen);
+    return;
+  }
   const std::size_t m = params_.num_options;
 
   // Stage 1 sampler for the fully mixed case: popularity-proportional
@@ -173,6 +226,49 @@ void finite_dynamics::step_per_agent(std::span<const std::uint8_t> rewards, rng&
     }
   }
 
+  adopters_ = 0;
+  for (const std::uint64_t d : adopter_counts_) adopters_ += d;
+}
+
+void finite_dynamics::step_mixed_vec(std::span<const std::uint8_t> rewards, rng& gen) {
+  const std::size_t m = params_.num_options;
+  const std::size_t n = choices_.size();
+
+  // Stage-1 copy branch as a CDF ladder over the previous popularity
+  // (uniform after empty steps, so popularity_ is always the right
+  // distribution — same source as by_popularity_ on the scalar path).
+  pop_cdf_.resize(m - 1);
+  double cum = 0.0;
+  for (std::size_t j = 0; j + 1 < m; ++j) {
+    cum += popularity_[j];
+    pop_cdf_[j] = prob_to_u64(cum);
+  }
+  std::uint64_t reward_bits = 0;
+  for (std::size_t j = 0; j < m; ++j) {
+    reward_bits |= static_cast<std::uint64_t>(rewards[j] != 0) << j;
+  }
+  considered_scratch_.resize(n);
+
+  kernel::mixed_args args{};
+  args.step_seed = gen.next_u64();
+  args.n = n;
+  args.m = m;
+  args.t_mu = prob_to_u64(params_.mu);
+  args.pop_cdf = pop_cdf_.data();
+  args.reward_bits = reward_bits;
+  args.alpha_thr = alpha_thr_.data();
+  args.beta_thr = beta_thr_.data();
+  args.choices = choices_.data();
+  args.considered = considered_scratch_.data();
+  kernel::mixed_step()(args);
+
+  std::fill(stage_counts_.begin(), stage_counts_.end(), 0);
+  std::fill(adopter_counts_.begin(), adopter_counts_.end(), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = considered_scratch_[i];
+    ++stage_counts_[j];
+    adopter_counts_[j] += choices_[i] >= 0;
+  }
   adopters_ = 0;
   for (const std::uint64_t d : adopter_counts_) adopters_ += d;
 }
@@ -233,7 +329,44 @@ void finite_dynamics::step_network(std::span<const std::uint8_t> rewards, rng& g
   const double mu = params_.mu;
   const adoption_rule homogeneous{params_.resolved_alpha(), params_.beta};
 
-  if (!network_dense_) {
+  if (!network_dense_ && m == 2 && use_vector_kernel()) {
+    // Stream derivation v3: the vectorized kernel over the packed
+    // two-option view.  The per-agent draws are counter-addressed from
+    // step_seed alone, so the shard decomposition below is pure work
+    // splitting — unlike v2 it does not even shape the streams.
+    kernel::net2_args base{};
+    base.step_seed = step_seed;
+    base.rows = neighbor_view_.data();
+    base.previous = previous_choices_.data();
+    base.choices = choices_.data();
+    base.t_mu = prob_to_u64(mu);
+    if (rules_.empty()) {
+      const double alpha = params_.resolved_alpha();
+      for (std::size_t j = 0; j < 2; ++j) {
+        const double p = rewards[j] != 0 ? params_.beta : alpha;
+        base.thr_explore[j] = prob_to_u64(mu * p);
+        base.thr_copy[j] = prob_to_u64(mu + (1.0 - mu) * p);
+      }
+    } else {
+      // Reward-selected per-agent thresholds: one SoA array per option.
+      base.p_reward0 = rewards[0] != 0 ? beta_thr_.data() : alpha_thr_.data();
+      base.p_reward1 = rewards[1] != 0 ? beta_thr_.data() : alpha_thr_.data();
+    }
+    const kernel::net2_fn fn = kernel::net2_step();
+    parallel_for(
+        0, shards,
+        [&](std::size_t s) {
+          kernel::net2_args args = base;
+          args.lo = s * shard_size;
+          args.hi = std::min(n, args.lo + shard_size);
+          args.changed = changed_.data() + args.lo;
+          args.changed_len = &changed_len_[s];
+          args.stage = &shard_counts_[s * 2 * m];
+          args.adopt = args.stage + m;
+          fn(args);
+        },
+        threads);
+  } else if (!network_dense_) {
     // Sparse mode: exact draw from the incremental committed-neighbour
     // view.  The loop has a fixed shape — every agent consumes one word
     // for the fused explore/adopt test plus one bounded draw
@@ -372,7 +505,48 @@ void finite_dynamics::step_network(std::span<const std::uint8_t> rewards, rng& g
   // read-modify-writes hit cache instead of paying a miss each), and the
   // concurrent walk (relaxed atomics).
   if (!network_dense_) {
-    if (threads <= 1) {
+    if (threads <= 1 && scatter_topology_ && m == 2) {
+      // Bucketed serial walk.  Emit: every (changed agent, neighbour)
+      // pair becomes one u32 item v << 4 | (was+1) << 2 | (now+1) in
+      // bucket v >> delta_bucket_shift (the emit stream reads the CSR
+      // arrays forward and appends to ~N/2^14 cache-resident bucket
+      // tails).  Apply: draining one bucket touches only its 64 KiB view
+      // span, so the scattered read-modify-writes hit cache instead of
+      // paying a DRAM round-trip each.  Same adds as the direct walk, in
+      // a different commutative order — counts are bit-identical.
+      const std::size_t buckets = (n >> delta_bucket_shift) + 1;
+      delta_buckets_.resize(buckets);
+      const auto adjacency = topology_->adjacency();
+      const auto offsets = topology_->offsets();
+      for (std::size_t s = 0; s < shards; ++s) {
+        const std::size_t lo = s * shard_size;
+        for (std::size_t k = 0; k < changed_len_[s]; ++k) {
+          const std::uint64_t entry = changed_[lo + k];
+          const auto i = static_cast<std::uint32_t>(entry);
+          const std::uint32_t code = static_cast<std::uint32_t>(
+              ((entry >> 30) & 0xCU) | ((entry >> 48) & 0x3U));
+          for (std::size_t e = offsets[i]; e < offsets[i + 1]; ++e) {
+            const std::uint32_t v = adjacency[e];
+            delta_buckets_[v >> delta_bucket_shift].push_back(v << 4 | code);
+          }
+        }
+      }
+      // encoded[was+1][now+1] as a flat 4-bit-indexed table; unsigned
+      // wrap-around makes each entry the exact packed-word subtract.
+      static constexpr std::uint32_t encoded[3] = {0U, 1U, 0x10000U};
+      std::uint32_t delta_of[16] = {};
+      for (std::uint32_t was = 0; was < 3; ++was) {
+        for (std::uint32_t now = 0; now < 3; ++now) {
+          delta_of[was << 2 | now] = encoded[now] - encoded[was];
+        }
+      }
+      for (auto& bucket : delta_buckets_) {
+        for (const std::uint32_t item : bucket) {
+          neighbor_view_[item >> 4] += delta_of[item & 0xFU];
+        }
+        bucket.clear();
+      }
+    } else if (threads <= 1) {
       for (std::size_t s = 0; s < shards; ++s) {
         const std::size_t lo = s * shard_size;
         for (std::size_t k = 0; k < changed_len_[s]; ++k) {

@@ -57,6 +57,19 @@ struct adoption_rule {
   double beta = 1.0;
 };
 
+/// Which step kernel finite_dynamics uses on the paths that have a
+/// vectorized implementation (the sparse two-option network step and the
+/// fully mixed heterogeneous per-agent step):
+///   * auto_select — the SIMD kernel (stream derivation v3) when the
+///     runtime dispatcher resolved a vector ISA, else the scalar v2 path;
+///   * scalar — always the scalar v2 path (this is what pins every golden
+///     hash in tests/harness_determinism_test.cpp);
+///   * simd — always the v3 kernel; rejected outright when no vector ISA
+///     is available, so the choice never silently degrades.
+/// Paths without a vector implementation (dense network mode, network rows
+/// with m != 2, m > 64 options) run scalar v2 under every setting.
+enum class kernel_kind { auto_select, scalar, simd };
+
 class finite_dynamics : public dynamics_engine {
  public:
   /// Homogeneous population of `num_agents` with the rule implied by
@@ -82,6 +95,16 @@ class finite_dynamics : public dynamics_engine {
   /// time.  Ignored outside network mode.
   void set_threads(unsigned threads) noexcept { threads_ = threads; }
   [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+
+  /// Selects the step kernel (see kernel_kind).  Like set_threads this is
+  /// configuration, surviving reset(); unlike set_threads it changes the
+  /// trajectory — v3 consumes position-addressable counter draws, v2
+  /// sequential stream draws — though both consume exactly one word of the
+  /// *caller's* generator per step, and each is bit-identical across
+  /// thread counts.  Throws std::invalid_argument for kernel_kind::simd
+  /// when the dispatcher resolved no vector ISA.
+  void set_kernel(kernel_kind kind);
+  [[nodiscard]] kernel_kind kernel() const noexcept { return kernel_; }
 
   /// Everybody back to the initial state (no choices, uniform popularity).
   void reset() final;
@@ -143,6 +166,10 @@ class finite_dynamics : public dynamics_engine {
   /// uniform fallback while committed neighbours exist).
   static constexpr int rejection_cap = 64;
 
+  /// Vertices per bucket of the regrouped (serial, m == 2) delta walk:
+  /// 2^14 packed view rows = 64 KiB, cache-resident while a bucket drains.
+  static constexpr std::size_t delta_bucket_shift = 14;
+
   /// O(m) step for the homogeneous, fully mixed case: the exact
   /// multinomial/binomial factorization, same generator consumption as
   /// aggregate_dynamics, agents filled in from the counts.
@@ -150,6 +177,13 @@ class finite_dynamics : public dynamics_engine {
 
   /// O(N) per-agent loop: heterogeneous rules, fully mixed (no topology).
   void step_per_agent(std::span<const std::uint8_t> rewards, rng& gen);
+
+  /// Vectorized (derivation v3) replacement for step_per_agent, taken when
+  /// the kernel setting resolves to SIMD and m <= 64.
+  void step_mixed_vec(std::span<const std::uint8_t> rewards, rng& gen);
+
+  /// Does the kernel setting resolve to the v3 kernels on this host?
+  [[nodiscard]] bool use_vector_kernel() const noexcept;
 
   /// Sharded network-mode step: exact committed-neighbour draws from the
   /// incremental view, per-(step, shard) RNG streams, delta view update.
@@ -192,12 +226,24 @@ class finite_dynamics : public dynamics_engine {
   std::vector<std::uint32_t> changed_len_;   // entries used per shard
   std::vector<double> adopt_below_explore_;  // fused stage-2 threshold, μ-branch
   std::vector<double> adopt_below_copy_;     // fused stage-2 threshold, copy branch
+  // Bucketed delta walk (scatter graphs, serial, m == 2): per-bucket item
+  // streams of v << 4 | transition code.  Kept allocated across steps.
+  std::vector<std::vector<std::uint32_t>> delta_buckets_;
+  // SoA u64 adoption thresholds (prob_to_u64 of each rule), built once in
+  // set_agent_rules; the v3 kernels blend contiguous loads from these
+  // instead of gathering adoption_rule structs.
+  std::vector<std::uint64_t> alpha_thr_;
+  std::vector<std::uint64_t> beta_thr_;
+  std::vector<std::uint64_t> pop_cdf_;  // v3 mixed kernel: popularity CDF rungs
+  std::vector<std::uint32_t> considered_scratch_;  // v3 mixed kernel stage-1 out
   discrete_sampler by_popularity_;  // per-agent path: rebuilt per step, no alloc
   std::uint64_t adopters_ = 0;
   std::uint64_t empty_steps_ = 0;
   std::uint64_t steps_ = 0;
   unsigned threads_ = 1;
+  kernel_kind kernel_ = kernel_kind::auto_select;
   bool network_dense_ = false;  // topology above the degree threshold
+  bool scatter_topology_ = false;  // ≥¼ of edges leave their vertex bucket
 };
 
 }  // namespace sgl::core

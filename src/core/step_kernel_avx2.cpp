@@ -1,0 +1,31 @@
+/// \file step_kernel_avx2.cpp
+/// AVX2 build of the shared kernel implementation.  CMake compiles this TU
+/// with -mavx2 on x86 GNU/Clang builds; anywhere else it degrades to a
+/// forwarder so the symbols always exist and the dispatcher can key off
+/// avx2_kernels_compiled() instead of the preprocessor.
+
+#include "core/step_kernel.h"
+
+#if defined(__AVX2__)
+
+#include "core/step_kernel_impl.h"
+
+namespace sgl::core::kernel {
+
+void net2_step_avx2(const net2_args& args) { net2_body(args); }
+void mixed_step_avx2(const mixed_args& args) { mixed_body(args); }
+bool avx2_kernels_compiled() noexcept { return true; }
+
+}  // namespace sgl::core::kernel
+
+#else  // no AVX2 target: keep the symbols, report not-compiled
+
+namespace sgl::core::kernel {
+
+void net2_step_avx2(const net2_args& args) { net2_step_generic(args); }
+void mixed_step_avx2(const mixed_args& args) { mixed_step_generic(args); }
+bool avx2_kernels_compiled() noexcept { return false; }
+
+}  // namespace sgl::core::kernel
+
+#endif

@@ -1,0 +1,30 @@
+/// \file step_kernel_neon.cpp
+/// NEON build of the shared kernel implementation.  AArch64 bakes NEON
+/// into the baseline ABI, so no extra target flags are needed; on other
+/// platforms this TU degrades to a forwarder so the symbols always exist.
+
+#include "core/step_kernel.h"
+
+#if defined(__ARM_NEON)
+
+#include "core/step_kernel_impl.h"
+
+namespace sgl::core::kernel {
+
+void net2_step_neon(const net2_args& args) { net2_body(args); }
+void mixed_step_neon(const mixed_args& args) { mixed_body(args); }
+bool neon_kernels_compiled() noexcept { return true; }
+
+}  // namespace sgl::core::kernel
+
+#else  // no NEON target: keep the symbols, report not-compiled
+
+namespace sgl::core::kernel {
+
+void net2_step_neon(const net2_args& args) { net2_step_generic(args); }
+void mixed_step_neon(const mixed_args& args) { mixed_step_generic(args); }
+bool neon_kernels_compiled() noexcept { return false; }
+
+}  // namespace sgl::core::kernel
+
+#endif

@@ -31,6 +31,17 @@ class graph {
   [[nodiscard]] std::size_t degree(vertex v) const;
   /// Sorted neighbour list of v.
   [[nodiscard]] std::span<const vertex> neighbors(vertex v) const;
+
+  /// Raw CSR arrays — neighbours of v are adjacency()[offsets()[v] ..
+  /// offsets()[v+1]).  For tight loops over many vertices (the network
+  /// engine's view-delta walk) where the per-call span construction of
+  /// neighbors() is measurable.
+  [[nodiscard]] std::span<const std::size_t> offsets() const noexcept {
+    return offsets_;
+  }
+  [[nodiscard]] std::span<const vertex> adjacency() const noexcept {
+    return adjacency_;
+  }
   [[nodiscard]] bool has_edge(vertex u, vertex v) const;
 
   /// True iff the graph is connected (BFS); the empty graph is connected.

@@ -29,6 +29,47 @@ namespace sgl {
   return z ^ (z >> 31);
 }
 
+/// Counter-based (position-addressable) variant of splitmix64: the word the
+/// sequential generator seeded at `seed` would emit on its (counter+1)-th
+/// call, computed directly from the counter instead of by iterating.  This
+/// is what makes the SIMD step kernels (stream derivation v3, DESIGN.md)
+/// possible: every vector lane evaluates its own counter independently, so
+/// draws have no sequential dependency and the scalar remainder loop can
+/// reproduce any lane's word bit for bit.
+[[nodiscard]] constexpr std::uint64_t counter_word(std::uint64_t seed,
+                                                  std::uint64_t counter) noexcept {
+  std::uint64_t z = seed + (counter + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Probability p ∈ [0,1] as a 64-bit comparison threshold: a uniform word
+/// u satisfies u < prob_to_u64(p) with probability p up to 2^-64.  The
+/// endpoints are exact-by-convention: p <= 0 maps to 0 (u < 0 never holds)
+/// and p >= 1 maps to 2^64-1, which consumers must treat as "always" (the
+/// kernels OR in a threshold==max comparison) — that is the only value the
+/// open-interval cast below can never produce, since for p < 1 the product
+/// p·2^64 rounds to at most 2^64 - 2048.
+[[nodiscard]] constexpr std::uint64_t prob_to_u64(double p) noexcept {
+  if (p <= 0.0) return 0;
+  if (p >= 1.0) return ~std::uint64_t{0};
+  return static_cast<std::uint64_t>(p * 0x1.0p64);
+}
+
+/// floor(word · bound / 2^64) via 32-bit halves — the bounded draw of
+/// stream derivation v3.  Equivalent to the high word of the 128-bit
+/// product (exact for bound < 2^32), i.e. Lemire's multiply-shift without
+/// the rejection step: each value's probability deviates from 1/bound by
+/// less than 2^-64, and the draw always costs exactly one word, which the
+/// vector lanes require.
+[[nodiscard]] constexpr std::uint64_t scale_bounded(std::uint64_t word,
+                                                    std::uint32_t bound) noexcept {
+  const std::uint64_t lo = (word & 0xFFFFFFFFULL) * bound;
+  const std::uint64_t hi = (word >> 32) * bound;
+  return (hi + (lo >> 32)) >> 32;
+}
+
 /// Stateless 64-bit mix of two words; used to derive independent stream
 /// seeds from (master seed, stream index) pairs.
 [[nodiscard]] constexpr std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream) noexcept {

@@ -51,6 +51,11 @@ using namespace sgl;
 
 scenario::scenario_spec shrink(scenario::scenario_spec spec) {
   if (spec.num_agents > 2000) spec.num_agents = 2000;
+  // The golden hashes pin the scalar v2 stream derivation; kernel = auto
+  // would pick the v3 SIMD kernel (a different trajectory) on hosts with a
+  // vector ISA.  v3's own laws are tested in kernel_property_test /
+  // kernel_law_test.
+  spec.engine_kernel = core::kernel_kind::scalar;
   return spec;
 }
 

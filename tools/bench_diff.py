@@ -15,6 +15,12 @@ entries (mean/median/stddev rows emitted with --benchmark_repetitions) are
 skipped so each benchmark is judged by its primary measurement.  Times are
 normalized through each entry's own time_unit, so reports with different
 units compare correctly.
+
+Benchmarks present in only one report are listed in a trailing
+"added"/"removed" section with their times, so a rename or a deleted
+benchmark is visible in the CI log instead of silently dropping out of the
+comparison.  They never affect the exit status — the gate judges shared
+benchmarks only.
 """
 
 import argparse
@@ -95,10 +101,14 @@ def main(argv):
             f"{name:<{width}}  {format_seconds(before):>10}  "
             f"{format_seconds(after):>10}  {delta:>+7.1f}%{flag}"
         )
-    for name in only_baseline:
-        print(f"{name:<{width}}  (missing from current report)")
-    for name in only_current:
-        print(f"{name:<{width}}  (new; no baseline)")
+    if only_current:
+        print(f"\nadded ({len(only_current)} benchmark(s) only in {args.current}):")
+        for name in only_current:
+            print(f"  {name}: {format_seconds(current[name])}")
+    if only_baseline:
+        print(f"\nremoved ({len(only_baseline)} benchmark(s) only in {args.baseline}):")
+        for name in only_baseline:
+            print(f"  {name}: {format_seconds(baseline[name])}")
 
     if regressions:
         print(
