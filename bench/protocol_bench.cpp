@@ -14,6 +14,7 @@
 #include "core/experiment.h"
 #include "core/probe.h"
 #include "graph/graph.h"
+#include "netsim/simulation.h"
 #include "protocol/protocol_engine.h"
 #include "scenario/registry.h"
 #include "scenario/scenario.h"
@@ -76,6 +77,36 @@ void BM_protocol_round_lossy_jittery(benchmark::State& state) {
   protocol_rounds(state, bench_config(2, 0.3, 0.1), 1024, nullptr);
 }
 BENCHMARK(BM_protocol_round_lossy_jittery)->Unit(benchmark::kMicrosecond);
+
+/// The nemesis path: a partition window plus crash/restart waves scheduled
+/// into the run.  Arg 0 = recording off, 1 = ring recorder attached.  The
+/// arg-0 row must track BM_protocol_round_mixed/1024 (modulo the loss/
+/// jitter config): an installed schedule costs a handful of extra queue
+/// events, and the recorder hook is one nullable-pointer branch per site.
+void BM_protocol_round_nemesis(benchmark::State& state) {
+  protocol::engine_config config = bench_config(2, 0.1, 0.05);
+  netsim::fault_action cut;
+  cut.which = netsim::fault_action::kind::partition;
+  cut.at = 10.0;
+  cut.until = 30.0;
+  for (netsim::node_id id = 0; id < 512; ++id) cut.targets.push_back(id);
+  config.faults.actions.push_back(cut);
+  netsim::fault_action wave;
+  wave.which = netsim::fault_action::kind::crash_wave;
+  wave.at = 40.0;
+  wave.fraction = 0.2;
+  config.faults.actions.push_back(wave);
+  netsim::fault_action back;
+  back.which = netsim::fault_action::kind::restart_wave;
+  back.at = 60.0;
+  config.faults.actions.push_back(back);
+  if (state.range(0) != 0) {
+    config.record_trace = true;
+    config.trace_capacity = 4096;  // ring mode: bounded memory over the loop
+  }
+  protocol_rounds(state, config, 1024, nullptr);
+}
+BENCHMARK(BM_protocol_round_nemesis)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
 
 /// Replications/sec of a protocol scenario through the full probe harness
 /// (single-threaded, same reasoning as harness_bench.cpp: cpu_time must

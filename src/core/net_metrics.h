@@ -13,6 +13,7 @@
 /// without it.
 
 #include <cstdint>
+#include <vector>
 
 namespace sgl::core {
 
@@ -45,6 +46,29 @@ class net_instrumented {
  public:
   virtual ~net_instrumented() = default;
   [[nodiscard]] virtual net_metrics sample_net() const = 0;
+};
+
+/// A per-side view of the population under (or after) a network partition,
+/// taken after any step.  `has_sides` stays true after the cut heals — the
+/// side assignment of the most recent partition persists so post-heal
+/// re-convergence across the former cut is measurable.
+struct partition_sample {
+  bool partitioned = false;  ///< a cut is active right now
+  bool has_sides = false;    ///< a side assignment exists (current or former)
+  std::vector<double> side_a_popularity;  ///< empirical dist. among side-A adopters
+  std::vector<double> side_b_popularity;  ///< likewise for the complement
+  std::uint64_t side_a_committed = 0;     ///< alive committed nodes on side A
+  std::uint64_t side_b_committed = 0;
+};
+
+/// Implemented by engines that can report per-partition-side state (the
+/// gossip protocol engine under a fault schedule).  Discovered by the
+/// partition_divergence probe via dynamic_cast, like net_instrumented.
+/// Purely observational.
+class partition_instrumented {
+ public:
+  virtual ~partition_instrumented() = default;
+  [[nodiscard]] virtual partition_sample sample_partition() const = 0;
 };
 
 }  // namespace sgl::core

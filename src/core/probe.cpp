@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -545,14 +546,121 @@ probe_report adoption_probe::report() const {
   return out;
 }
 
+// --- partition_divergence_probe ---------------------------------------------
+
+namespace {
+
+/// The partition-instrumented view of an engine, or nullptr when it has none.
+const partition_instrumented* partition_view(const dynamics_engine& engine) {
+  return dynamic_cast<const partition_instrumented*>(&engine);
+}
+
+/// ½ · Σ_j |p^A_j − p^B_j| — total variation distance between the two
+/// sides' committed-option histograms.  Only meaningful when both sides
+/// have committed nodes (the caller checks).
+double side_divergence(const partition_sample& sample) {
+  double sum = 0.0;
+  for (std::size_t j = 0; j < sample.side_a_popularity.size(); ++j) {
+    sum += std::abs(sample.side_a_popularity[j] - sample.side_b_popularity[j]);
+  }
+  return 0.5 * sum;
+}
+
+}  // namespace
+
+partition_divergence_probe::partition_divergence_probe(double eps) : eps_{eps} {}
+
+std::unique_ptr<probe> partition_divergence_probe::clone() const {
+  return std::make_unique<partition_divergence_probe>(eps_);
+}
+
+void partition_divergence_probe::begin_replication(std::uint64_t /*horizon*/) {
+  steps_partitioned_ = 0;
+  div_sum_ = 0.0;
+  div_steps_ = 0;
+  div_max_ = 0.0;
+  was_partitioned_ = false;
+  heal_step_ = 0;
+  reconverge_at_ = 0;
+  reconverged_ = false;
+}
+
+void partition_divergence_probe::on_step(const probe_step_view& step) {
+  const partition_instrumented* view = partition_view(step.engine);
+  if (view == nullptr) return;
+  const partition_sample sample = view->sample_partition();
+  if (!sample.has_sides) return;
+  const bool measurable =
+      sample.side_a_committed > 0 && sample.side_b_committed > 0;
+  const double div = measurable ? side_divergence(sample) : 0.0;
+  if (sample.partitioned) {
+    ++steps_partitioned_;
+    was_partitioned_ = true;
+    heal_step_ = 0;  // a later cut restarts the re-convergence clock
+    reconverged_ = false;
+    if (measurable) {
+      div_sum_ += div;
+      ++div_steps_;
+      div_max_ = std::max(div_max_, div);
+    }
+  } else if (was_partitioned_) {
+    if (heal_step_ == 0) heal_step_ = step.t;  // first post-heal step
+    if (!reconverged_ && measurable && div <= eps_) {
+      reconverged_ = true;
+      reconverge_at_ = step.t;
+    }
+  }
+}
+
+void partition_divergence_probe::end_replication(const dynamics_engine& engine,
+                                                 const env::reward_model& /*environment*/,
+                                                 std::uint64_t /*horizon*/) {
+  if (partition_view(engine) == nullptr || !was_partitioned_) return;
+  partition_steps_.add(static_cast<double>(steps_partitioned_));
+  if (div_steps_ > 0) {
+    divergence_.add(div_sum_ / static_cast<double>(div_steps_));
+    divergence_max_.add(div_max_);
+  }
+  if (heal_step_ != 0) {
+    if (reconverged_) {
+      reconvergence_.add(static_cast<double>(reconverge_at_ - heal_step_));
+    } else {
+      ++unrecovered_;
+    }
+  }
+}
+
+void partition_divergence_probe::merge(const probe& other) {
+  const auto& o = dynamic_cast<const partition_divergence_probe&>(other);
+  partition_steps_.merge(o.partition_steps_);
+  divergence_.merge(o.divergence_);
+  divergence_max_.merge(o.divergence_max_);
+  reconvergence_.merge(o.reconvergence_);
+  unrecovered_ += o.unrecovered_;
+}
+
+probe_report partition_divergence_probe::report() const {
+  probe_report out;
+  out.probe = name();
+  out.scalars.push_back(ci_scalar("partition_steps", partition_steps_));
+  out.scalars.push_back(ci_scalar("divergence", divergence_));
+  out.scalars.push_back(ci_scalar("divergence_max", divergence_max_));
+  out.scalars.push_back(ci_scalar("reconvergence_steps", reconvergence_));
+  out.scalars.push_back(plain_scalar("unrecovered", static_cast<double>(unrecovered_)));
+  out.scalars.push_back(
+      plain_scalar("replications", static_cast<double>(partition_steps_.count())));
+  return out;
+}
+
 // --- probe spec grammar -----------------------------------------------------
 
 namespace {
 
-constexpr std::array<std::string_view, 9> k_probe_names{
+constexpr std::array<std::string_view, 10> k_probe_names{
     "regret",          "trajectory",      "hitting_time",
     "popularity_floor", "final_histogram", "recovery",
-    "message_cost",    "commit_latency",  "adoption"};
+    "message_cost",    "commit_latency",  "adoption",
+    "partition_divergence"};
 
 double parse_probe_number(std::string_view spec, std::string_view text) {
   const std::optional<double> parsed = parse_full_double(text);
@@ -656,6 +764,10 @@ std::unique_ptr<probe> make_probe(std::string_view spec) {
   if (name == "popularity_floor") {
     return std::make_unique<popularity_floor_probe>(
         only_arg(trimmed, parsed, "floor", 0.0));
+  }
+  if (name == "partition_divergence") {
+    return std::make_unique<partition_divergence_probe>(
+        only_arg(trimmed, parsed, "eps", 0.1));
   }
 
   std::string message{"unknown probe '"};

@@ -44,6 +44,10 @@
 ///                       node commits, and commit events per round.
 ///   adoption          — committed and alive fractions (mean over rounds
 ///                       and final) — the churn view of convergence.
+///   partition_divergence(eps)
+///                     — per-side disagreement while a scheduled partition
+///                       is active, and steps from the heal until the sides
+///                       agree to within eps again (re-convergence).
 
 #include <cstdint>
 #include <memory>
@@ -415,11 +419,61 @@ class adoption_probe final : public probe {
   std::uint64_t observed_steps_ = 0;
 };
 
+/// Disagreement across a scheduled network cut, for partition-instrumented
+/// engines (the protocol engine under a `faults.*` partition).  While the
+/// cut is active it measures the per-side disagreement
+/// div = ½ · Σ_j |p^A_j − p^B_j| over the two sides' committed-option
+/// histograms (total variation distance); after the heal it measures the
+/// number of steps until div first drops to `eps` (re-convergence — the §6
+/// robustness question: does the dynamics re-mix after the network does?).
+/// Steps where either side has no committed nodes yet are not measurable
+/// and do not contribute.  Engines without a partition view, or runs whose
+/// schedule never partitions, report zero replications.
+class partition_divergence_probe final : public probe {
+ public:
+  explicit partition_divergence_probe(double eps);
+  [[nodiscard]] std::string name() const override { return "partition_divergence"; }
+  [[nodiscard]] std::unique_ptr<probe> clone() const override;
+  void begin_replication(std::uint64_t horizon) override;
+  void on_step(const probe_step_view& step) override;
+  void end_replication(const dynamics_engine& engine,
+                       const env::reward_model& environment,
+                       std::uint64_t horizon) override;
+  void merge(const probe& other) override;
+  [[nodiscard]] probe_report report() const override;
+
+  [[nodiscard]] const running_stats& divergence_stats() const noexcept {
+    return divergence_;
+  }
+  [[nodiscard]] const running_stats& reconvergence_stats() const noexcept {
+    return reconvergence_;
+  }
+  [[nodiscard]] std::uint64_t unrecovered() const noexcept { return unrecovered_; }
+
+ private:
+  double eps_;
+  running_stats partition_steps_;  // steps spent partitioned, per rep
+  running_stats divergence_;       // mean measurable in-cut divergence, per rep
+  running_stats divergence_max_;   // worst in-cut divergence, per rep
+  running_stats reconvergence_;    // steps from heal until div <= eps
+  std::uint64_t unrecovered_ = 0;  // healed reps that never re-converged
+  // per-replication accumulators
+  std::uint64_t steps_partitioned_ = 0;
+  double div_sum_ = 0.0;
+  std::uint64_t div_steps_ = 0;
+  double div_max_ = 0.0;
+  bool was_partitioned_ = false;
+  std::uint64_t heal_step_ = 0;       // first post-heal step (0 = none yet)
+  std::uint64_t reconverge_at_ = 0;   // step where div first <= eps post-heal
+  bool reconverged_ = false;
+};
+
 // --- probe spec grammar -----------------------------------------------------
 
 /// Builds a probe from a spec string: `name` or `name(key=value, ...)`.
 ///   regret | trajectory | final_histogram
 ///   hitting_time(eps=0.1) | recovery(eps=0.5) | popularity_floor(floor=0)
+///   message_cost | commit_latency | adoption | partition_divergence(eps=0.1)
 /// Throws std::invalid_argument on unknown names (listing the known ones,
 /// suggesting the nearest), unknown argument keys, or malformed values.
 [[nodiscard]] std::unique_ptr<probe> make_probe(std::string_view spec);

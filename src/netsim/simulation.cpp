@@ -2,16 +2,94 @@
 
 #include <bit>
 #include <stdexcept>
+#include <string>
 
 #include "support/distributions.h"
 
 namespace sgl::netsim {
+namespace {
+
+[[noreturn]] void bad_action(std::size_t index, const std::string& what) {
+  throw std::invalid_argument{"fault_schedule: action " + std::to_string(index) + ": " + what};
+}
+
+}  // namespace
 
 void link_model::validate() const {
   if (!(base_latency >= 0.0)) throw std::invalid_argument{"link_model: negative latency"};
   if (!(jitter_mean >= 0.0)) throw std::invalid_argument{"link_model: negative jitter"};
   if (!(drop_probability >= 0.0 && drop_probability <= 1.0)) {
     throw std::invalid_argument{"link_model: drop probability outside [0,1]"};
+  }
+}
+
+void fault_schedule::validate(std::size_t num_nodes) const {
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    const fault_action& act = actions[i];
+    if (!(act.at >= 0.0)) bad_action(i, "'at' must be >= 0");
+    if (act.until >= 0.0 && !(act.until > act.at)) {
+      bad_action(i, "'until' (" + std::to_string(act.until) + ") must be > 'at' (" +
+                        std::to_string(act.at) + ")");
+    }
+    for (const node_id id : act.targets) {
+      if (id >= num_nodes) {
+        bad_action(i, "target id " + std::to_string(id) + " >= num nodes (" +
+                          std::to_string(num_nodes) + ")");
+      }
+    }
+    if (act.fraction != -1.0 && !(act.fraction >= 0.0 && act.fraction <= 1.0)) {
+      bad_action(i, "'fraction' (" + std::to_string(act.fraction) + ") outside [0,1]");
+    }
+    switch (act.which) {
+      case fault_action::kind::partition: {
+        if (act.until < 0.0) bad_action(i, "partition needs 'until' (it heals automatically)");
+        if (act.targets.empty()) bad_action(i, "partition needs a non-empty target side");
+        if (act.targets.size() >= num_nodes) {
+          bad_action(i, "partition side must leave at least one node on the other side");
+        }
+        if (act.fraction != -1.0) bad_action(i, "partition does not take 'fraction'");
+        // Overlapping cuts are ill-defined (netsim supports one cut at a
+        // time); catch the conflict here instead of mid-run.
+        for (std::size_t j = 0; j < i; ++j) {
+          const fault_action& other = actions[j];
+          if (other.which != fault_action::kind::partition) continue;
+          if (act.at < other.until && other.at < act.until) {
+            bad_action(i, "partition window [" + std::to_string(act.at) + ", " +
+                              std::to_string(act.until) + ") overlaps action " +
+                              std::to_string(j) + "'s window [" + std::to_string(other.at) +
+                              ", " + std::to_string(other.until) + ")");
+          }
+        }
+        break;
+      }
+      case fault_action::kind::crash_wave:
+        if (act.until >= 0.0) bad_action(i, "crash_wave is a point event; 'until' not allowed");
+        if (act.targets.empty() && act.fraction == -1.0) {
+          bad_action(i, "crash_wave needs 'targets' or 'fraction'");
+        }
+        if (!act.targets.empty() && act.fraction != -1.0) {
+          bad_action(i, "crash_wave takes 'targets' or 'fraction', not both");
+        }
+        break;
+      case fault_action::kind::restart_wave:
+        // No targets and no fraction = restart every crashed node.
+        if (act.until >= 0.0) bad_action(i, "restart_wave is a point event; 'until' not allowed");
+        if (!act.targets.empty() && act.fraction != -1.0) {
+          bad_action(i, "restart_wave takes 'targets' or 'fraction', not both");
+        }
+        break;
+      case fault_action::kind::degrade:
+        if (act.degrade_class != link_class::all && act.targets.empty()) {
+          bad_action(i, "degrade with a non-'all' link class needs targets");
+        }
+        if (act.fraction != -1.0) bad_action(i, "degrade does not take 'fraction'");
+        try {
+          act.link.validate();
+        } catch (const std::invalid_argument& e) {
+          bad_action(i, e.what());
+        }
+        break;
+    }
   }
 }
 
@@ -31,6 +109,18 @@ void context::set_timer(double delay, std::int32_t timer_id) {
   sim_.enqueue_timer(self_, delay, timer_id);
 }
 
+void context::record(trace_kind kind, std::int32_t detail, std::int64_t a, std::int64_t b) {
+  if (sim_.recorder_ == nullptr) return;
+  trace_record rec;
+  rec.time = sim_.now_;
+  rec.kind = kind;
+  rec.node = self_;
+  rec.detail = detail;
+  rec.a = a;
+  rec.b = b;
+  sim_.recorder_->append(rec);
+}
+
 std::span<const node_id> context::neighbors() const noexcept {
   if (sim_.topology_ != nullptr) {
     const auto nbrs = sim_.topology_->neighbors(self_);
@@ -44,7 +134,11 @@ std::size_t context::num_nodes() const noexcept { return sim_.nodes_.size(); }
 // --- simulation ---------------------------------------------------------------
 
 simulation::simulation(std::uint64_t seed)
-    : net_gen_{rng::from_stream(seed, 0xfeedULL)}, seed_{seed} {}
+    : net_gen_{rng::from_stream(seed, 0xfeedULL)},
+      // 0xfa17 sits below 2^32 alongside 0xfeed (network) — disjoint from
+      // both it and every node stream (those live above 2^32).
+      fault_gen_{rng::from_stream(seed, 0xfa17ULL)},
+      seed_{seed} {}
 
 node_id simulation::add_node(std::unique_ptr<node> n) {
   require_started(false, "add_node");
@@ -63,6 +157,11 @@ node_id simulation::add_node(std::unique_ptr<node> n) {
 void simulation::set_link_model(const link_model& links) {
   links.validate();
   links_ = links;
+}
+
+void simulation::set_fault_schedule(fault_schedule schedule) {
+  require_started(false, "set_fault_schedule");
+  schedule_ = std::move(schedule);
 }
 
 void simulation::require_started(bool started, const char* who) const {
@@ -87,11 +186,64 @@ void simulation::start() {
       }
     }
   }
+  schedule_.validate(nodes_.size());
+  // Expand the schedule before any node runs: fault events take the lowest
+  // sequence numbers, so at any tied time they dispatch before node events,
+  // in schedule order, and action i's window end precedes action i+1's
+  // begin.  An empty schedule pushes nothing — bit-identical to a run
+  // without one.
+  overrides_.assign(schedule_.actions.size(), link_override{});
+  for (std::size_t i = 0; i < schedule_.actions.size(); ++i) {
+    const fault_action& act = schedule_.actions[i];
+    if (act.which == fault_action::kind::degrade) {
+      link_override& ov = overrides_[i];
+      ov.which = act.degrade_class;
+      ov.link = act.link;
+      ov.in_set.assign(nodes_.size(), false);
+      for (const node_id id : act.targets) ov.in_set[id] = true;
+    }
+    event begin;
+    begin.time = act.at;
+    begin.seq = next_seq_++;
+    begin.kind = event_kind::fault;
+    begin.fault_index = static_cast<std::int32_t>(i);
+    queue_.push(begin);
+    const bool windowed = act.which == fault_action::kind::partition ||
+                          act.which == fault_action::kind::degrade;
+    if (windowed && act.until >= 0.0) {
+      event end = begin;
+      end.seq = next_seq_++;
+      end.time = act.until;
+      end.fault_end = true;
+      queue_.push(end);
+    }
+  }
   started_ = true;
   for (node_id id = 0; id < nodes_.size(); ++id) {
     context ctx{*this, id};
     nodes_[id]->on_start(ctx);
   }
+}
+
+const link_model& simulation::resolve_link(node_id src, node_id dst) const noexcept {
+  // Most recently activated matching override wins; the common case
+  // (no active overrides) is one empty-vector check.
+  for (auto it = override_order_.rbegin(); it != override_order_.rend(); ++it) {
+    const link_override& ov = overrides_[static_cast<std::size_t>(*it)];
+    bool match = false;
+    switch (ov.which) {
+      case link_class::all: match = true; break;
+      case link_class::intra: match = ov.in_set[src] == ov.in_set[dst]; break;
+      case link_class::cross: match = ov.in_set[src] != ov.in_set[dst]; break;
+      case link_class::nodes: match = ov.in_set[src] || ov.in_set[dst]; break;
+    }
+    if (match) return ov.link;
+  }
+  return links_;
+}
+
+void simulation::record(const trace_record& rec) {
+  if (recorder_ != nullptr) recorder_->append(rec);
 }
 
 void simulation::enqueue_message(node_id src, node_id dst, const message& msg) {
@@ -101,14 +253,18 @@ void simulation::enqueue_message(node_id src, node_id dst, const message& msg) {
   if (topology_ != nullptr && !topology_->has_edge(src, dst)) {
     throw std::logic_error{"simulation::send: destination is not a neighbour"};
   }
+  const link_model& link = resolve_link(src, dst);
   ++stats_.messages_sent;
-  if (net_gen_.next_bernoulli(links_.drop_probability)) {
+  record({now_, trace_kind::send, src, dst, msg.kind, msg.a, msg.b});
+  if (net_gen_.next_bernoulli(link.drop_probability)) {
     ++stats_.messages_dropped;
+    record({now_, trace_kind::drop, dst, src, msg.kind,
+            static_cast<std::int64_t>(drop_reason::loss), 0});
     return;
   }
-  double latency = links_.base_latency;
-  if (links_.jitter_mean > 0.0) {
-    latency += sample_exponential(net_gen_, 1.0 / links_.jitter_mean);
+  double latency = link.base_latency;
+  if (link.jitter_mean > 0.0) {
+    latency += sample_exponential(net_gen_, 1.0 / link.jitter_mean);
   }
   event ev;
   ev.time = now_ + latency;
@@ -133,19 +289,87 @@ void simulation::enqueue_timer(node_id dst, double delay, std::int32_t timer_id)
 }
 
 void simulation::partition(std::span<const node_id> group_a) {
+  if (partitioned_) {
+    throw std::logic_error{
+        "simulation::partition: already partitioned; heal_partition() first "
+        "(overlapping cuts would silently overwrite side assignments)"};
+  }
   side_a_.assign(nodes_.size(), false);
   for (const node_id id : group_a) {
     if (id >= nodes_.size()) throw std::out_of_range{"simulation::partition: bad id"};
     side_a_[id] = true;
   }
   partitioned_ = true;
+  for (const node_id id : group_a) {
+    record({now_, trace_kind::partition, id, 0, 0, 0, 0});
+  }
 }
 
-void simulation::heal_partition() noexcept { partitioned_ = false; }
+void simulation::heal_partition() {
+  if (!partitioned_) return;
+  partitioned_ = false;
+  record({now_, trace_kind::heal, 0, 0, 0, 0, 0});
+}
+
+bool simulation::on_side_a(node_id id) const {
+  if (id >= nodes_.size()) throw std::out_of_range{"simulation::on_side_a: bad id"};
+  return side_a_[id];
+}
 
 void simulation::trace(std::uint64_t word) noexcept {
   trace_hash_ ^= word;
   trace_hash_ *= 0x100000001b3ULL;
+}
+
+void simulation::dispatch_fault(const event& ev) {
+  const auto index = static_cast<std::size_t>(ev.fault_index);
+  const fault_action& act = schedule_.actions[index];
+  switch (act.which) {
+    case fault_action::kind::partition:
+      if (ev.fault_end) {
+        heal_partition();
+      } else {
+        partition(act.targets);
+      }
+      break;
+    case fault_action::kind::crash_wave:
+      if (act.targets.empty()) {
+        // Deterministic regardless of which nodes are alive: one draw per
+        // node, applied only to the live ones.
+        for (node_id id = 0; id < nodes_.size(); ++id) {
+          const bool hit = fault_gen_.next_bernoulli(act.fraction);
+          if (hit && alive_[id]) crash_node(id);
+        }
+      } else {
+        for (const node_id id : act.targets) crash_node(id);
+      }
+      break;
+    case fault_action::kind::restart_wave:
+      if (!act.targets.empty()) {
+        for (const node_id id : act.targets) restart_node(id);
+      } else if (act.fraction != -1.0) {
+        for (node_id id = 0; id < nodes_.size(); ++id) {
+          const bool hit = fault_gen_.next_bernoulli(act.fraction);
+          if (hit && !alive_[id]) restart_node(id);
+        }
+      } else {
+        for (node_id id = 0; id < nodes_.size(); ++id) {
+          if (!alive_[id]) restart_node(id);
+        }
+      }
+      break;
+    case fault_action::kind::degrade:
+      if (ev.fault_end) {
+        overrides_[index].active = false;
+        std::erase(override_order_, ev.fault_index);
+        record({now_, trace_kind::restore, 0, 0, ev.fault_index, 0, 0});
+      } else {
+        overrides_[index].active = true;
+        override_order_.push_back(ev.fault_index);
+        record({now_, trace_kind::degrade, 0, 0, ev.fault_index, 0, 0});
+      }
+      break;
+  }
 }
 
 void simulation::dispatch(const event& ev) {
@@ -160,22 +384,33 @@ void simulation::dispatch(const event& ev) {
     trace(static_cast<std::uint64_t>(ev.msg.b));
     if (!alive_[ev.dst]) {
       ++stats_.messages_dropped;
+      record({now_, trace_kind::drop, ev.dst, ev.msg.src, ev.msg.kind,
+              static_cast<std::int64_t>(drop_reason::dst_crashed), 0});
       return;
     }
     if (partitioned_ && side_a_[ev.msg.src] != side_a_[ev.dst]) {
       ++stats_.messages_dropped;  // crosses the cut
+      record({now_, trace_kind::drop, ev.dst, ev.msg.src, ev.msg.kind,
+              static_cast<std::int64_t>(drop_reason::partitioned), 0});
       return;
     }
     ++stats_.messages_delivered;
+    record({now_, trace_kind::deliver, ev.dst, ev.msg.src, ev.msg.kind, ev.msg.a, ev.msg.b});
     context ctx{*this, ev.dst};
     nodes_[ev.dst]->on_message(ctx, ev.msg);
-  } else {
+  } else if (ev.kind == event_kind::timer) {
     trace(static_cast<std::uint32_t>(ev.timer_id));
     // Timers set before a crash are stale in the new epoch.
     if (!alive_[ev.dst] || ev.epoch != epoch_[ev.dst]) return;
     ++stats_.timers_fired;
     context ctx{*this, ev.dst};
     nodes_[ev.dst]->on_timer(ctx, ev.timer_id);
+  } else {
+    // Pin *which* scheduled fault fired (and which phase) into the hash,
+    // so a replay that re-timed or re-ordered any fault cannot collide.
+    trace((static_cast<std::uint64_t>(static_cast<std::uint32_t>(ev.fault_index)) << 1) |
+          static_cast<std::uint64_t>(ev.fault_end));
+    dispatch_fault(ev);
   }
 }
 
@@ -201,16 +436,18 @@ void simulation::run_until(double t_end) {
 
 void simulation::crash_node(node_id id) {
   if (id >= nodes_.size()) throw std::out_of_range{"simulation::crash_node: bad id"};
-  if (!alive_[id]) return;
+  if (!alive_[id]) return;  // documented no-op: epoch bumps exactly once
   alive_[id] = false;
   ++epoch_[id];
+  record({now_, trace_kind::crash, id, 0, 0, 0, 0});
 }
 
 void simulation::restart_node(node_id id) {
   require_started(true, "restart_node");
   if (id >= nodes_.size()) throw std::out_of_range{"simulation::restart_node: bad id"};
-  if (alive_[id]) return;
+  if (alive_[id]) return;  // documented no-op: on_start runs exactly once
   alive_[id] = true;
+  record({now_, trace_kind::restart, id, 0, 0, 0, 0});
   context ctx{*this, id};
   nodes_[id]->on_start(ctx);
 }

@@ -8,12 +8,18 @@
 /// appropriate for low-power devices in distributed settings such as sensor
 /// networks or the internet-of-things".  This module is the substrate that
 /// claim is tested on: nodes exchanging small messages over lossy,
-/// latency-ridden asynchronous links, with crash/restart fault injection.
+/// latency-ridden asynchronous links, with crash/restart fault injection —
+/// ad hoc (crash_node/partition calls) or scripted (a fault_schedule of
+/// timed partitions, churn waves, and per-link-class degradations executed
+/// as first-class events in the same (time, seq) queue).
 ///
 /// Determinism: events are ordered by (time, sequence number); every node
 /// owns an RNG stream derived from (seed, 2^32 + node id) and the network
 /// owns its own sub-2^32 stream for latency/drops — disjoint for every
-/// 32-bit node id — so runs are reproducible bit-for-bit.
+/// 32-bit node id — so runs are reproducible bit-for-bit.  Scheduled fault
+/// events are enqueued before any node runs, so they carry the smallest
+/// sequence numbers and dispatch before same-time node events, in schedule
+/// order; fraction-based waves draw from a dedicated fault stream.
 
 #include <cstdint>
 #include <memory>
@@ -22,6 +28,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "netsim/trace.h"
 #include "support/rng.h"
 
 namespace sgl::netsim {
@@ -52,6 +59,53 @@ struct link_model {
   void validate() const;
 };
 
+/// Which links a degrade action covers, relative to the action's `targets`
+/// node set: every link, links within one side of the set (both endpoints
+/// in it or both outside), links crossing the set boundary, or links
+/// touching a listed node at either endpoint.
+enum class link_class : std::uint8_t { all, intra, cross, nodes };
+
+/// One scripted fault.  Times are simulated seconds; `until < 0` means
+/// "never" where a window is optional (degrade) and is rejected by
+/// validate() where the window is the point (partition auto-heals).
+struct fault_action {
+  enum class kind : std::uint8_t { partition, crash_wave, restart_wave, degrade };
+
+  kind which = kind::partition;
+  double at = 0.0;     ///< activation time
+  double until = -1.0; ///< end time (partition heal / degrade restore)
+
+  /// partition: side A.  crash_wave/restart_wave: explicit victims (used
+  /// when `fraction` is unset).  degrade: the link-class reference set.
+  std::vector<node_id> targets;
+
+  /// crash_wave: each alive node crashes i.i.d. with this probability;
+  /// restart_wave: each crashed node restarts with it.  < 0 = unset (use
+  /// `targets`; an unset restart_wave with empty targets restarts every
+  /// crashed node).
+  double fraction = -1.0;
+
+  link_class degrade_class = link_class::all;  ///< degrade only
+  link_model link;                             ///< degrade override model
+};
+
+/// A declarative nemesis schedule, validated against the node count and
+/// expanded into queue events at start().  Empty schedules are free: no
+/// events, no extra RNG draws, bit-identical traces to a run without one.
+struct fault_schedule {
+  std::vector<fault_action> actions;
+
+  [[nodiscard]] bool empty() const noexcept { return actions.empty(); }
+
+  /// Throws std::invalid_argument naming the offending action index on:
+  /// negative times, a window with until <= at, a partition without a
+  /// window or with an empty/complete/out-of-range side, overlapping
+  /// partition windows, fractions outside [0,1], waves with neither
+  /// targets nor fraction (crash only), target ids >= num_nodes, or an
+  /// invalid degrade link model.
+  void validate(std::size_t num_nodes) const;
+};
+
 /// Counters exposed by simulation::stats().
 struct network_stats {
   std::uint64_t messages_sent = 0;
@@ -80,6 +134,10 @@ class context {
   void send(node_id dst, message msg);
   /// Schedules on_timer(timer_id) after `delay` (> 0) simulated seconds.
   void set_timer(double delay, std::int32_t timer_id);
+  /// Appends an application-level trace record stamped (now, self) when a
+  /// recorder is attached; free otherwise.  Protocol code uses it for the
+  /// commit/adopt marks the offline invariant checker replays.
+  void record(trace_kind kind, std::int32_t detail, std::int64_t a, std::int64_t b);
   /// Neighbour list under the current topology (all other nodes if none).
   [[nodiscard]] std::span<const node_id> neighbors() const noexcept;
   [[nodiscard]] std::size_t num_nodes() const noexcept;
@@ -117,6 +175,15 @@ class simulation {
 
   void set_link_model(const link_model& links);
 
+  /// Installs a scripted fault schedule, validated and expanded into queue
+  /// events at start().  Must be called before start().
+  void set_fault_schedule(fault_schedule schedule);
+
+  /// Attaches a structured event recorder (borrowed; nullptr detaches).
+  /// Recording costs one branch per event when detached — the recorder-off
+  /// path is the same code as before recorders existed.
+  void set_trace_recorder(trace_recorder* recorder) noexcept { recorder_ = recorder; }
+
   /// Calls on_start on every node.  Must be called exactly once, after all
   /// add_node calls.
   void start();
@@ -136,10 +203,16 @@ class simulation {
   /// payload).  Two runs that dispatched the same events in the same order
   /// have equal hashes, so replays / thread-count / engine-reuse invariance
   /// can be asserted on the full event trace without recording it.
+  /// Scheduled fault events fold in too (kind code 2 + schedule index), so
+  /// the hash also pins *when* every scripted fault fired.
   [[nodiscard]] std::uint64_t trace_hash() const noexcept { return trace_hash_; }
 
   /// Fault injection.  Crashing drops the node's queued timers and any
-  /// messages delivered while down; restart re-runs on_start.
+  /// messages delivered while down; restart re-runs on_start.  Both are
+  /// documented no-ops when the node is already in the requested state:
+  /// crash_node on a crashed node does not bump the epoch again, and
+  /// restart_node on an alive node does not re-run on_start (tested in
+  /// tests/netsim_test.cpp).
   void crash_node(node_id id);
   void restart_node(node_id id);
   [[nodiscard]] bool is_alive(node_id id) const;
@@ -147,10 +220,21 @@ class simulation {
   /// Network partition: messages crossing between `group_a` and its
   /// complement are dropped at delivery time (in-flight ones included).
   /// Nodes keep running and can talk within their side.  heal_partition()
-  /// restores full connectivity.
+  /// restores full connectivity.  Throws std::logic_error when already
+  /// partitioned — overlapping cuts would silently overwrite the side
+  /// assignment; heal first.
   void partition(std::span<const node_id> group_a);
-  void heal_partition() noexcept;
+  void heal_partition();
   [[nodiscard]] bool is_partitioned() const noexcept { return partitioned_; }
+
+  /// Side assignment of the most recent partition (kept after heal, so
+  /// post-heal re-convergence across the former cut stays measurable).
+  [[nodiscard]] bool has_partition_sides() const noexcept {
+    return side_a_.size() == nodes_.size() && !side_a_.empty();
+  }
+  /// True when `id` was on side A of the most recent partition.  Only
+  /// meaningful while has_partition_sides().
+  [[nodiscard]] bool on_side_a(node_id id) const;
 
   /// Direct access for inspection/tests (caller downcasts).
   [[nodiscard]] node& get_node(node_id id);
@@ -159,7 +243,7 @@ class simulation {
  private:
   friend class context;
 
-  enum class event_kind : std::uint8_t { deliver, timer };
+  enum class event_kind : std::uint8_t { deliver, timer, fault };
 
   struct event {
     double time = 0.0;
@@ -169,6 +253,8 @@ class simulation {
     std::uint64_t epoch = 0;  ///< timers die when the node's epoch changes
     message msg;
     std::int32_t timer_id = 0;
+    std::int32_t fault_index = -1;  ///< fault events: schedule action index
+    bool fault_end = false;         ///< fault events: window end (heal/restore)
   };
 
   struct event_later {
@@ -178,11 +264,25 @@ class simulation {
     }
   };
 
+  /// One activated degrade override: the link model plus a per-node
+  /// membership bitmap precomputed from the action's targets.
+  struct link_override {
+    link_class which = link_class::all;
+    link_model link;
+    std::vector<bool> in_set;
+    bool active = false;
+  };
+
   void dispatch(const event& ev);
+  void dispatch_fault(const event& ev);
   void trace(std::uint64_t word) noexcept;
+  void record(const trace_record& rec);
   void enqueue_message(node_id src, node_id dst, const message& msg);
   void enqueue_timer(node_id dst, double delay, std::int32_t timer_id);
   void require_started(bool started, const char* who) const;
+  /// The link model governing src->dst right now: the most recently
+  /// activated matching override, else the base model.
+  [[nodiscard]] const link_model& resolve_link(node_id src, node_id dst) const noexcept;
 
   std::vector<std::unique_ptr<node>> nodes_;
   std::vector<rng> node_gens_;
@@ -194,11 +294,16 @@ class simulation {
   const graph::graph* topology_ = nullptr;
   link_model links_;
   rng net_gen_;
+  rng fault_gen_;  ///< fraction-based wave draws (stream 0xfa17)
+  fault_schedule schedule_;
+  std::vector<link_override> overrides_;   ///< one per degrade action
+  std::vector<std::int32_t> override_order_;  ///< activation order, most recent last
   std::priority_queue<event, std::vector<event>, event_later> queue_;
   std::uint64_t next_seq_ = 0;
   double now_ = 0.0;
   bool started_ = false;
   network_stats stats_;
+  trace_recorder* recorder_ = nullptr;  ///< borrowed; nullptr = recording off
   std::uint64_t trace_hash_ = 0xcbf29ce484222325ULL;  ///< FNV-1a offset basis
   std::uint64_t seed_;
 };

@@ -1,0 +1,72 @@
+#include "netsim/trace.h"
+
+#include <array>
+#include <utility>
+
+namespace sgl::netsim {
+namespace {
+
+constexpr std::array<std::pair<std::string_view, trace_kind>, 12> k_kind_names{{
+    {"send", trace_kind::send},
+    {"deliver", trace_kind::deliver},
+    {"drop", trace_kind::drop},
+    {"crash", trace_kind::crash},
+    {"restart", trace_kind::restart},
+    {"partition", trace_kind::partition},
+    {"heal", trace_kind::heal},
+    {"degrade", trace_kind::degrade},
+    {"restore", trace_kind::restore},
+    {"post", trace_kind::post},
+    {"commit", trace_kind::commit},
+    {"adopt", trace_kind::adopt},
+}};
+
+}  // namespace
+
+std::string_view trace_kind_name(trace_kind kind) noexcept {
+  for (const auto& [name, k] : k_kind_names) {
+    if (k == kind) return name;
+  }
+  return "unknown";
+}
+
+bool parse_trace_kind(std::string_view name, trace_kind& out) noexcept {
+  for (const auto& [known, k] : k_kind_names) {
+    if (known == name) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+void trace_recorder::append(const trace_record& record) {
+  if (capacity_ == 0) {
+    records_.push_back(record);
+    return;
+  }
+  if (records_.size() < capacity_) {
+    records_.push_back(record);
+    return;
+  }
+  records_[head_] = record;
+  head_ = (head_ + 1) % capacity_;
+  ++evicted_;
+}
+
+std::vector<trace_record> trace_recorder::snapshot() const {
+  std::vector<trace_record> out;
+  out.reserve(records_.size());
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    out.push_back(records_[(head_ + i) % records_.size()]);
+  }
+  return out;
+}
+
+void trace_recorder::clear() noexcept {
+  records_.clear();
+  head_ = 0;
+  evicted_ = 0;
+}
+
+}  // namespace sgl::netsim

@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file trace.h
+/// Structured event traces for the network simulator.
+///
+/// trace_hash() (simulation.h) folds every dispatched event into one FNV
+/// word — perfect for bit-identity assertions, useless for asking *what*
+/// happened.  The trace_recorder is the structured sibling: an optional,
+/// bounded buffer of typed records (sends, deliveries, drops, faults, and
+/// application-level commit/adopt marks) that the offline invariant checker
+/// (analysis/trace_check.h) replays.  Recording is off by default and must
+/// be free when off: the simulator holds a nullable pointer and every
+/// record site is a single branch.
+///
+/// Records carry a fixed small layout instead of per-kind structs so the
+/// ring buffer is a flat vector and JSONL serialization is one schema.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace sgl::netsim {
+
+/// What one trace record describes.  Message records (send/deliver/drop)
+/// come from the simulator core; fault records (crash/restart/partition/
+/// heal/degrade/restore) from fault injection — scheduled or direct; the
+/// application records (post/commit/adopt) from protocol code via
+/// context::record / an engine holding the recorder.
+enum class trace_kind : std::uint8_t {
+  send,       ///< node=src, peer=dst, detail=msg.kind, a/b=payload
+  deliver,    ///< node=dst, peer=src, detail=msg.kind, a/b=payload
+  drop,       ///< node=dst, peer=src, detail=msg.kind, a=reason (drop_reason)
+  crash,      ///< node=crashed id
+  restart,    ///< node=restarted id
+  partition,  ///< node=a side-A member (one record per member opens a cut)
+  heal,       ///< the cut closed
+  degrade,    ///< a link-class override activated; detail=schedule index
+  restore,    ///< that override deactivated; detail=schedule index
+  post,       ///< a=round, b=signal bitmask (options 0..63), detail=num options
+  commit,     ///< node adopted while uncommitted; a=option, b=round
+  adopt,      ///< node adopted (committed or not before); a=option, b=round
+};
+
+/// Why a message was dropped (trace_kind::drop, field `a`).
+enum class drop_reason : std::int64_t {
+  loss = 0,          ///< Bernoulli link loss at send time
+  dst_crashed = 1,   ///< destination was down at delivery time
+  partitioned = 2,   ///< src and dst were on opposite sides of the cut
+};
+
+/// One trace record.  Field meanings depend on `kind` (see trace_kind);
+/// unused fields are zero.
+struct trace_record {
+  double time = 0.0;
+  trace_kind kind = trace_kind::send;
+  std::uint32_t node = 0;
+  std::uint32_t peer = 0;
+  std::int32_t detail = 0;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+
+  friend bool operator==(const trace_record&, const trace_record&) = default;
+};
+
+/// Stable lowercase name of a record kind ("send", "deliver", ...).
+[[nodiscard]] std::string_view trace_kind_name(trace_kind kind) noexcept;
+
+/// Parses a trace_kind name; returns false on unknown names.
+[[nodiscard]] bool parse_trace_kind(std::string_view name, trace_kind& out) noexcept;
+
+/// A bounded event recorder.  capacity == 0 keeps every record (full mode);
+/// capacity > 0 keeps the most recent `capacity` records (ring mode) and
+/// counts what fell off the front.  Not thread-safe — one recorder belongs
+/// to one simulation, which is single-threaded by construction.
+class trace_recorder {
+ public:
+  explicit trace_recorder(std::size_t capacity = 0) : capacity_{capacity} {}
+
+  void append(const trace_record& record);
+
+  /// Records in arrival order (ring mode unrotates the buffer).
+  [[nodiscard]] std::vector<trace_record> snapshot() const;
+
+  /// Records currently held.
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  /// Records evicted from the front of the ring (0 in full mode).
+  [[nodiscard]] std::uint64_t evicted() const noexcept { return evicted_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  void clear() noexcept;
+
+ private:
+  std::size_t capacity_;
+  std::size_t head_ = 0;  ///< ring mode: index of the oldest record
+  std::uint64_t evicted_ = 0;
+  std::vector<trace_record> records_;
+};
+
+}  // namespace sgl::netsim

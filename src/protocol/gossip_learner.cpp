@@ -129,7 +129,15 @@ void gossip_learner::consider(netsim::context& ctx, std::size_t option) {
   const double adopt_p =
       signal != 0 ? params_.dynamics.beta : params_.dynamics.resolved_alpha();
   if (ctx.gen().next_bernoulli(adopt_p)) {
+    const bool was_uncommitted = choice_ < 0;
     choice_ = static_cast<std::int32_t>(option);
+    // Trace marks for the offline invariant checker: every adoption, plus
+    // a commit mark on the uncommitted -> committed edge.  Free when no
+    // recorder is attached; never touches the RNG.
+    const auto round = static_cast<std::int64_t>(current_round(ctx));
+    const auto opt = static_cast<std::int64_t>(option);
+    if (was_uncommitted) ctx.record(netsim::trace_kind::commit, 0, opt, round);
+    ctx.record(netsim::trace_kind::adopt, 0, opt, round);
   } else if (!params_.sticky) {
     choice_ = -1;
   }

@@ -48,11 +48,14 @@ protocol_engine::protocol_engine(const engine_config& config, std::size_t num_no
     throw std::invalid_argument{
         "protocol engine: topology vertex count != node count"};
   }
+  // Fail fast on an invalid nemesis schedule instead of at the first step.
+  config_.faults.validate(num_nodes_);
   reset();
 }
 
 void protocol_engine::reset() {
   sim_.reset();
+  recorder_.reset();
   learners_.clear();
   const std::size_t m = config_.dynamics.num_options;
   popularity_.assign(m, 1.0 / static_cast<double>(m));
@@ -94,6 +97,11 @@ void protocol_engine::build(rng& gen) {
   }
   if (topology_ != nullptr) sim_->set_topology(topology_.get());
   sim_->set_link_model(config_.links());
+  if (!config_.faults.empty()) sim_->set_fault_schedule(config_.faults);
+  if (config_.record_trace) {
+    recorder_ = std::make_unique<netsim::trace_recorder>(config_.trace_capacity);
+    sim_->set_trace_recorder(recorder_.get());
+  }
   sim_->start();
 }
 
@@ -105,6 +113,19 @@ void protocol_engine::step(std::span<const std::uint8_t> rewards, rng& gen) {
 
   const std::uint64_t round = ++steps_;
   board_.post(rewards);
+  if (recorder_ != nullptr) {
+    // The board mark the invariant checker replays: posted at the round's
+    // opening boundary, before any node senses it.  b packs the first 64
+    // signal bits; detail carries the true option count.
+    std::int64_t bits = 0;
+    const std::size_t mask_options = std::min<std::size_t>(rewards.size(), 64);
+    for (std::size_t j = 0; j < mask_options; ++j) {
+      if (rewards[j] != 0) bits |= std::int64_t{1} << j;
+    }
+    recorder_->append({sim_->now(), netsim::trace_kind::post, 0, 0,
+                       static_cast<std::int32_t>(config_.dynamics.num_options),
+                       static_cast<std::int64_t>(round), bits});
+  }
 
   if (config_.crash_rate > 0.0 || config_.restart_rate > 0.0) {
     for (netsim::node_id id = 0; id < num_nodes_; ++id) {
@@ -173,6 +194,41 @@ core::net_metrics protocol_engine::sample_net() const {
   metrics.commit_latency_rounds = commit_latency_rounds_;
   metrics.commit_events = commit_events_;
   return metrics;
+}
+
+core::partition_sample protocol_engine::sample_partition() const {
+  core::partition_sample sample;
+  if (sim_ == nullptr || !sim_->has_partition_sides()) return sample;
+  sample.partitioned = sim_->is_partitioned();
+  sample.has_sides = true;
+  const std::size_t m = config_.dynamics.num_options;
+  std::vector<std::uint64_t> counts_a(m, 0);
+  std::vector<std::uint64_t> counts_b(m, 0);
+  for (netsim::node_id id = 0; id < num_nodes_; ++id) {
+    if (!sim_->is_alive(id)) continue;
+    const std::int32_t choice = learners_[id]->choice();
+    if (choice < 0) continue;
+    if (sim_->on_side_a(id)) {
+      ++counts_a[static_cast<std::size_t>(choice)];
+      ++sample.side_a_committed;
+    } else {
+      ++counts_b[static_cast<std::size_t>(choice)];
+      ++sample.side_b_committed;
+    }
+  }
+  sample.side_a_popularity.assign(m, 0.0);
+  sample.side_b_popularity.assign(m, 0.0);
+  for (std::size_t j = 0; j < m; ++j) {
+    if (sample.side_a_committed > 0) {
+      sample.side_a_popularity[j] = static_cast<double>(counts_a[j]) /
+                                    static_cast<double>(sample.side_a_committed);
+    }
+    if (sample.side_b_committed > 0) {
+      sample.side_b_popularity[j] = static_cast<double>(counts_b[j]) /
+                                    static_cast<double>(sample.side_b_committed);
+    }
+  }
+  return sample;
 }
 
 }  // namespace sgl::protocol

@@ -66,12 +66,25 @@ struct engine_config {
   bool sticky = false;    ///< keep the previous choice instead of sitting out
   bool lockstep = false;  ///< replies carry round-boundary choices (§2.1 sync)
 
+  /// Scripted nemesis schedule (times in simulated seconds), installed on
+  /// every replication's simulation.  Empty = no scheduled faults; validated
+  /// against the node count at engine construction.
+  netsim::fault_schedule faults;
+
+  /// Attach a trace_recorder to every replication's simulation (capacity 0
+  /// = keep everything, > 0 = ring of the most recent records).  Off by
+  /// default; the recorder-off path costs nothing.
+  bool record_trace = false;
+  std::size_t trace_capacity = 0;
+
   /// The netsim link model these knobs describe (the single source used
   /// by both validate() and the simulation setup).
   [[nodiscard]] netsim::link_model links() const noexcept;
 
   /// Throws std::invalid_argument on a non-positive round interval, link
-  /// parameters link_model rejects, or rates outside [0,1].
+  /// parameters link_model rejects, or rates outside [0,1].  The fault
+  /// schedule is checked against the node count in the engine constructor
+  /// (validate() has no population to check against).
   void validate() const;
 };
 
@@ -97,7 +110,8 @@ class posted_signals final : public signal_source {
 };
 
 class protocol_engine final : public core::dynamics_engine,
-                              public core::net_instrumented {
+                              public core::net_instrumented,
+                              public core::partition_instrumented {
  public:
   /// `topology` restricts gossip partners (shared so generated graphs stay
   /// alive across every engine a factory builds); nullptr = fully mixed.
@@ -119,11 +133,18 @@ class protocol_engine final : public core::dynamics_engine,
   [[nodiscard]] std::uint64_t steps() const noexcept override { return steps_; }
 
   [[nodiscard]] core::net_metrics sample_net() const override;
+  [[nodiscard]] core::partition_sample sample_partition() const override;
 
   /// The live simulation (nullptr before the first step after a reset);
   /// exposed for determinism tests (trace_hash) and inspection.
   [[nodiscard]] const netsim::simulation* simulation() const noexcept {
     return sim_.get();
+  }
+
+  /// The replication's trace recorder (nullptr unless config.record_trace
+  /// and a step has run since the last reset).
+  [[nodiscard]] const netsim::trace_recorder* recorder() const noexcept {
+    return recorder_.get();
   }
 
  private:
@@ -137,6 +158,7 @@ class protocol_engine final : public core::dynamics_engine,
   posted_signals board_;
 
   std::unique_ptr<netsim::simulation> sim_;
+  std::unique_ptr<netsim::trace_recorder> recorder_;  ///< owned; sim_ borrows it
   std::vector<gossip_learner*> learners_;  ///< borrowed from sim_
   rng churn_gen_;
 

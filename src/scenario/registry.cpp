@@ -346,6 +346,83 @@ std::vector<scenario_spec> build_catalog() {
     catalog.push_back(std::move(spec));
   }
   {
+    // The nemesis flagship: cut the population in half for rounds 10..25,
+    // let the sides diverge, heal, and measure re-convergence.  Times are
+    // rounds; the window sits inside the 40-round golden run so the
+    // determinism tier exercises the full partition/heal cycle.
+    auto spec = base("gossip_partition_heal",
+                     "Scheduled partition nemesis (N=200): nodes 0..99 are "
+                     "cut off during rounds 10..25, then healed; the "
+                     "partition-divergence probe measures per-side "
+                     "disagreement and post-heal re-convergence");
+    spec.params = core::theorem_params(2, 0.65);
+    spec.engine = engine_kind::protocol;
+    spec.num_agents = 200;
+    spec.environment.etas = {0.85, 0.35};
+    fault_action_spec cut;
+    cut.kind = fault_action_spec::action_kind::partition;
+    cut.at = 10.0;
+    cut.until = 25.0;
+    for (std::uint64_t id = 0; id < 100; ++id) cut.targets.push_back(id);
+    spec.faults.actions.push_back(std::move(cut));
+    spec.probes = {"regret", "adoption", "partition_divergence(eps=0.1)"};
+    catalog.push_back(std::move(spec));
+  }
+  {
+    // Repeated mass-failure nemesis: two crash waves with full restarts in
+    // between — the "rolling reboot" robustness story.  Fractional waves
+    // draw from the dedicated fault stream, so the trajectory is pinned.
+    auto spec = base("gossip_crash_waves",
+                     "Crash-wave nemesis (N=300): 30% of nodes crash at "
+                     "rounds 8 and 24, all crashed nodes restart at rounds "
+                     "16 and 32; adoption tracks the committed fraction "
+                     "through both waves");
+    spec.params = core::theorem_params(2, 0.65);
+    spec.engine = engine_kind::protocol;
+    spec.num_agents = 300;
+    spec.environment.etas = {0.85, 0.35};
+    for (const double at : {8.0, 24.0}) {
+      fault_action_spec wave;
+      wave.kind = fault_action_spec::action_kind::crash_wave;
+      wave.at = at;
+      wave.fraction = 0.3;
+      spec.faults.actions.push_back(std::move(wave));
+    }
+    for (const double at : {16.0, 32.0}) {
+      fault_action_spec wave;
+      wave.kind = fault_action_spec::action_kind::restart_wave;
+      wave.at = at;
+      spec.faults.actions.push_back(std::move(wave));
+    }
+    spec.probes = {"regret", "adoption", "commit_latency"};
+    catalog.push_back(std::move(spec));
+  }
+  {
+    // Link-quality nemesis: during rounds 12..30 every link that crosses
+    // the boundary of nodes 0..124 turns slow and lossy (the WAN-brownout
+    // story), then the override lifts.
+    auto spec = base("gossip_degraded_links",
+                     "Degraded-links nemesis (N=250): cross links into "
+                     "nodes 0..124 run at 4x latency and 50% loss during "
+                     "rounds 12..30, then recover; message-cost accounting "
+                     "rides along");
+    spec.params = core::theorem_params(2, 0.65);
+    spec.engine = engine_kind::protocol;
+    spec.num_agents = 250;
+    spec.environment.etas = {0.85, 0.35};
+    fault_action_spec brownout;
+    brownout.kind = fault_action_spec::action_kind::degrade;
+    brownout.at = 12.0;
+    brownout.until = 30.0;
+    brownout.link_class = fault_action_spec::link_class_kind::cross;
+    for (std::uint64_t id = 0; id < 125; ++id) brownout.targets.push_back(id);
+    brownout.base_latency = 0.2;
+    brownout.drop_probability = 0.5;
+    spec.faults.actions.push_back(std::move(brownout));
+    spec.probes = {"regret", "message_cost", "adoption"};
+    catalog.push_back(std::move(spec));
+  }
+  {
     // Heterogeneity as a three-way rule mixture (exact grouped engine).
     auto spec = base("mixture-discernment",
                      "Heterogeneous mixture: 300 discerning (0.05/0.95), 400 "

@@ -110,9 +110,34 @@ topology_cache_state& topology_cache() {
   return cache;
 }
 
+netsim::fault_action::kind to_netsim_kind(fault_action_spec::action_kind kind) {
+  switch (kind) {
+    case fault_action_spec::action_kind::partition:
+      return netsim::fault_action::kind::partition;
+    case fault_action_spec::action_kind::crash_wave:
+      return netsim::fault_action::kind::crash_wave;
+    case fault_action_spec::action_kind::restart_wave:
+      return netsim::fault_action::kind::restart_wave;
+    case fault_action_spec::action_kind::degrade:
+      return netsim::fault_action::kind::degrade;
+  }
+  throw std::invalid_argument{"faults: unknown action kind"};
+}
+
+netsim::link_class to_netsim_class(fault_action_spec::link_class_kind kind) {
+  switch (kind) {
+    case fault_action_spec::link_class_kind::all: return netsim::link_class::all;
+    case fault_action_spec::link_class_kind::intra: return netsim::link_class::intra;
+    case fault_action_spec::link_class_kind::cross: return netsim::link_class::cross;
+    case fault_action_spec::link_class_kind::nodes: return netsim::link_class::nodes;
+  }
+  throw std::invalid_argument{"faults: unknown link class"};
+}
+
 /// The protocol engine's configuration, assembled from the spec's params
-/// and protocol.* fields.  Shared by make_engine and validate_spec so the
-/// ranges are checked exactly where the values are read.
+/// and protocol.* / faults.* fields.  Shared by make_engine and
+/// validate_spec so the ranges are checked exactly where the values are
+/// read.
 protocol::engine_config to_engine_config(const scenario_spec& spec) {
   protocol::engine_config config;
   config.dynamics = spec.params;
@@ -129,6 +154,35 @@ protocol::engine_config to_engine_config(const scenario_spec& spec) {
   config.restart_rate = spec.protocol.restart_rate;
   config.sticky = spec.protocol.sticky;
   config.lockstep = spec.protocol.lockstep;
+  // The fault schedule's round-denominated times become netsim seconds
+  // here; everything else passes through and is re-validated by
+  // netsim::fault_schedule::validate against the node count.
+  config.faults.actions.reserve(spec.faults.actions.size());
+  for (std::size_t i = 0; i < spec.faults.actions.size(); ++i) {
+    const fault_action_spec& action = spec.faults.actions[i];
+    netsim::fault_action out;
+    out.which = to_netsim_kind(action.kind);
+    out.at = action.at * spec.protocol.round_interval;
+    out.until =
+        action.until < 0.0 ? -1.0 : action.until * spec.protocol.round_interval;
+    out.targets.reserve(action.targets.size());
+    for (const std::uint64_t id : action.targets) {
+      if (id > std::numeric_limits<netsim::node_id>::max()) {
+        throw std::invalid_argument{"faults." + std::to_string(i) +
+                                    ".targets: id " + std::to_string(id) +
+                                    " exceeds the 32-bit node-id range"};
+      }
+      out.targets.push_back(static_cast<netsim::node_id>(id));
+    }
+    out.fraction = action.fraction;
+    out.degrade_class = to_netsim_class(action.link_class);
+    out.link.base_latency = action.base_latency;
+    out.link.jitter_mean = action.jitter_mean;
+    out.link.drop_probability = action.drop_probability;
+    config.faults.actions.push_back(std::move(out));
+  }
+  config.record_trace = spec.faults.record;
+  config.trace_capacity = static_cast<std::size_t>(spec.faults.record_capacity);
   return config;
 }
 
@@ -306,6 +360,142 @@ core::engine_factory make_engine(const scenario_spec& spec) {
   throw std::invalid_argument{"make_engine: unknown engine kind"};
 }
 
+namespace {
+
+/// Key-named validation of the faults.* family, in the PR 5 error style:
+/// every failure names the offending `faults.N.field` key and the violated
+/// bound.  netsim::fault_schedule::validate re-checks the same ground at
+/// engine construction as a backstop, but with action indices instead of
+/// scenario keys — this is the version users see.
+template <typename Where>
+void validate_faults(const scenario_spec& spec, const Where& where) {
+  using action_kind = fault_action_spec::action_kind;
+  const auto key = [](std::size_t i, const char* field) {
+    return "faults." + std::to_string(i) + "." + field;
+  };
+  for (std::size_t i = 0; i < spec.faults.actions.size(); ++i) {
+    const fault_action_spec& action = spec.faults.actions[i];
+    if (!(action.at >= 0.0)) {
+      throw std::invalid_argument{where("") + key(i, "at") + " = " +
+                                  std::to_string(action.at) + " must be >= 0"};
+    }
+    if (action.until >= 0.0 && !(action.until > action.at)) {
+      throw std::invalid_argument{
+          where("") + key(i, "until") + " = " + std::to_string(action.until) +
+          " must be > " + key(i, "at") + " = " + std::to_string(action.at)};
+    }
+    if (action.fraction != -1.0 &&
+        !(action.fraction >= 0.0 && action.fraction <= 1.0)) {
+      throw std::invalid_argument{where("") + key(i, "fraction") + " = " +
+                                  std::to_string(action.fraction) +
+                                  " outside [0, 1]"};
+    }
+    for (const std::uint64_t id : action.targets) {
+      if (id >= spec.num_agents) {
+        throw std::invalid_argument{
+            where("") + key(i, "targets") + " names node " + std::to_string(id) +
+            " but num_agents = " + std::to_string(spec.num_agents) +
+            " (ids must be < num_agents)"};
+      }
+    }
+    switch (action.kind) {
+      case action_kind::partition:
+        if (action.until < 0.0) {
+          throw std::invalid_argument{
+              where("") + key(i, "until") +
+              " is required for a partition (it heals automatically)"};
+        }
+        if (action.targets.empty()) {
+          throw std::invalid_argument{
+              where("") + key(i, "targets") +
+              " must name the partition's side A (non-empty)"};
+        }
+        if (action.targets.size() >= spec.num_agents) {
+          throw std::invalid_argument{
+              where("") + key(i, "targets") + " names all " +
+              std::to_string(spec.num_agents) +
+              " nodes; a partition needs a non-empty other side"};
+        }
+        if (action.fraction != -1.0) {
+          throw std::invalid_argument{
+              where("") + key(i, "fraction") + " does not apply to a partition"};
+        }
+        for (std::size_t j = 0; j < i; ++j) {
+          const fault_action_spec& other = spec.faults.actions[j];
+          if (other.kind != action_kind::partition) continue;
+          if (action.at < other.until && other.at < action.until) {
+            throw std::invalid_argument{
+                where("") + "faults." + std::to_string(i) + " window [" +
+                std::to_string(action.at) + ", " + std::to_string(action.until) +
+                ") overlaps faults." + std::to_string(j) + " window [" +
+                std::to_string(other.at) + ", " + std::to_string(other.until) +
+                ") — netsim supports one cut at a time"};
+          }
+        }
+        break;
+      case action_kind::crash_wave:
+        if (action.until >= 0.0) {
+          throw std::invalid_argument{
+              where("") + key(i, "until") +
+              " does not apply to a crash_wave (a point event)"};
+        }
+        if (action.targets.empty() && action.fraction == -1.0) {
+          throw std::invalid_argument{where("") + "faults." + std::to_string(i) +
+                                      ": a crash_wave needs " + key(i, "targets") +
+                                      " or " + key(i, "fraction")};
+        }
+        if (!action.targets.empty() && action.fraction != -1.0) {
+          throw std::invalid_argument{
+              where("") + "faults." + std::to_string(i) + ": set " +
+              key(i, "targets") + " or " + key(i, "fraction") + ", not both"};
+        }
+        break;
+      case action_kind::restart_wave:
+        if (action.until >= 0.0) {
+          throw std::invalid_argument{
+              where("") + key(i, "until") +
+              " does not apply to a restart_wave (a point event)"};
+        }
+        if (!action.targets.empty() && action.fraction != -1.0) {
+          throw std::invalid_argument{
+              where("") + "faults." + std::to_string(i) + ": set " +
+              key(i, "targets") + " or " + key(i, "fraction") + ", not both"};
+        }
+        break;
+      case action_kind::degrade:
+        if (action.link_class != fault_action_spec::link_class_kind::all &&
+            action.targets.empty()) {
+          throw std::invalid_argument{
+              where("") + key(i, "targets") +
+              " must be non-empty when faults." + std::to_string(i) +
+              ".link_class is not \"all\""};
+        }
+        if (action.fraction != -1.0) {
+          throw std::invalid_argument{
+              where("") + key(i, "fraction") + " does not apply to a degrade"};
+        }
+        if (!(action.base_latency >= 0.0)) {
+          throw std::invalid_argument{where("") + key(i, "base_latency") +
+                                      " = " + std::to_string(action.base_latency) +
+                                      " must be >= 0"};
+        }
+        if (!(action.jitter_mean >= 0.0)) {
+          throw std::invalid_argument{where("") + key(i, "jitter_mean") + " = " +
+                                      std::to_string(action.jitter_mean) +
+                                      " must be >= 0"};
+        }
+        if (!(action.drop_probability >= 0.0 && action.drop_probability <= 1.0)) {
+          throw std::invalid_argument{
+              where("") + key(i, "drop_probability") + " = " +
+              std::to_string(action.drop_probability) + " outside [0, 1]"};
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace
+
 void validate_spec(const scenario_spec& spec) {
   const auto where = [&spec](const char* what) {
     std::string message{"scenario"};
@@ -368,19 +558,27 @@ void validate_spec(const scenario_spec& spec) {
     if (spec.num_agents == 0) {
       throw std::invalid_argument{where("the protocol engine needs num_agents >= 1")};
     }
+    validate_faults(spec, where);
     try {
       to_engine_config(spec).validate();
     } catch (const std::invalid_argument& error) {
       throw std::invalid_argument{where(error.what())};
     }
-  } else if (spec.protocol != protocol_spec{}) {
-    // apply_override gates protocol.* keys at assignment time, but the
-    // engine can legally be changed afterwards (later lines win); catch
-    // the flip here so non-default protocol knobs are never silently
-    // dropped by a non-protocol run.
-    throw std::invalid_argument{
-        where("protocol.* fields are set but the spec does not run the "
-              "protocol engine (set engine = \"protocol\" or drop them)")};
+  } else {
+    if (spec.protocol != protocol_spec{}) {
+      // apply_override gates protocol.* keys at assignment time, but the
+      // engine can legally be changed afterwards (later lines win); catch
+      // the flip here so non-default protocol knobs are never silently
+      // dropped by a non-protocol run.
+      throw std::invalid_argument{
+          where("protocol.* fields are set but the spec does not run the "
+                "protocol engine (set engine = \"protocol\" or drop them)")};
+    }
+    if (spec.faults != fault_schedule_spec{}) {
+      throw std::invalid_argument{
+          where("faults.* fields are set but the spec does not run the "
+                "protocol engine (set engine = \"protocol\" or drop them)")};
+    }
   }
 }
 

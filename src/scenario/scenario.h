@@ -95,6 +95,48 @@ struct protocol_spec {
   friend bool operator==(const protocol_spec&, const protocol_spec&) = default;
 };
 
+/// One scripted fault (engine_kind::protocol only; an indexed entry of the
+/// `faults.*` key family).  Times are protocol ROUNDS (the scenario layer's
+/// natural unit); the engine factory multiplies by protocol.round_interval
+/// to get netsim's simulated seconds.  Mirrors netsim::fault_action.
+struct fault_action_spec {
+  enum class action_kind {
+    partition,     ///< cut `targets` off from the rest during [at, until)
+    crash_wave,    ///< crash `targets`, or each alive node w.p. `fraction`, at `at`
+    restart_wave,  ///< restart `targets` / fraction of crashed / all crashed
+    degrade,       ///< override the link model on a link class during [at, until)
+  };
+
+  /// Which links a degrade covers, relative to `targets` (see
+  /// netsim::link_class).
+  enum class link_class_kind { all, intra, cross, nodes };
+
+  action_kind kind = action_kind::partition;
+  double at = 0.0;     ///< activation round
+  double until = -1.0; ///< end round; -1 = none (degrade: forever)
+  std::vector<std::uint64_t> targets;
+  double fraction = -1.0;  ///< wave probability; -1 = unset
+  link_class_kind link_class = link_class_kind::all;  ///< degrade only
+  double base_latency = 0.05;     ///< degrade override latency
+  double jitter_mean = 0.0;       ///< degrade override jitter
+  double drop_probability = 0.0;  ///< degrade override loss
+
+  friend bool operator==(const fault_action_spec&, const fault_action_spec&) = default;
+};
+
+/// The `faults.*` family: a nemesis schedule plus trace-recording knobs.
+/// Like protocol_spec, compared against a default-constructed value by
+/// validate_spec to catch fault keys stranded on a non-protocol engine.
+struct fault_schedule_spec {
+  std::vector<fault_action_spec> actions;
+  bool record = false;  ///< attach a trace recorder to every replication
+  std::uint64_t record_capacity = 0;  ///< ring size; 0 keeps everything
+
+  [[nodiscard]] bool empty() const noexcept { return actions.empty(); }
+
+  friend bool operator==(const fault_schedule_spec&, const fault_schedule_spec&) = default;
+};
+
 /// A fully described run: engine + environment + topology + parameters.
 struct scenario_spec {
   std::string name;
@@ -121,6 +163,7 @@ struct scenario_spec {
   environment_spec environment;
   topology_spec topology;
   protocol_spec protocol;  ///< read only by the protocol engine
+  fault_schedule_spec faults;  ///< read only by the protocol engine
 
   std::vector<double> start;                   ///< nonuniform P⁰ (infinite only)
   std::vector<core::rule_group> groups;        ///< grouped engine mixture

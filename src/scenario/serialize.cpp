@@ -153,6 +153,15 @@ std::vector<std::string> parse_string_array(std::string_view key, std::string_vi
   return out;
 }
 
+std::vector<std::uint64_t> parse_unsigned_array(std::string_view key,
+                                                std::string_view text) {
+  std::vector<std::uint64_t> out;
+  for (const std::string_view element : parse_array_elements(key, text)) {
+    out.push_back(parse_unsigned(key, element));
+  }
+  return out;
+}
+
 std::string quote(std::string_view s) { return '"' + json_escape(s) + '"'; }
 
 /// A boolean value: bare or quoted `true` / `false`.
@@ -178,6 +187,16 @@ std::string format_string_array(std::span<const std::string> values) {
   for (std::size_t i = 0; i < values.size(); ++i) {
     if (i > 0) out += ", ";
     out += quote(values[i]);
+  }
+  out += ']';
+  return out;
+}
+
+std::string format_unsigned_array(std::span<const std::uint64_t> values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(values[i]);
   }
   out += ']';
   return out;
@@ -246,13 +265,30 @@ constexpr std::array<std::pair<std::string_view, environment_spec::family_kind>,
         {"drifting", environment_spec::family_kind::drifting},
     }};
 
+constexpr std::array<std::pair<std::string_view, fault_action_spec::action_kind>, 4>
+    k_fault_kind_names{{
+        {"partition", fault_action_spec::action_kind::partition},
+        {"crash_wave", fault_action_spec::action_kind::crash_wave},
+        {"restart_wave", fault_action_spec::action_kind::restart_wave},
+        {"degrade", fault_action_spec::action_kind::degrade},
+    }};
+
+constexpr std::array<std::pair<std::string_view, fault_action_spec::link_class_kind>, 4>
+    k_link_class_names{{
+        {"all", fault_action_spec::link_class_kind::all},
+        {"intra", fault_action_spec::link_class_kind::intra},
+        {"cross", fault_action_spec::link_class_kind::cross},
+        {"nodes", fault_action_spec::link_class_kind::nodes},
+    }};
+
 // --- the key table ----------------------------------------------------------
 
 /// Non-indexed keys, in canonical serialization order.  `groups.N.size/
-/// alpha/beta` and `agent_rules.N.alpha/beta` are the indexed families.
-/// The `protocol.*` family is serialized only for protocol-engine specs
-/// and rejected for every other engine (engine-family gating below).
-constexpr std::array<std::string_view, 34> k_keys{
+/// alpha/beta`, `agent_rules.N.alpha/beta`, and `faults.N.*` are the
+/// indexed families.  The `protocol.*` and `faults.*` families are
+/// serialized only for protocol-engine specs and rejected for every other
+/// engine (engine-family gating below).
+constexpr std::array<std::string_view, 36> k_keys{
     "name",
     "description",
     "engine",
@@ -285,6 +321,8 @@ constexpr std::array<std::string_view, 34> k_keys{
     "protocol.restart_rate",
     "protocol.sticky",
     "protocol.lockstep",
+    "faults.record",
+    "faults.record_capacity",
     "start",
     "probes",
 };
@@ -296,7 +334,11 @@ constexpr std::array<std::string_view, 34> k_keys{
   std::vector<std::string_view> candidates{k_keys.begin(), k_keys.end()};
   candidates.insert(candidates.end(),
                     {"groups.0.size", "groups.0.alpha", "groups.0.beta",
-                     "agent_rules.0.alpha", "agent_rules.0.beta"});
+                     "agent_rules.0.alpha", "agent_rules.0.beta",
+                     "faults.0.kind", "faults.0.at", "faults.0.until",
+                     "faults.0.targets", "faults.0.fraction",
+                     "faults.0.link_class", "faults.0.base_latency",
+                     "faults.0.jitter_mean", "faults.0.drop_probability"});
   const std::string suggestion = closest_name(key, candidates);
   if (!suggestion.empty()) {
     message += " (did you mean '";
@@ -450,6 +492,12 @@ void apply_override(scenario_spec& spec, std::string_view key, std::string_view 
       // in the last branch.
       unknown_key(k);
     }
+  } else if (k == "faults.record") {
+    if (spec.engine != engine_kind::protocol) family_mismatch(k, "protocol", spec.engine);
+    spec.faults.record = parse_bool(k, v);
+  } else if (k == "faults.record_capacity") {
+    if (spec.engine != engine_kind::protocol) family_mismatch(k, "protocol", spec.engine);
+    spec.faults.record_capacity = parse_unsigned(k, v);
   } else if (k == "start") {
     std::vector<double> start = parse_double_array(k, v);
     if (!start.empty() && spec.engine != engine_kind::auto_select &&
@@ -462,7 +510,38 @@ void apply_override(scenario_spec& spec, std::string_view key, std::string_view 
   } else {
     std::size_t index = 0;
     std::string_view field;
-    if (split_indexed(k, "groups", index, field)) {
+    if (split_indexed(k, "faults", index, field)) {
+      const bool known = field == "kind" || field == "at" || field == "until" ||
+                         field == "targets" || field == "fraction" ||
+                         field == "link_class" || field == "base_latency" ||
+                         field == "jitter_mean" || field == "drop_probability";
+      if (!known) unknown_key(k);
+      if (spec.engine != engine_kind::protocol) family_mismatch(k, "protocol", spec.engine);
+      fault_action_spec& action = addressed_entry(k, spec.faults.actions, index);
+      if (field == "kind") {
+        action.kind = enum_value(k, v, k_fault_kind_names);
+      } else if (field == "at") {
+        action.at = parse_double(k, v);
+      } else if (field == "until") {
+        action.until = parse_double(k, v);
+      } else if (field == "targets") {
+        action.targets = parse_unsigned_array(k, v);
+      } else if (field == "fraction") {
+        action.fraction = parse_double(k, v);
+      } else if (field == "link_class") {
+        action.link_class = enum_value(k, v, k_link_class_names);
+      } else if (field == "base_latency") {
+        action.base_latency = parse_double(k, v);
+      } else if (field == "jitter_mean") {
+        action.jitter_mean = parse_double(k, v);
+      } else if (field == "drop_probability") {
+        action.drop_probability = parse_double(k, v);
+      } else {
+        // Unreachable while the chain matches `known`; a field added only
+        // there must fail loudly.
+        unknown_key(k);
+      }
+    } else if (split_indexed(k, "groups", index, field)) {
       if (spec.engine != engine_kind::auto_select &&
           spec.engine != engine_kind::grouped) {
         family_mismatch(k, "grouped", spec.engine);
@@ -549,6 +628,23 @@ std::vector<std::pair<std::string, std::string>> scenario_fields(
     add("protocol.restart_rate", json_number(spec.protocol.restart_rate));
     add("protocol.sticky", spec.protocol.sticky ? "true" : "false");
     add("protocol.lockstep", spec.protocol.lockstep ? "true" : "false");
+    add("faults.record", spec.faults.record ? "true" : "false");
+    add("faults.record_capacity", std::to_string(spec.faults.record_capacity));
+    for (std::size_t i = 0; i < spec.faults.actions.size(); ++i) {
+      const fault_action_spec& action = spec.faults.actions[i];
+      const std::string prefix = "faults." + std::to_string(i) + ".";
+      add(prefix + "kind",
+          quote(enum_name(prefix + "kind", action.kind, k_fault_kind_names)));
+      add(prefix + "at", json_number(action.at));
+      add(prefix + "until", json_number(action.until));
+      add(prefix + "targets", format_unsigned_array(action.targets));
+      add(prefix + "fraction", json_number(action.fraction));
+      add(prefix + "link_class",
+          quote(enum_name(prefix + "link_class", action.link_class, k_link_class_names)));
+      add(prefix + "base_latency", json_number(action.base_latency));
+      add(prefix + "jitter_mean", json_number(action.jitter_mean));
+      add(prefix + "drop_probability", json_number(action.drop_probability));
+    }
   }
   add("start", format_double_array(spec.start));
   add("probes", format_string_array(spec.probes));

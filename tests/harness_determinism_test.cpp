@@ -130,6 +130,13 @@ const std::map<std::string, std::uint64_t>& golden_hashes() {
       {"gossip_crash_recovery", 0xb685e7730fef8668ULL},
       {"gossip_ring_300", 0xfe7534e2f5d77a62ULL},
       {"gossip_sync_ideal", 0x45ff2dc5d0f3003aULL},
+      // Nemesis scenarios (faults.* schedules; captured at their
+      // introduction).  Scheduled faults are first-class (time, seq) events
+      // and fractional waves draw from a dedicated stream, so these hashes
+      // pin the fault timeline as well as the dynamics.
+      {"gossip_partition_heal", 0x032e6b7e8b740ab3ULL},
+      {"gossip_crash_waves", 0xadbe1edec65331d3ULL},
+      {"gossip_degraded_links", 0xc08c536a76a814d6ULL},
       {"mixed_baseline", 0x6fb83e153d3361a3ULL},
       {"switching_recovery", 0x4f7edc6c417486e9ULL},
       {"two_cliques_consensus", 0x8f5a35a4ee114aa2ULL},

@@ -356,6 +356,61 @@ TEST(simulation, partition_validates_ids) {
   EXPECT_THROW(sim.partition(std::vector<node_id>{5}), std::out_of_range);
 }
 
+TEST(simulation, partition_while_partitioned_throws) {
+  simulation sim{64};
+  sim.add_node(std::make_unique<probe>());
+  sim.add_node(std::make_unique<probe>());
+  sim.start();
+  sim.partition(std::vector<node_id>{0});
+  // Overlapping cuts would silently overwrite the side assignment; the
+  // caller must heal first.
+  EXPECT_THROW(sim.partition(std::vector<node_id>{1}), std::logic_error);
+  sim.heal_partition();
+  EXPECT_NO_THROW(sim.partition(std::vector<node_id>{1}));
+}
+
+TEST(simulation, heal_without_partition_is_a_noop) {
+  simulation sim{65};
+  sim.add_node(std::make_unique<probe>());
+  sim.start();
+  EXPECT_NO_THROW(sim.heal_partition());
+  EXPECT_FALSE(sim.is_partitioned());
+}
+
+TEST(simulation, crash_of_crashed_node_is_a_noop) {
+  simulation sim{68};
+  auto n = std::make_unique<probe>();
+  probe* p = n.get();
+  p->timer_on_start = 3.0;
+  sim.add_node(std::move(n));
+  sim.start();
+  sim.crash_node(0);
+  // Second crash must not bump the epoch again: the restart below re-arms
+  // one timer, and exactly that one timer must fire.
+  sim.crash_node(0);
+  sim.restart_node(0);
+  EXPECT_EQ(p->starts, 2);
+  sim.run_until(10.0);
+  ASSERT_EQ(p->timer_log.size(), 1U);
+  EXPECT_DOUBLE_EQ(p->timer_log[0].first, 3.0);
+}
+
+TEST(simulation, restart_of_alive_node_is_a_noop) {
+  simulation sim{69};
+  auto n = std::make_unique<probe>();
+  probe* p = n.get();
+  p->timer_on_start = 3.0;
+  sim.add_node(std::move(n));
+  sim.start();
+  EXPECT_EQ(p->starts, 1);
+  // on_start must not run twice for an alive node, and the original timer
+  // stays valid (no epoch bump).
+  sim.restart_node(0);
+  EXPECT_EQ(p->starts, 1);
+  sim.run_until(10.0);
+  ASSERT_EQ(p->timer_log.size(), 1U);
+}
+
 TEST(simulation, step_one_processes_single_event) {
   simulation sim{9};
   auto n = std::make_unique<probe>();

@@ -25,6 +25,11 @@
 //       subcommands instead: the gossip_* registry scenarios run the
 //       netsim-backed protocol engine, configured by `protocol.*` keys
 //       (e.g. --sweep protocol.drop_probability=0:0.3:0.1).
+//   sociolearn_cli scenario  --name gossip_partition_heal --trace-out t.jsonl --check-trace
+//       records one replication's structured netsim trace and replays it
+//       against the protocol invariants (analysis/trace_check.h).
+//   sociolearn_cli check-trace t.jsonl
+//       checks a previously saved trace; exit 1 on any violation.
 //
 // Every subcommand accepts --format table|json|csv.  Every run is
 // constructed through the scenario layer (scenario/) and executed by the
@@ -42,11 +47,14 @@
 #include <string>
 #include <vector>
 
+#include "analysis/trace_check.h"
 #include "core/experiment.h"
 #include "core/probe.h"
 #include "core/theory.h"
 #include "env/reward_model.h"
+#include "netsim/trace.h"
 #include "protocol/gossip_learner.h"
+#include "protocol/protocol_engine.h"
 #include "scenario/registry.h"
 #include "scenario/scenario.h"
 #include "scenario/serialize.h"
@@ -264,6 +272,155 @@ void print_curves_csv(const core::trajectory_probe& curves) {
   }
 }
 
+// --- trace capture / invariant checking -------------------------------------
+
+/// Renders a trace_check_result and returns the process exit code (0 when
+/// every invariant held, 1 otherwise).
+int report_trace_check(const analysis::trace_check_result& result,
+                       output_format format, const std::string& source) {
+  if (format == output_format::json) {
+    json_writer json{std::cout};
+    json.begin_object();
+    json.key("trace").value(source);
+    json.key("records_checked").value(static_cast<std::uint64_t>(result.records_checked));
+    json.key("ok").value(result.ok());
+    json.key("skipped").begin_array();
+    for (const std::string& name : result.skipped) json.value(name);
+    json.end_array();
+    json.key("violations").begin_array();
+    for (const analysis::trace_violation& v : result.violations) {
+      json.begin_object();
+      json.key("invariant").value(v.invariant);
+      json.key("time").value(v.time);
+      json.key("node").value(static_cast<std::uint64_t>(v.node));
+      json.key("record_index").value(static_cast<std::uint64_t>(v.record_index));
+      json.key("detail").value(v.detail);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    std::cout << '\n';
+  } else {
+    for (const analysis::trace_violation& v : result.violations) {
+      std::printf("violation %s t=%.6g node=%u record=%zu: %s\n", v.invariant.c_str(),
+                  v.time, v.node, v.record_index, v.detail.c_str());
+    }
+    std::printf("%s: %zu records, %zu violation%s", source.c_str(),
+                result.records_checked, result.violations.size(),
+                result.violations.size() == 1 ? "" : "s");
+    if (!result.skipped.empty()) {
+      std::printf(" (skipped after ring eviction:");
+      for (const std::string& name : result.skipped) std::printf(" %s", name.c_str());
+      std::printf(")");
+    }
+    std::printf("\n");
+  }
+  return result.ok() ? 0 : 1;
+}
+
+/// Runs replication 0 of the harness — the exact streams
+/// rng::from_stream(seed, 0)/(seed, 1) the runner would use — with trace
+/// recording forced on, then writes and/or checks the captured trace.
+int run_traced_replication(scenario::scenario_spec spec, std::uint64_t horizon,
+                           std::uint64_t seed, const std::string& trace_out,
+                           bool check, output_format format) {
+  spec.faults.record = true;  // force recording whatever the spec says
+  scenario::validate_spec(spec);
+  if (scenario::resolved_engine(spec) != scenario::engine_kind::protocol) {
+    std::fprintf(stderr,
+                 "scenario '%s' does not run the protocol engine; structured "
+                 "traces come from netsim (set engine = \"protocol\")\n",
+                 spec.name.c_str());
+    return 2;
+  }
+
+  const auto engine = scenario::make_engine(spec)();
+  const auto environment = scenario::make_environment(spec.environment)();
+  rng reward_gen = rng::from_stream(seed, 0);
+  rng process_gen = rng::from_stream(seed, 1);
+  std::vector<std::uint8_t> r(spec.params.num_options);
+  for (std::uint64_t t = 1; t <= horizon; ++t) {
+    environment->sample(t, reward_gen, r);
+    engine->step(r, process_gen);
+  }
+
+  const auto* proto = dynamic_cast<const protocol::protocol_engine*>(engine.get());
+  if (proto == nullptr || proto->recorder() == nullptr) {
+    std::fprintf(stderr, "internal: the protocol engine produced no trace recorder\n");
+    return 1;
+  }
+  const netsim::trace_recorder& recorder = *proto->recorder();
+  analysis::trace_metadata meta;
+  meta.num_nodes = spec.num_agents;
+  meta.num_options = spec.params.num_options;
+  meta.max_retries = static_cast<std::uint32_t>(spec.protocol.max_retries);
+  meta.round_interval = spec.protocol.round_interval;
+  meta.rounds = horizon;
+  meta.seed = seed;
+  meta.evicted = recorder.evicted();
+  const std::vector<netsim::trace_record> records = recorder.snapshot();
+
+  if (!trace_out.empty()) {
+    if (trace_out == "-") {
+      analysis::write_trace(std::cout, meta, records);
+    } else {
+      std::ofstream out{trace_out};
+      if (!out) {
+        std::fprintf(stderr, "cannot open '%s' for writing\n", trace_out.c_str());
+        return 2;
+      }
+      analysis::write_trace(out, meta, records);
+      std::fprintf(stderr, "wrote %zu trace records to %s\n", records.size(),
+                   trace_out.c_str());
+    }
+  }
+  if (!check) return 0;
+  return report_trace_check(analysis::check_trace(meta, records), format, spec.name);
+}
+
+int cmd_check_trace(int argc, const char* const* argv) {
+  // The trace file is positional (`check-trace trace.jsonl`); everything
+  // else goes through the flag parser.
+  std::string file;
+  std::vector<const char*> rest;
+  rest.push_back(argc > 0 ? argv[0] : "check-trace");
+  for (int i = 1; i < argc; ++i) {
+    if (file.empty() && argv[i][0] != '-') {
+      file = argv[i];
+      continue;
+    }
+    rest.push_back(argv[i]);
+  }
+  flag_set flags{"sociolearn_cli check-trace <file>",
+                 "replay a recorded JSONL trace (scenario --trace-out) against "
+                 "the protocol invariants; exit 1 on any violation"};
+  add_format_flag(flags, "table");
+  if (flags.parse(static_cast<int>(rest.size()), rest.data()) != parse_status::ok) {
+    return 2;
+  }
+  output_format format = output_format::table;
+  if (!read_format(flags, format)) return 2;
+  if (file.empty()) {
+    std::fprintf(stderr, "check-trace: no trace file given "
+                         "(usage: sociolearn_cli check-trace trace.jsonl)\n");
+    return 2;
+  }
+
+  analysis::parsed_trace trace;
+  if (file == "-") {
+    trace = analysis::read_trace(std::cin);
+  } else {
+    std::ifstream input{file};
+    if (!input) {
+      std::fprintf(stderr, "cannot open trace file '%s'\n", file.c_str());
+      return 2;
+    }
+    trace = analysis::read_trace(input);
+  }
+  return report_trace_check(analysis::check_trace(trace.meta, trace.records), format,
+                            file);
+}
+
 int cmd_scenario(int argc, const char* const* argv, bool sweep_command) {
   flag_set flags{sweep_command ? "sociolearn_cli sweep" : "sociolearn_cli scenario",
                  "run a scenario: registry or file base, overrides, sweeps, probes"};
@@ -296,6 +453,12 @@ int cmd_scenario(int argc, const char* const* argv, bool sweep_command) {
                  "rebuild the engine/environment every replication instead of "
                  "reset()-reusing one per worker (A/B check; bit-identical "
                  "results, slower)");
+  flags.add_string("trace-out", "",
+                   "record replication 0's structured netsim trace to this "
+                   "JSONL file ('-' = stdout; protocol engine only)");
+  flags.add_bool("check-trace", false,
+                 "record replication 0 and replay its trace against the "
+                 "protocol invariants (exit 1 on any violation)");
   if (flags.parse(argc, argv) != parse_status::ok) return 2;
   output_format format = output_format::table;
   if (!read_format(flags, format)) return 2;
@@ -352,6 +515,22 @@ int cmd_scenario(int argc, const char* const* argv, bool sweep_command) {
       return 2;
     }
     spec.num_agents = static_cast<std::uint64_t>(flags.get_int64("agents"));
+  }
+
+  // Trace capture short-circuits the harness: one dedicated recorded
+  // replication instead of the Monte-Carlo run.
+  const std::string& trace_out = flags.get_string("trace-out");
+  if (!trace_out.empty() || flags.get_bool("check-trace")) {
+    if (sweep_command || !flags.get_string_list("sweep").empty()) {
+      std::fprintf(stderr,
+                   "--trace-out/--check-trace record a single replication; "
+                   "they do not combine with a sweep\n");
+      return 2;
+    }
+    return run_traced_replication(std::move(spec),
+                                  static_cast<std::uint64_t>(flags.get_int64("horizon")),
+                                  static_cast<std::uint64_t>(flags.get_int64("seed")),
+                                  trace_out, flags.get_bool("check-trace"), format);
   }
 
   core::run_config config;
@@ -702,7 +881,9 @@ void print_usage() {
       "  regret     Monte-Carlo regret estimate with confidence intervals\n"
       "  gossip     run the gossip protocol standalone, per-round CSV (the\n"
       "             gossip_* scenarios run it under the full harness with\n"
-      "             probes/sweeps via protocol.* keys)\n\n"
+      "             probes/sweeps via protocol.* keys)\n"
+      "  check-trace  replay a recorded JSONL trace (scenario --trace-out)\n"
+      "             against the protocol invariants; exit 1 on violations\n\n"
       "every subcommand accepts --format table|json|csv; 'scenario' and\n"
       "'sweep' emit one JSON document per run (spec echo + probe results +\n"
       "timing; sweeps wrap the documents in one array).\n"
@@ -728,6 +909,7 @@ int main(int argc, char** argv) {
     if (command == "simulate") return cmd_simulate(sub_argc, sub_argv);
     if (command == "regret") return cmd_regret(sub_argc, sub_argv);
     if (command == "gossip") return cmd_gossip(sub_argc, sub_argv);
+    if (command == "check-trace") return cmd_check_trace(sub_argc, sub_argv);
     if (command == "--help" || command == "-h" || command == "help") {
       print_usage();
       return 0;
