@@ -5,6 +5,7 @@
 #include <chrono>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 
 #include "scenario/serialize.h"
@@ -24,6 +25,7 @@ struct point_state {
   std::vector<core::probe_list> shard_probes;  // merged in index order at the end
   shard_layout layout;  // parallel_reduce's decomposition (support/parallel.h)
   std::atomic<std::size_t> shards_left{0};
+  std::atomic<bool> skipped{false};  // a shard was cancelled: never merge/emit
   std::atomic<std::int64_t> first_start_ns{std::numeric_limits<std::int64_t>::max()};
   std::atomic<std::int64_t> last_end_ns{std::numeric_limits<std::int64_t>::min()};
 
@@ -60,12 +62,33 @@ void fetch_max(std::atomic<std::int64_t>& slot, std::int64_t value) {
   }
 }
 
+/// Merges a completed point's shards in fixed shard order and packages the
+/// result — the exact fold the batch collector used to run in its phase 3,
+/// now executed by whichever worker finished the point's last shard.
+sweep_point_result package_point(point_state& state) {
+  core::probe_list merged = std::move(state.shard_probes[0]);
+  for (std::size_t s = 1; s < state.shard_probes.size(); ++s) {
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+      merged[i]->merge(*state.shard_probes[s][i]);
+    }
+  }
+  sweep_point_result result;
+  result.spec = std::move(state.spec);
+  result.assignments = std::move(state.assignments);
+  result.probes = std::move(merged);
+  const std::int64_t start = state.first_start_ns.load(std::memory_order_relaxed);
+  const std::int64_t end = state.last_end_ns.load(std::memory_order_relaxed);
+  result.seconds = end > start ? static_cast<double>(end - start) * 1e-9 : 0.0;
+  return result;
+}
+
 }  // namespace
 
-std::vector<sweep_point_result> run_sweep(
+std::size_t run_sweep_streaming(
     const scenario_spec& base,
     std::span<const std::vector<std::pair<std::string, std::string>>> grid,
-    const core::run_config& config, std::span<const std::string> probe_specs) {
+    const core::run_config& config, std::span<const std::string> probe_specs,
+    const sweep_stream_hooks& hooks) {
   static const std::vector<std::pair<std::string, std::string>> k_no_assignments;
   static const std::vector<std::string> k_default_probes{"regret"};
 
@@ -99,7 +122,7 @@ std::vector<sweep_point_result> run_sweep(
 
   // Phase 2 — flatten the grid into (point, shard) work items and drain
   // them over the shared pool.  The per-point shard decomposition, per-
-  // replication streams, and shard-order merge below are exactly
+  // replication streams, and shard-order merge are exactly
   // run_with_probes'; the scheduler only changes *when* each shard runs.
   std::vector<std::pair<std::size_t, std::size_t>> items;  // (point, shard)
   for (std::size_t p = 0; p < points; ++p) {
@@ -133,51 +156,66 @@ std::vector<sweep_point_result> run_sweep(
         state->make_engine, state->make_env, clamp_engine_threads);
   }
 
+  std::mutex emit_mutex;  // serializes on_point across finishing workers
+  std::atomic<std::size_t> completed{0};
+
   parallel_tasks(
       items.size(),
       [&](std::size_t item) {
         const auto [p, s] = items[item];
         auto& state = *states[p];
-        fetch_min(state.first_start_ns, now_ns());
-        const std::size_t lo = s * state.layout.chunk;
-        const std::size_t hi = std::min(static_cast<std::size_t>(config.replications),
-                                        lo + state.layout.chunk);
-        {
-          auto context = state.contexts->borrow();
-          for (std::size_t replication = lo; replication < hi; ++replication) {
-            context->run(config, replication, state.shard_probes[s]);
+        const bool cancelled =
+            hooks.cancel != nullptr && hooks.cancel->load(std::memory_order_acquire);
+        if (!cancelled) {
+          fetch_min(state.first_start_ns, now_ns());
+          const std::size_t lo = s * state.layout.chunk;
+          const std::size_t hi = std::min(static_cast<std::size_t>(config.replications),
+                                          lo + state.layout.chunk);
+          {
+            auto context = state.contexts->borrow();
+            for (std::size_t replication = lo; replication < hi; ++replication) {
+              context->run(config, replication, state.shard_probes[s]);
+            }
           }
+          fetch_max(state.last_end_ns, now_ns());
+        } else {
+          // A skipped shard poisons the point: its accumulators are empty,
+          // so a merge would misreport a partial run as the real result.
+          state.skipped.store(true, std::memory_order_release);
         }
-        fetch_max(state.last_end_ns, now_ns());
         // Last shard of the point: free its engines and graph reference now
         // (no other task of this point can be running — its lease above was
-        // returned before the decrement).
+        // returned before the decrement), then merge and deliver unless a
+        // sibling shard was cancelled.
         if (state.shards_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
           state.release_run_state();
+          if (!state.skipped.load(std::memory_order_acquire)) {
+            sweep_point_result result = package_point(state);
+            completed.fetch_add(1, std::memory_order_relaxed);
+            if (hooks.on_point) {
+              const std::lock_guard<std::mutex> lock{emit_mutex};
+              hooks.on_point(p, std::move(result));
+            }
+          }
         }
       },
       config.threads);
 
-  // Phase 3 — merge each point's shards in shard order and package the
-  // results in grid order.
-  std::vector<sweep_point_result> results;
-  results.reserve(points);
-  for (auto& state : states) {
-    core::probe_list merged = std::move(state->shard_probes[0]);
-    for (std::size_t s = 1; s < state->shard_probes.size(); ++s) {
-      for (std::size_t i = 0; i < merged.size(); ++i) {
-        merged[i]->merge(*state->shard_probes[s][i]);
-      }
-    }
-    sweep_point_result result;
-    result.spec = std::move(state->spec);
-    result.assignments = std::move(state->assignments);
-    result.probes = std::move(merged);
-    const std::int64_t start = state->first_start_ns.load(std::memory_order_relaxed);
-    const std::int64_t end = state->last_end_ns.load(std::memory_order_relaxed);
-    result.seconds = end > start ? static_cast<double>(end - start) * 1e-9 : 0.0;
-    results.push_back(std::move(result));
-  }
+  return completed.load(std::memory_order_relaxed);
+}
+
+std::vector<sweep_point_result> run_sweep(
+    const scenario_spec& base,
+    std::span<const std::vector<std::pair<std::string, std::string>>> grid,
+    const core::run_config& config, std::span<const std::string> probe_specs) {
+  const std::size_t points = grid.empty() ? 1 : grid.size();
+  std::vector<sweep_point_result> results(points);
+
+  sweep_stream_hooks hooks;
+  hooks.on_point = [&results](std::size_t index, sweep_point_result&& result) {
+    results[index] = std::move(result);
+  };
+  run_sweep_streaming(base, grid, config, probe_specs, hooks);
   return results;
 }
 

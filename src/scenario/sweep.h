@@ -23,7 +23,9 @@
 /// and with engine reuse on or off (tested in
 /// tests/harness_determinism_test.cpp).
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <utility>
@@ -46,6 +48,24 @@ struct sweep_point_result {
   double seconds = 0.0;
 };
 
+/// Incremental delivery and cancellation for the flattened scheduler —
+/// what a long-lived caller (the sociolearnd job queue) needs that the
+/// batch entry point below cannot give it.
+struct sweep_stream_hooks {
+  /// Called once per *completed* grid point, with its grid index and
+  /// merged result, as soon as the point's last shard finishes.  Invoked
+  /// from worker threads but serialized by an internal mutex; points
+  /// complete in scheduler order, not grid order.  Must not throw.
+  std::function<void(std::size_t index, sweep_point_result&&)> on_point;
+
+  /// Polled (acquire) before each (point × shard) work item starts; once
+  /// true, every not-yet-started item is skipped.  Shards already running
+  /// finish normally, so a point either completes exactly as it would
+  /// have uncancelled (and reaches on_point) or never reaches on_point at
+  /// all — there are no partial merges.  nullptr = never cancelled.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
 /// Runs every grid point (a list of key=value override assignments, as
 /// produced by expand_sweep; an empty grid means one point with no
 /// overrides) of `base` under one flattened schedule.  `probe_specs`
@@ -59,5 +79,17 @@ struct sweep_point_result {
     const scenario_spec& base,
     std::span<const std::vector<std::pair<std::string, std::string>>> grid,
     const core::run_config& config, std::span<const std::string> probe_specs = {});
+
+/// The streaming/cancellable core run_sweep wraps: identical validation,
+/// scheduling, per-point shard decomposition and shard-order merge (so
+/// per-point results are bit-identical to run_sweep's), but results flow
+/// through hooks.on_point as points complete instead of being collected.
+/// Returns the number of points that completed (== the grid size unless
+/// hooks.cancel fired).  Throws as run_sweep.
+std::size_t run_sweep_streaming(
+    const scenario_spec& base,
+    std::span<const std::vector<std::pair<std::string, std::string>>> grid,
+    const core::run_config& config, std::span<const std::string> probe_specs,
+    const sweep_stream_hooks& hooks);
 
 }  // namespace sgl::scenario

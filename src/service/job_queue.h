@@ -1,0 +1,194 @@
+#pragma once
+
+/// \file job_queue.h
+/// sociolearnd's job queue: submitted scenarios/sweeps decomposed into the
+/// flattened (point × shard) schedule, with priorities, cancellation, and
+/// the content-addressed result cache in front of every point.
+///
+/// A job is one sweep (a single scenario is a one-point sweep).  submit()
+/// validates every point and computes its digest up front — a bad spec
+/// fails the submission, never a running job.  A dispatcher thread runs
+/// jobs one at a time, highest priority first (FIFO within a priority);
+/// each job's points are first checked against the result store (hits are
+/// served without recomputation), and only the missing points enter the
+/// sweep scheduler (scenario/sweep.h), which spreads their shards over the
+/// process-wide worker pool.  Completed points are persisted *before*
+/// their event is delivered, so an acknowledged point is always a cached
+/// point — that ordering is what makes kill-and-resume exact.
+///
+/// Cancellation: cancel() takes effect between work items.  A queued job
+/// goes straight to `cancelled`; a running job stops scheduling new shards
+/// and keeps every point that still completed (persisted as usual), so a
+/// cancelled sweep resubmitted later resumes from those points.
+///
+/// Threading: sinks for one job are never invoked concurrently (cache
+/// hits fire from the dispatcher before the sweep starts; computed points
+/// fire from worker threads serialized by the sweep's emit mutex; job_done
+/// fires from the dispatcher after the sweep returns), but *are* invoked
+/// from different threads — sinks that share state with other jobs' sinks
+/// must lock.  Sinks must not throw.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/experiment.h"
+#include "scenario/scenario.h"
+#include "service/digest.h"
+#include "service/result_store.h"
+
+namespace sgl::service {
+
+enum class job_state { queued, running, done, cancelled, failed };
+
+/// Stable lowercase name ("queued", "running", ...).
+[[nodiscard]] std::string_view job_state_name(job_state state) noexcept;
+
+/// One submission: a base spec, a grid of per-point overrides (empty =
+/// one point with no overrides, as in scenario/sweep.h), the run
+/// configuration, the probe set, and a scheduling priority (higher runs
+/// first; equal priorities run in submission order).
+struct job_request {
+  scenario::scenario_spec base;
+  std::vector<std::vector<std::pair<std::string, std::string>>> grid;
+  core::run_config config;
+  std::vector<std::string> probe_specs;
+  int priority = 0;
+};
+
+/// One point reaching its terminal "result available" state.  `payload`
+/// borrows the canonical payload for the duration of the callback.
+struct job_point_event {
+  std::uint64_t job = 0;
+  std::size_t index = 0;  ///< grid index (0 for a single scenario)
+  bool cache_hit = false;
+  double seconds = 0.0;  ///< point wall-clock; 0 for cache hits
+  const std::string* payload = nullptr;
+};
+
+/// A job reaching a terminal state.
+struct job_done_event {
+  std::uint64_t job = 0;
+  job_state state = job_state::done;  ///< done | cancelled | failed
+  std::string error;                  ///< set when state == failed
+  std::size_t total = 0;
+  std::size_t computed = 0;
+  std::size_t cached = 0;
+};
+
+/// Per-job event delivery (see the threading note above).
+struct job_sinks {
+  std::function<void(const job_point_event&)> on_point;
+  std::function<void(const job_done_event&)> on_done;
+};
+
+/// A point-in-time view of one job.
+struct job_status {
+  job_state state = job_state::queued;
+  int priority = 0;
+  std::size_t total = 0;
+  std::size_t computed = 0;
+  std::size_t cached = 0;
+};
+
+class job_queue {
+ public:
+  /// `store` must outlive the queue.  `worker_threads` is forced onto
+  /// every job's run_config (0 = hardware concurrency): thread count is
+  /// semantically inert (bit-identical results either way), so it is the
+  /// daemon's capacity decision, not the client's, and it is excluded
+  /// from the digest.
+  explicit job_queue(result_store& store, unsigned worker_threads = 0);
+
+  /// Cancels whatever is queued or running and joins the dispatcher.
+  ~job_queue();
+
+  job_queue(const job_queue&) = delete;
+  job_queue& operator=(const job_queue&) = delete;
+
+  /// Validates every point (apply_override + validate_spec + digest) and
+  /// enqueues the job.  Returns the job id.  Throws std::invalid_argument
+  /// (as validate_spec / apply_override / spec_digest) without enqueuing
+  /// anything on a bad request.
+  ///
+  /// `on_accepted`, when set, is invoked with the assigned id after the
+  /// job is registered (status() works) but strictly before the job can
+  /// run — an acceptance acknowledgement is guaranteed to precede every
+  /// point and done event, no matter how fast the job is.  It is called
+  /// without queue locks held and may block (e.g. on a socket write), but
+  /// must not call back into submit() for re-entrancy reasons.
+  std::uint64_t submit(job_request request, job_sinks sinks,
+                       const std::function<void(std::uint64_t)>& on_accepted = {});
+
+  /// The job's current status, or nullopt for an unknown id.
+  [[nodiscard]] std::optional<job_status> status(std::uint64_t job) const;
+
+  /// Requests cancellation.  Returns false for unknown ids and jobs
+  /// already in a terminal state, true otherwise.
+  bool cancel(std::uint64_t job);
+
+  /// Stops the dispatcher from *starting* jobs (running jobs finish).
+  /// For tests that need a deterministic queue to inspect or cancel.
+  void pause();
+  void resume();
+
+  /// Blocks until every submitted job has reached a terminal state.
+  /// Unpauses first — draining a paused queue would deadlock.
+  void drain();
+
+  /// Per-point digests of a would-be submission, in grid order — what
+  /// submit() would key the cache with.  Same validation and exceptions
+  /// as submit(), but nothing is enqueued.
+  [[nodiscard]] std::vector<digest128> point_digests(const job_request& request) const;
+
+ private:
+  struct job_record {
+    std::uint64_t id = 0;
+    job_request request;
+    job_sinks sinks;
+    std::vector<digest128> digests;  // one per grid point
+    job_state state = job_state::queued;  // guarded by queue mutex
+    std::atomic<bool> stop{false};        // user cancel or internal failure
+    std::atomic<bool> user_cancelled{false};
+    std::atomic<std::size_t> computed{0};
+    std::atomic<std::size_t> cached{0};
+    std::mutex error_mutex;
+    std::string error;  // first failure, guarded by error_mutex
+
+    [[nodiscard]] std::size_t total() const {
+      return request.grid.empty() ? 1 : request.grid.size();
+    }
+  };
+
+  void dispatch_loop();
+  std::shared_ptr<job_record> take_next_locked();
+  void run_job(job_record& job);
+  void finish_job(job_record& job);
+
+  result_store& store_;
+  unsigned worker_threads_ = 0;
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;      // dispatcher: work arrived / unpaused
+  std::condition_variable settled_;   // drain(): a job reached terminal state
+  std::map<std::uint64_t, std::shared_ptr<job_record>> jobs_;
+  std::vector<std::uint64_t> pending_;  // submission order; filtered on take
+  std::uint64_t next_id_ = 1;
+  bool paused_ = false;
+  bool shutdown_ = false;
+  bool running_ = false;  // a job is currently executing
+
+  std::thread dispatcher_;
+};
+
+}  // namespace sgl::service

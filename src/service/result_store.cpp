@@ -1,0 +1,103 @@
+#include "service/result_store.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>  // getpid, for unique tmp names across processes
+#endif
+
+namespace sgl::service {
+namespace {
+
+std::uint64_t process_id() noexcept {
+#if defined(__unix__) || defined(__APPLE__)
+  return static_cast<std::uint64_t>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
+
+result_store::result_store(std::filesystem::path root) : root_{std::move(root)} {
+  std::error_code ec;
+  std::filesystem::create_directories(root_ / "objects", ec);
+  if (!ec) std::filesystem::create_directories(root_ / "tmp", ec);
+  if (ec) {
+    throw std::runtime_error{"result_store: cannot create '" + root_.string() +
+                             "': " + ec.message()};
+  }
+}
+
+std::filesystem::path result_store::object_path(const digest128& digest) const {
+  const std::string hex = digest.hex();
+  return root_ / "objects" / hex.substr(0, 2) / (hex + ".json");
+}
+
+std::optional<std::string> result_store::get(const digest128& digest) const {
+  std::ifstream in{object_path(digest), std::ios::binary};
+  if (!in) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return std::move(buffer).str();
+}
+
+void result_store::put(const digest128& digest, std::string_view payload) {
+  const std::filesystem::path target = object_path(digest);
+  std::error_code ec;
+  std::filesystem::create_directories(target.parent_path(), ec);
+  if (ec) {
+    throw std::runtime_error{"result_store: cannot create shard directory '" +
+                             target.parent_path().string() + "': " + ec.message()};
+  }
+
+  // Unique within the process via the sequence counter, across processes
+  // via the pid; rename() onto the final path is atomic on POSIX, so
+  // readers only ever see complete objects.
+  const std::uint64_t seq = write_seq_.fetch_add(1, std::memory_order_relaxed);
+  const std::filesystem::path tmp =
+      root_ / "tmp" /
+      (digest.hex() + "." + std::to_string(process_id()) + "." + std::to_string(seq));
+  {
+    std::ofstream out{tmp, std::ios::binary | std::ios::trunc};
+    if (!out) {
+      throw std::runtime_error{"result_store: cannot open '" + tmp.string() +
+                               "' for writing"};
+    }
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    if (!out.good()) {
+      throw std::runtime_error{"result_store: short write to '" + tmp.string() + "'"};
+    }
+  }
+  std::filesystem::rename(tmp, target, ec);
+  if (ec) {
+    std::filesystem::remove(tmp);
+    throw std::runtime_error{"result_store: cannot move object into place at '" +
+                             target.string() + "': " + ec.message()};
+  }
+}
+
+std::uint64_t result_store::object_count() const {
+  std::uint64_t count = 0;
+  std::error_code ec;
+  std::filesystem::recursive_directory_iterator it{root_ / "objects", ec};
+  if (ec) return 0;
+  for (const auto& entry : it) {
+    if (entry.is_regular_file(ec)) ++count;
+  }
+  return count;
+}
+
+}  // namespace sgl::service

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file result_store.h
+/// The on-disk content-addressed result cache behind sociolearnd.
+///
+/// Layout (DESIGN.md "Service mode"):
+///
+///   <root>/objects/<hh>/<32-hex-digest>.json   one completed point result
+///   <root>/tmp/                                in-flight writes
+///
+/// where <hh> is the first two hex characters of the digest (a fan-out so
+/// a million cached points never lands in one directory).  Every object is
+/// the *canonical compact JSON payload* of one completed (point, run
+/// config, probe set) — exactly the bytes the service streams in
+/// `point_done`/`cache_hit` events, so a cache hit is byte-identical to
+/// the original computation.
+///
+/// Writes are crash-safe: the payload is written to a unique file under
+/// tmp/ and atomically rename()d into place, so a killed daemon leaves
+/// either a complete object or none — a half-written result can never be
+/// served.  put() is idempotent (last rename wins; every writer writes the
+/// same bytes, because the digest pins the content).  Checkpoint/resume is
+/// a consequence, not a feature: a restarted sweep recomputes exactly the
+/// points whose objects are missing.
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "service/digest.h"
+
+namespace sgl::service {
+
+class result_store {
+ public:
+  /// Opens (creating if needed) a store rooted at `root`.  Throws
+  /// std::runtime_error when the directories cannot be created.
+  explicit result_store(std::filesystem::path root);
+
+  /// The cached payload for `digest`, or nullopt.  Thread-safe.
+  [[nodiscard]] std::optional<std::string> get(const digest128& digest) const;
+
+  /// Persists `payload` as the object for `digest` (atomic tmp + rename;
+  /// idempotent).  Throws std::runtime_error on I/O failure — a service
+  /// that silently failed to persist would break the resume contract.
+  void put(const digest128& digest, std::string_view payload);
+
+  /// Number of objects currently in the store (walks the directory; for
+  /// tests and the status report, not hot paths).
+  [[nodiscard]] std::uint64_t object_count() const;
+
+  [[nodiscard]] const std::filesystem::path& root() const noexcept { return root_; }
+
+  /// Cumulative get() outcomes since construction (diagnostics/tests).
+  [[nodiscard]] std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  [[nodiscard]] std::filesystem::path object_path(const digest128& digest) const;
+
+  std::filesystem::path root_;
+  // get() is logically const; the counters are observability only.
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> write_seq_{0};
+};
+
+}  // namespace sgl::service

@@ -1,0 +1,129 @@
+#include "service/socket.h"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace sgl::service {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error{what + ": " + std::strerror(errno)};
+}
+
+sockaddr_un make_address(const std::string& path) {
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(address.sun_path)) {
+    throw std::runtime_error{"socket path too long (" + std::to_string(path.size()) +
+                             " bytes, limit " + std::to_string(sizeof(address.sun_path) - 1) +
+                             "): " + path};
+  }
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+  return address;
+}
+
+}  // namespace
+
+unix_fd& unix_fd::operator=(unix_fd&& other) noexcept {
+  if (this != &other) {
+    reset();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void unix_fd::reset() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+unix_fd unix_listen(const std::string& path) {
+  const sockaddr_un address = make_address(path);
+  unix_fd fd{::socket(AF_UNIX, SOCK_STREAM, 0)};
+  if (!fd.valid()) fail("socket");
+  // A previous daemon that crashed leaves its socket file behind; bind()
+  // would fail with EADDRINUSE even though nobody is listening.  The
+  // daemon owns its socket path, so replacing the file is always right.
+  ::unlink(path.c_str());
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&address), sizeof(address)) != 0) {
+    fail("bind '" + path + "'");
+  }
+  if (::listen(fd.get(), 16) != 0) fail("listen '" + path + "'");
+  return fd;
+}
+
+unix_fd unix_accept(const unix_fd& listener) {
+  const int fd = ::accept(listener.get(), nullptr, nullptr);
+  return unix_fd{fd};  // invalid on error; caller treats as "try again / stop"
+}
+
+unix_fd unix_connect(const std::string& path) {
+  const sockaddr_un address = make_address(path);
+  unix_fd fd{::socket(AF_UNIX, SOCK_STREAM, 0)};
+  if (!fd.valid()) fail("socket");
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&address), sizeof(address)) != 0) {
+    fail("connect '" + path + "' (is sociolearnd running?)");
+  }
+  return fd;
+}
+
+bool write_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+#if defined(MSG_NOSIGNAL)
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+#else
+    const ssize_t n = ::write(fd, data.data(), data.size());
+#endif
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+std::optional<std::string> line_reader::next_line(int fd) {
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n', pos_);
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(pos_, newline - pos_);
+      pos_ = newline + 1;
+      if (pos_ == buffer_.size()) {
+        buffer_.clear();
+        pos_ = 0;
+      }
+      return line;
+    }
+    if (eof_) {
+      if (pos_ < buffer_.size()) {
+        std::string line = buffer_.substr(pos_);
+        buffer_.clear();
+        pos_ = 0;
+        return line;
+      }
+      return std::nullopt;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error{std::string{"read: "} + std::strerror(errno)};
+    }
+    if (n == 0) {
+      eof_ = true;
+      continue;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace sgl::service

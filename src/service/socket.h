@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file socket.h
+/// Minimal Unix-domain stream plumbing for sociolearnd and its client.
+///
+/// The wire is newline-delimited: one JSON object per line in both
+/// directions (DESIGN.md "Service mode").  This file owns only the
+/// transport — fds, listen/accept/connect, full writes, and splitting the
+/// byte stream back into lines; the protocol lives in service.h.
+///
+/// Everything here is POSIX-only, like the daemon itself; the simulation
+/// library never includes this header.
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sgl::service {
+
+/// An owned file descriptor (close-on-destroy, move-only).
+class unix_fd {
+ public:
+  unix_fd() = default;
+  explicit unix_fd(int fd) noexcept : fd_{fd} {}
+  ~unix_fd() { reset(); }
+
+  unix_fd(unix_fd&& other) noexcept : fd_{other.fd_} { other.fd_ = -1; }
+  unix_fd& operator=(unix_fd&& other) noexcept;
+  unix_fd(const unix_fd&) = delete;
+  unix_fd& operator=(const unix_fd&) = delete;
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  void reset() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on a Unix-domain stream socket at `path`, replacing a
+/// stale socket file if one exists.  Throws std::runtime_error (with
+/// errno text) on failure, including paths longer than sockaddr_un allows.
+[[nodiscard]] unix_fd unix_listen(const std::string& path);
+
+/// Accepts one connection; empty fd on EINTR/shutdown-race.
+[[nodiscard]] unix_fd unix_accept(const unix_fd& listener);
+
+/// Connects to the daemon at `path`.  Throws std::runtime_error on
+/// failure (usual cause: no daemon running there).
+[[nodiscard]] unix_fd unix_connect(const std::string& path);
+
+/// Writes all of `data`, retrying on EINTR/short writes.  Returns false
+/// on a broken connection (EPIPE and friends) — never raises SIGPIPE.
+[[nodiscard]] bool write_all(int fd, std::string_view data);
+
+/// Splits a byte stream into '\n'-terminated lines.
+class line_reader {
+ public:
+  /// The next line (without the terminator), nullopt at end-of-stream.
+  /// A final unterminated line is returned as-is before the nullopt.
+  /// Throws std::runtime_error on a read error.
+  [[nodiscard]] std::optional<std::string> next_line(int fd);
+
+ private:
+  std::string buffer_;
+  std::size_t pos_ = 0;  // consumed prefix of buffer_
+  bool eof_ = false;
+};
+
+}  // namespace sgl::service

@@ -1,0 +1,89 @@
+// Tests for the inbound JSON reader (support/json_parse.h): values,
+// escapes, exact 64-bit integers, checked accessors, and the error paths
+// the service wire protocol depends on.
+
+#include "support/json_parse.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "support/json.h"
+
+namespace sgl {
+namespace {
+
+TEST(json_parse, scalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_TRUE(parse_json("true").as_bool("x"));
+  EXPECT_FALSE(parse_json("false").as_bool("x"));
+  EXPECT_EQ(parse_json("\"hi\"").as_string("x"), "hi");
+  EXPECT_DOUBLE_EQ(parse_json("-2.5e2").as_double("x"), -250.0);
+  EXPECT_EQ(parse_json("42").as_int64("x"), 42);
+  EXPECT_TRUE(parse_json("  17 ").is_number()) << "surrounding whitespace";
+}
+
+TEST(json_parse, uint64_round_trips_past_double_precision) {
+  // 2^63 + 1 is not representable as a double; the raw-token reparse in
+  // as_uint64 must still return it exactly (seeds are uint64).
+  const std::uint64_t big = (1ULL << 63) + 1;
+  const json_value value = parse_json(std::to_string(big));
+  EXPECT_EQ(value.as_uint64("seed"), big);
+  EXPECT_EQ(parse_json("9223372036854775807").as_int64("x"),
+            std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(json_parse, objects_arrays_and_lookup) {
+  const json_value doc = parse_json(
+      R"({"op":"submit","grid":[1,2,3],"nested":{"deep":true},"op":"dup"})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("op")->as_string("op"), "submit") << "first key wins";
+  ASSERT_NE(doc.find("grid"), nullptr);
+  ASSERT_EQ(doc.find("grid")->items.size(), 3U);
+  EXPECT_EQ(doc.find("grid")->items[1].as_int64("x"), 2);
+  EXPECT_TRUE(doc.find("nested")->find("deep")->as_bool("deep"));
+  EXPECT_EQ(doc.find("absent"), nullptr);
+}
+
+TEST(json_parse, escapes_round_trip_through_json_escape) {
+  const std::string nasty = "line\nbreak \"quoted\" back\\slash \ttab \x01 unicode: é";
+  const std::string doc = "\"" + json_escape(nasty) + "\"";
+  EXPECT_EQ(parse_json(doc).as_string("x"), nasty);
+  // Explicit \u escapes, including a surrogate pair.
+  EXPECT_EQ(parse_json(R"("Aé😀")").as_string("x"),
+            "A\xc3\xa9\xf0\x9f\x98\x80");
+}
+
+TEST(json_parse, malformed_documents_throw_with_offsets) {
+  EXPECT_THROW((void)parse_json(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("{"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("{\"a\":1,}"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("[1 2]"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("\"unterminated"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("01"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("nul"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("{} trailing"), std::invalid_argument);
+  // Nesting bomb: deeper than the 64-level guard.
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_THROW((void)parse_json(deep), std::invalid_argument);
+}
+
+TEST(json_parse, checked_accessors_name_the_field) {
+  const json_value doc = parse_json(R"({"job":"not a number","neg":-1})");
+  try {
+    (void)doc.find("job")->as_uint64("job");
+    FAIL() << "expected a throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string{e.what()}.find("job"), std::string::npos);
+  }
+  EXPECT_THROW((void)doc.find("neg")->as_uint64("neg"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("2.5").as_int64("x"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("1").as_string("x"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("\"s\"").as_bool("x"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sgl

@@ -1,0 +1,567 @@
+// Tests for the sociolearnd service layer: digest stability and
+// sensitivity, the content-addressed result store, cache/resume semantics
+// of the job queue (identical resubmission served entirely from cache,
+// byte-identically; a partial store resumes by recomputing only the
+// missing points), cancellation, priorities, and the wire session.
+
+#include "service/digest.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/step_kernel.h"
+#include "scenario/registry.h"
+#include "scenario/scenario.h"
+#include "scenario/serialize.h"
+#include "service/job_queue.h"
+#include "service/payload.h"
+#include "service/result_store.h"
+#include "service/service.h"
+#include "support/json.h"
+#include "support/json_parse.h"
+
+namespace sgl::service {
+namespace {
+
+/// A fresh per-test store directory under the gtest temp root.
+std::filesystem::path fresh_store_root(const std::string& name) {
+  const std::filesystem::path root =
+      std::filesystem::path{testing::TempDir()} / ("sgl_service_" + name);
+  std::filesystem::remove_all(root);
+  return root;
+}
+
+scenario::scenario_spec test_spec() {
+  return scenario::parse_scenario(
+      "engine = \"agent_based\"\n"
+      "num_agents = 40\n"
+      "params.num_options = 3\n"
+      "params.beta = 0.65\n"
+      "environment.etas = [0.8, 0.5, 0.3]\n");
+}
+
+core::run_config test_config() {
+  core::run_config config;
+  config.horizon = 30;
+  config.replications = 3;
+  config.seed = 7;
+  config.threads = 1;
+  return config;
+}
+
+// --- spec_digest ------------------------------------------------------------
+
+TEST(spec_digest, canonical_serialization_is_override_order_independent) {
+  // The same overrides in two insertion orders: the canonical serialized
+  // text and the digest must be byte-identical — key order is the
+  // serializer's, never the caller's.
+  scenario::scenario_spec a = test_spec();
+  scenario::apply_override(a, "params.beta", "0.7");
+  scenario::apply_override(a, "num_agents", "60");
+  scenario::apply_override(a, "params.mu", "0.02");
+
+  scenario::scenario_spec b = test_spec();
+  scenario::apply_override(b, "params.mu", "0.02");
+  scenario::apply_override(b, "params.beta", "0.7");
+  scenario::apply_override(b, "num_agents", "60");
+
+  EXPECT_EQ(scenario::serialize_scenario(a), scenario::serialize_scenario(b));
+  const core::run_config config = test_config();
+  EXPECT_EQ(spec_digest(a, config, {}), spec_digest(b, config, {}));
+  EXPECT_EQ(digest_input(a, config, {}), digest_input(b, config, {}));
+}
+
+TEST(spec_digest, inert_fields_do_not_change_the_digest) {
+  const scenario::scenario_spec base = test_spec();
+  const core::run_config config = test_config();
+  const digest128 reference = spec_digest(base, config, {});
+
+  // name/description are labels; engine_threads and the run_config's
+  // threads/reuse/collect_curves are scheduling choices — all proven
+  // bit-identical by the determinism suite, so none may split the cache.
+  scenario::scenario_spec relabeled = base;
+  relabeled.name = "some other name";
+  relabeled.description = "same experiment, different words";
+  relabeled.engine_threads = 7;
+  EXPECT_EQ(spec_digest(relabeled, config, {}), reference);
+
+  core::run_config reconfigured = config;
+  reconfigured.threads = 13;
+  reconfigured.reuse = false;
+  reconfigured.collect_curves = true;
+  EXPECT_EQ(spec_digest(base, reconfigured, {}), reference);
+}
+
+TEST(spec_digest, every_semantic_field_changes_the_digest) {
+  const scenario::scenario_spec base = test_spec();
+  const core::run_config config = test_config();
+  const digest128 reference = spec_digest(base, config, {});
+
+  const std::vector<std::pair<std::string, std::string>> semantic_overrides{
+      {"params.beta", "0.7"},
+      {"params.mu", "0.07"},
+      {"params.num_options", "4"},
+      {"num_agents", "41"},
+      {"environment.etas", "[0.8, 0.5, 0.31]"},
+      {"topology.family", "\"complete\""},
+  };
+  for (const auto& [key, value] : semantic_overrides) {
+    scenario::scenario_spec changed = base;
+    scenario::apply_override(changed, key, value);
+    EXPECT_NE(spec_digest(changed, config, {}), reference) << key;
+  }
+
+  core::run_config longer = config;
+  longer.horizon = 31;
+  EXPECT_NE(spec_digest(base, longer, {}), reference);
+  core::run_config more = config;
+  more.replications = 4;
+  EXPECT_NE(spec_digest(base, more, {}), reference);
+  core::run_config reseeded = config;
+  reseeded.seed = 8;
+  EXPECT_NE(spec_digest(base, reseeded, {}), reference);
+
+  const std::vector<std::string> other_probes{"regret", "final_histogram"};
+  EXPECT_NE(spec_digest(base, config, other_probes), reference);
+}
+
+TEST(spec_digest, kernel_auto_hashes_as_the_resolved_decision) {
+  // `kernel = auto` must digest to what THIS host would execute, or a
+  // store shared across hosts (or SGL_KERNEL settings) would serve a
+  // scalar result for a simd run.
+  scenario::scenario_spec auto_kernel = test_spec();
+  scenario::apply_override(auto_kernel, "kernel", "auto");
+  scenario::scenario_spec resolved = test_spec();
+  scenario::apply_override(resolved, "kernel",
+                           core::kernel::vector_isa_available() ? "simd" : "scalar");
+  const core::run_config config = test_config();
+  EXPECT_EQ(spec_digest(auto_kernel, config, {}), spec_digest(resolved, config, {}));
+}
+
+TEST(spec_digest, kernel_is_dropped_for_engines_without_one) {
+  // On a non-agent-based engine the kernel field cannot affect the
+  // trajectory; a stray setting must not split the cache.
+  scenario::scenario_spec scalar = scenario::parse_scenario(
+      "engine = \"infinite\"\n"
+      "params.num_options = 3\n"
+      "params.beta = 0.65\n"
+      "environment.etas = [0.8, 0.5, 0.3]\n"
+      "kernel = \"scalar\"\n");
+  scenario::scenario_spec simd = scalar;
+  scenario::apply_override(simd, "kernel", "simd");
+  const core::run_config config = test_config();
+  EXPECT_EQ(spec_digest(scalar, config, {}), spec_digest(simd, config, {}));
+}
+
+TEST(spec_digest, probe_fallback_matches_explicit_probes) {
+  // digest(no probes) resolves through the spec's probes then {"regret"},
+  // exactly like the runner, so the fallback and its explicit spelling
+  // share one cache entry.
+  const scenario::scenario_spec base = test_spec();
+  const core::run_config config = test_config();
+  const std::vector<std::string> regret{"regret"};
+  EXPECT_EQ(spec_digest(base, config, {}), spec_digest(base, config, regret));
+}
+
+TEST(spec_digest, prebuilt_graph_is_rejected) {
+  scenario::scenario_spec spec = scenario::get_scenario("ring");
+  spec.prebuilt_graph = scenario::shared_topology(spec.topology, spec.num_agents);
+  EXPECT_THROW((void)spec_digest(spec, test_config(), {}), std::invalid_argument);
+}
+
+TEST(spec_digest, hex_is_stable_and_distinct) {
+  const digest128 a = fnv1a_128("one input");
+  const digest128 b = fnv1a_128("another input");
+  EXPECT_EQ(a.hex().size(), 32U);
+  EXPECT_EQ(a, fnv1a_128("one input"));
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.hex(), b.hex());
+}
+
+// --- result_store -----------------------------------------------------------
+
+TEST(result_store, round_trips_and_counts) {
+  result_store store{fresh_store_root("roundtrip")};
+  const digest128 digest = fnv1a_128("key");
+  EXPECT_EQ(store.get(digest), std::nullopt);
+  store.put(digest, "payload-bytes");
+  EXPECT_EQ(store.get(digest), "payload-bytes");
+  EXPECT_EQ(store.object_count(), 1U);
+  EXPECT_EQ(store.hits(), 1U);
+  EXPECT_EQ(store.misses(), 1U);
+
+  // put() is idempotent, and no in-flight temp files survive it.
+  store.put(digest, "payload-bytes");
+  EXPECT_EQ(store.object_count(), 1U);
+  EXPECT_TRUE(std::filesystem::is_empty(store.root() / "tmp"));
+}
+
+TEST(result_store, persists_across_instances) {
+  const std::filesystem::path root = fresh_store_root("persist");
+  const digest128 digest = fnv1a_128("durable");
+  {
+    result_store store{root};
+    store.put(digest, "survives the process");
+  }
+  result_store reopened{root};
+  EXPECT_EQ(reopened.get(digest), "survives the process");
+}
+
+// --- payload ----------------------------------------------------------------
+
+TEST(payload, is_canonical_json_without_timing) {
+  const scenario::scenario_spec spec = test_spec();
+  const core::run_config config = test_config();
+  const std::vector<std::string> probe_specs{"regret"};
+  const auto reports =
+      core::collect_reports(scenario::run_probes(spec, config, probe_specs));
+  const digest128 digest = spec_digest(spec, config, {});
+  const std::string payload = build_point_payload(digest, spec, config, {}, reports);
+
+  // Byte-deterministic, parseable, and carries its own identity.
+  EXPECT_EQ(payload, build_point_payload(digest, spec, config, {}, reports));
+  const json_value parsed = parse_json(payload);
+  ASSERT_TRUE(parsed.is_object());
+  EXPECT_EQ(parsed.find("digest")->as_string("digest"), digest.hex());
+  EXPECT_EQ(parsed.find("stream_derivation")->as_string("sd"),
+            std::string{k_stream_derivation_id});
+  EXPECT_NE(parsed.find("spec"), nullptr);
+  EXPECT_NE(parsed.find("probes"), nullptr);
+  // Timing varies run to run, so it may never enter the cached bytes.
+  EXPECT_EQ(parsed.find("seconds"), nullptr);
+  EXPECT_EQ(parsed.find("timing"), nullptr);
+}
+
+// --- job_queue: cache and resume --------------------------------------------
+
+/// Collects a job's events; safe to share across worker threads.
+struct event_log {
+  std::mutex mutex;
+  std::vector<job_point_event> points;  // payload copied into `payloads`
+  std::vector<std::string> payloads;
+  std::vector<job_done_event> done;
+
+  job_sinks sinks() {
+    job_sinks s;
+    s.on_point = [this](const job_point_event& event) {
+      const std::lock_guard<std::mutex> lock{mutex};
+      points.push_back(event);
+      payloads.push_back(*event.payload);
+      points.back().payload = &payloads.back();
+    };
+    s.on_done = [this](const job_done_event& event) {
+      const std::lock_guard<std::mutex> lock{mutex};
+      done.push_back(event);
+    };
+    return s;
+  }
+};
+
+job_request sweep_request() {
+  job_request request;
+  request.base = test_spec();
+  std::vector<scenario::sweep_axis> axes;
+  axes.push_back(scenario::parse_sweep_axis("params.beta=0.6,0.65,0.7"));
+  request.grid = scenario::expand_sweep(axes);
+  request.config = test_config();
+  return request;
+}
+
+TEST(job_queue, identical_resubmission_is_served_from_cache_byte_identically) {
+  result_store store{fresh_store_root("cache")};
+  job_queue queue{store, 1};
+
+  event_log first;
+  queue.submit(sweep_request(), first.sinks());
+  queue.drain();
+  ASSERT_EQ(first.done.size(), 1U);
+  EXPECT_EQ(first.done[0].state, job_state::done);
+  EXPECT_EQ(first.done[0].computed, 3U);
+  EXPECT_EQ(first.done[0].cached, 0U);
+  ASSERT_EQ(first.points.size(), 3U);
+  EXPECT_TRUE(std::none_of(first.points.begin(), first.points.end(),
+                           [](const job_point_event& e) { return e.cache_hit; }));
+  EXPECT_EQ(store.object_count(), 3U);
+
+  event_log second;
+  queue.submit(sweep_request(), second.sinks());
+  queue.drain();
+  ASSERT_EQ(second.done.size(), 1U);
+  EXPECT_EQ(second.done[0].state, job_state::done);
+  EXPECT_EQ(second.done[0].computed, 0U);
+  EXPECT_EQ(second.done[0].cached, 3U);
+  ASSERT_EQ(second.points.size(), 3U);
+  for (std::size_t p = 0; p < 3; ++p) {
+    EXPECT_TRUE(second.points[p].cache_hit) << p;
+    EXPECT_EQ(second.points[p].index, p);
+    // The heart of the contract: the cached bytes ARE the computed bytes.
+    const std::size_t original = static_cast<std::size_t>(
+        std::find_if(first.points.begin(), first.points.end(),
+                     [p](const job_point_event& e) { return e.index == p; }) -
+        first.points.begin());
+    ASSERT_LT(original, first.payloads.size());
+    EXPECT_EQ(second.payloads[p], first.payloads[original]) << p;
+  }
+  // Nothing was recomputed, nothing new was stored.
+  EXPECT_EQ(store.object_count(), 3U);
+}
+
+TEST(job_queue, partial_store_resumes_by_recomputing_only_missing_points) {
+  result_store store{fresh_store_root("resume")};
+  job_queue queue{store, 1};
+
+  // Act 1: run ONE grid point as its own job — the same resolved spec a
+  // sweep point would have, so the same digest.  This is the state a
+  // killed sweep leaves behind: some points persisted, the rest absent.
+  job_request one_point;
+  one_point.base = test_spec();
+  scenario::apply_override(one_point.base, "params.beta", "0.65");
+  one_point.config = test_config();
+  event_log warmup;
+  queue.submit(std::move(one_point), warmup.sinks());
+  queue.drain();
+  ASSERT_EQ(warmup.done.size(), 1U);
+  ASSERT_EQ(warmup.done[0].computed, 1U);
+  ASSERT_EQ(store.object_count(), 1U);
+
+  // Act 2: the full sweep resumes — the persisted point is served from
+  // cache, exactly the other two are computed.
+  event_log resumed;
+  queue.submit(sweep_request(), resumed.sinks());
+  queue.drain();
+  ASSERT_EQ(resumed.done.size(), 1U);
+  EXPECT_EQ(resumed.done[0].state, job_state::done);
+  EXPECT_EQ(resumed.done[0].cached, 1U);
+  EXPECT_EQ(resumed.done[0].computed, 2U);
+  ASSERT_EQ(resumed.points.size(), 3U);
+  for (const job_point_event& event : resumed.points) {
+    EXPECT_EQ(event.cache_hit, event.index == 1) << event.index;  // beta=0.65
+  }
+  // And the resumed point's bytes are the warmup job's bytes.
+  const auto hit = std::find_if(resumed.points.begin(), resumed.points.end(),
+                                [](const job_point_event& e) { return e.cache_hit; });
+  ASSERT_NE(hit, resumed.points.end());
+  EXPECT_EQ(resumed.payloads[static_cast<std::size_t>(hit - resumed.points.begin())],
+            warmup.payloads.at(0));
+  EXPECT_EQ(store.object_count(), 3U);
+}
+
+TEST(job_queue, queued_jobs_cancel_without_running) {
+  result_store store{fresh_store_root("cancel")};
+  job_queue queue{store, 1};
+  queue.pause();
+
+  event_log log;
+  const std::uint64_t id = queue.submit(sweep_request(), log.sinks());
+  ASSERT_TRUE(queue.status(id).has_value());
+  EXPECT_EQ(queue.status(id)->state, job_state::queued);
+
+  EXPECT_TRUE(queue.cancel(id));
+  EXPECT_EQ(queue.status(id)->state, job_state::cancelled);
+  EXPECT_FALSE(queue.cancel(id)) << "second cancel of a terminal job";
+
+  queue.drain();
+  ASSERT_EQ(log.done.size(), 1U);
+  EXPECT_EQ(log.done[0].state, job_state::cancelled);
+  EXPECT_TRUE(log.points.empty());
+  EXPECT_EQ(store.object_count(), 0U);
+}
+
+TEST(job_queue, higher_priority_jobs_run_first) {
+  result_store store{fresh_store_root("priority")};
+  job_queue queue{store, 1};
+  queue.pause();  // both jobs queued before the dispatcher may choose
+
+  std::mutex order_mutex;
+  std::vector<std::uint64_t> finish_order;
+  const auto track = [&](event_log& log) {
+    job_sinks sinks = log.sinks();
+    const auto inner = sinks.on_done;
+    sinks.on_done = [&, inner](const job_done_event& event) {
+      {
+        const std::lock_guard<std::mutex> lock{order_mutex};
+        finish_order.push_back(event.job);
+      }
+      inner(event);
+    };
+    return sinks;
+  };
+
+  event_log low_log;
+  event_log high_log;
+  job_request low = sweep_request();
+  low.priority = 0;
+  job_request high = sweep_request();
+  high.priority = 5;
+  const std::uint64_t low_id = queue.submit(std::move(low), track(low_log));
+  const std::uint64_t high_id = queue.submit(std::move(high), track(high_log));
+  queue.drain();
+
+  ASSERT_EQ(finish_order.size(), 2U);
+  EXPECT_EQ(finish_order[0], high_id);
+  EXPECT_EQ(finish_order[1], low_id);
+  // The low-priority job re-ran nothing: the high-priority job populated
+  // the cache for the identical request.
+  ASSERT_EQ(low_log.done.size(), 1U);
+  EXPECT_EQ(low_log.done[0].cached, 3U);
+  EXPECT_EQ(low_log.done[0].computed, 0U);
+}
+
+TEST(job_queue, invalid_submissions_fail_fast_and_leave_no_job) {
+  result_store store{fresh_store_root("invalid")};
+  job_queue queue{store, 1};
+  job_request bad = sweep_request();
+  bad.grid.push_back({{"params.beta", "1.5"}});  // out of range at point 4
+  event_log log;
+  EXPECT_THROW((void)queue.submit(std::move(bad), log.sinks()), std::invalid_argument);
+  queue.drain();
+  EXPECT_TRUE(log.done.empty());
+  EXPECT_EQ(store.object_count(), 0U);
+}
+
+// --- session (wire protocol) ------------------------------------------------
+
+struct wire {
+  std::mutex mutex;
+  std::vector<std::string> lines;
+
+  session_options options() {
+    session_options o;
+    o.write_line = [this](std::string_view line) {
+      const std::lock_guard<std::mutex> lock{mutex};
+      lines.emplace_back(line);
+      return true;
+    };
+    return o;
+  }
+
+  std::vector<std::string> events() {
+    const std::lock_guard<std::mutex> lock{mutex};
+    std::vector<std::string> kinds;
+    for (const std::string& line : lines) {
+      const json_value event = parse_json(line);
+      kinds.push_back(event.find("event")->as_string("event"));
+    }
+    return kinds;
+  }
+};
+
+std::string submit_line() {
+  const scenario::scenario_spec spec = test_spec();
+  std::string line = R"({"op":"submit","spec":)";
+  line += '"';
+  line += json_escape(scenario::serialize_scenario(spec));
+  line += '"';
+  line += R"(,"sweep":["params.beta=0.6,0.65"],"horizon":30,"replications":3,"seed":7})";
+  return line;
+}
+
+TEST(session, submit_streams_accept_points_done_in_order) {
+  result_store store{fresh_store_root("session")};
+  job_queue queue{store, 1};
+  wire out;
+  session s{queue, out.options()};
+  s.handle_line(submit_line());
+  s.finish();
+
+  const std::vector<std::string> events = out.events();
+  ASSERT_EQ(events.size(), 4U);
+  EXPECT_EQ(events[0], "job_accepted");
+  EXPECT_EQ(events[1], "point_done");
+  EXPECT_EQ(events[2], "point_done");
+  EXPECT_EQ(events[3], "job_done");
+
+  const json_value accepted = parse_json(out.lines[0]);
+  EXPECT_EQ(accepted.find("points")->as_uint64("points"), 2U);
+  ASSERT_NE(accepted.find("digests"), nullptr);
+  EXPECT_EQ(accepted.find("digests")->items.size(), 2U);
+  const json_value done = parse_json(out.lines[3]);
+  EXPECT_EQ(done.find("status")->as_string("status"), "done");
+  EXPECT_EQ(done.find("computed")->as_uint64("computed"), 2U);
+
+  // Resubmission over the wire: same events, but every point a cache_hit
+  // whose result object is byte-identical to the computed one.
+  wire again;
+  session s2{queue, again.options()};
+  s2.handle_line(submit_line());
+  s2.finish();
+  const std::vector<std::string> second = again.events();
+  ASSERT_EQ(second.size(), 4U);
+  EXPECT_EQ(second[1], "cache_hit");
+  EXPECT_EQ(second[2], "cache_hit");
+  for (std::size_t i = 1; i <= 2; ++i) {
+    const json_value computed = parse_json(out.lines[i]);
+    const json_value hit = parse_json(again.lines[i]);
+    const std::uint64_t point = hit.find("point")->as_uint64("point");
+    EXPECT_EQ(computed.find("point")->as_uint64("point"), point);
+    // Compare the exact cached bytes through the store.
+    const json_value* result = hit.find("result");
+    ASSERT_NE(result, nullptr);
+    const digest128 digest = spec_digest(
+        [&] {
+          scenario::scenario_spec spec = test_spec();
+          scenario::apply_override(spec, "params.beta", point == 0 ? "0.6" : "0.65");
+          return spec;
+        }(),
+        test_config(), {});
+    const std::optional<std::string> stored = store.get(digest);
+    ASSERT_TRUE(stored.has_value());
+    EXPECT_NE(again.lines[i].find(*stored), std::string::npos)
+        << "cache_hit must embed the stored payload verbatim";
+    EXPECT_NE(out.lines[i].find(*stored), std::string::npos)
+        << "point_done must embed the stored payload verbatim";
+  }
+}
+
+TEST(session, malformed_and_unknown_requests_produce_error_events) {
+  result_store store{fresh_store_root("session_err")};
+  job_queue queue{store, 1};
+  wire out;
+  session s{queue, out.options()};
+  s.handle_line("this is not json");
+  s.handle_line(R"({"op":"frobnicate"})");
+  s.handle_line(R"({"no_op":1})");
+  s.handle_line(R"({"op":"status","job":999})");
+  s.handle_line("");  // blank lines are ignored
+  s.finish();
+  const std::vector<std::string> events = out.events();
+  ASSERT_EQ(events.size(), 4U);
+  for (const std::string& kind : events) EXPECT_EQ(kind, "error");
+}
+
+TEST(session, cancel_round_trip_over_the_wire) {
+  result_store store{fresh_store_root("session_cancel")};
+  job_queue queue{store, 1};
+  queue.pause();
+  wire out;
+  session s{queue, out.options()};
+  s.handle_line(submit_line());
+  const json_value accepted = parse_json(out.lines.at(0));
+  const std::uint64_t job = accepted.find("job")->as_uint64("job");
+  s.handle_line(R"({"op":"cancel","job":)" + std::to_string(job) + "}");
+  s.handle_line(R"({"op":"status","job":)" + std::to_string(job) + "}");
+  queue.resume();
+  s.finish();
+
+  const std::vector<std::string> events = out.events();
+  // job_accepted, job_done (from the cancel), cancel_result, status.
+  ASSERT_EQ(events.size(), 4U);
+  EXPECT_EQ(events[0], "job_accepted");
+  EXPECT_EQ(events[1], "job_done");
+  EXPECT_EQ(events[2], "cancel_result");
+  EXPECT_EQ(events[3], "status");
+  EXPECT_EQ(parse_json(out.lines[1]).find("status")->as_string("s"), "cancelled");
+  EXPECT_TRUE(parse_json(out.lines[2]).find("cancelled")->as_bool("c"));
+  EXPECT_EQ(parse_json(out.lines[3]).find("state")->as_string("s"), "cancelled");
+}
+
+}  // namespace
+}  // namespace sgl::service

@@ -312,4 +312,20 @@ TEST(trace_io, reader_rejects_malformed_input_naming_the_line) {
   expect_error(header + "\n" + R"({"t":0,"kind":"send"} trailing)", "line 2");
 }
 
+TEST(trace_io, stdout_trace_conflict_fires_only_for_dash_plus_check) {
+  // `--trace-out -` and `--check-trace` both write stdout; the CLI must
+  // refuse the combination instead of interleaving the two documents.
+  const std::string conflict = analysis::stdout_trace_conflict("-", true);
+  ASSERT_FALSE(conflict.empty());
+  EXPECT_NE(conflict.find("stdout"), std::string::npos);
+  EXPECT_NE(conflict.find("interleave"), std::string::npos);
+
+  // Every working spelling stays allowed.
+  EXPECT_TRUE(analysis::stdout_trace_conflict("-", false).empty());
+  EXPECT_TRUE(analysis::stdout_trace_conflict("trace.jsonl", true).empty());
+  EXPECT_TRUE(analysis::stdout_trace_conflict("trace.jsonl", false).empty());
+  EXPECT_TRUE(analysis::stdout_trace_conflict("", true).empty())
+      << "--check-trace alone records to no file and reports to stdout";
+}
+
 }  // namespace

@@ -82,25 +82,24 @@ def main(argv):
     current = load_benchmarks(args.current, args.metric)
 
     shared = [name for name in baseline if name in current]
-    if not shared:
-        raise SystemExit("no benchmarks in common between the two reports")
     only_baseline = sorted(set(baseline) - set(current))
     only_current = sorted(set(current) - set(baseline))
 
-    width = max(len(name) for name in shared)
-    print(f"{'benchmark':<{width}}  {'baseline':>10}  {'current':>10}  {'delta':>8}")
     regressions = []
-    for name in shared:
-        before, after = baseline[name], current[name]
-        delta = (after - before) / before * 100.0 if before > 0 else 0.0
-        flag = ""
-        if delta > args.threshold:
-            regressions.append((name, delta))
-            flag = "  << REGRESSION"
-        print(
-            f"{name:<{width}}  {format_seconds(before):>10}  "
-            f"{format_seconds(after):>10}  {delta:>+7.1f}%{flag}"
-        )
+    if shared:
+        width = max(len(name) for name in shared)
+        print(f"{'benchmark':<{width}}  {'baseline':>10}  {'current':>10}  {'delta':>8}")
+        for name in shared:
+            before, after = baseline[name], current[name]
+            delta = (after - before) / before * 100.0 if before > 0 else 0.0
+            flag = ""
+            if delta > args.threshold:
+                regressions.append((name, delta))
+                flag = "  << REGRESSION"
+            print(
+                f"{name:<{width}}  {format_seconds(before):>10}  "
+                f"{format_seconds(after):>10}  {delta:>+7.1f}%{flag}"
+            )
     if only_current:
         print(f"\nadded ({len(only_current)} benchmark(s) only in {args.current}):")
         for name in only_current:
@@ -110,6 +109,16 @@ def main(argv):
         for name in only_baseline:
             print(f"  {name}: {format_seconds(baseline[name])}")
 
+    # Diagnose the empty intersection *after* the added/removed sections:
+    # a wholesale rename (every baseline row "removed", every current row
+    # "added") should leave its evidence in the CI log, not a bare error.
+    if not shared:
+        print(
+            "\nFAIL: no benchmarks in common between the two reports "
+            "(see the added/removed sections above)",
+            file=sys.stderr,
+        )
+        return 1
     if regressions:
         print(
             f"\nFAIL: {len(regressions)} benchmark(s) slower than the "

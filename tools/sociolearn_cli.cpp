@@ -30,6 +30,11 @@
 //       against the protocol invariants (analysis/trace_check.h).
 //   sociolearn_cli check-trace t.jsonl
 //       checks a previously saved trace; exit 1 on any violation.
+//   sociolearn_cli submit --socket /tmp/sgl.sock --name ring --sweep params.beta=0.6,0.7
+//       submits a job to a running sociolearnd and streams its JSONL
+//       events (job_accepted, cache_hit, point_done, job_done) until the
+//       job reaches a terminal state; `status` and `cancel` address a job
+//       by the id the job_accepted event carried.
 //
 // Every subcommand accepts --format table|json|csv.  Every run is
 // constructed through the scenario layer (scenario/) and executed by the
@@ -59,8 +64,10 @@
 #include "scenario/scenario.h"
 #include "scenario/serialize.h"
 #include "scenario/sweep.h"
+#include "service/socket.h"
 #include "support/flags.h"
 #include "support/json.h"
+#include "support/json_parse.h"
 #include "support/rng.h"
 #include "support/table.h"
 
@@ -527,6 +534,12 @@ int cmd_scenario(int argc, const char* const* argv, bool sweep_command) {
                    "they do not combine with a sweep\n");
       return 2;
     }
+    if (const std::string conflict = analysis::stdout_trace_conflict(
+            trace_out, flags.get_bool("check-trace"));
+        !conflict.empty()) {
+      std::fprintf(stderr, "%s\n", conflict.c_str());
+      return 2;
+    }
     return run_traced_replication(std::move(spec),
                                   static_cast<std::uint64_t>(flags.get_int64("horizon")),
                                   static_cast<std::uint64_t>(flags.get_int64("seed")),
@@ -869,6 +882,155 @@ int cmd_gossip(int argc, const char* const* argv) {
   return 0;
 }
 
+// --- service client (sociolearnd) -------------------------------------------
+
+/// The event lines a request elicits are passed through to stdout
+/// verbatim — the client adds no framing of its own, so piping `submit`
+/// output to a file yields the same JSONL the daemon spoke.
+
+/// Classifies one event line into "keep reading" (-1) or a final exit
+/// code.  Unparseable lines are the daemon's bug, not ours: surface and
+/// keep going.
+int classify_event(const std::string& line) {
+  json_value event;
+  try {
+    event = parse_json(line);
+  } catch (const std::exception&) {
+    return -1;
+  }
+  const json_value* kind = event.find("event");
+  if (kind == nullptr || !kind->is_string()) return -1;
+  if (kind->text == "error") return 1;
+  if (kind->text == "job_done") {
+    const json_value* status = event.find("status");
+    return (status != nullptr && status->is_string() && status->text == "done") ? 0 : 1;
+  }
+  if (kind->text == "status") return 0;
+  if (kind->text == "cancel_result") {
+    const json_value* ok = event.find("cancelled");
+    return (ok != nullptr && ok->type == json_value::kind::boolean && ok->boolean) ? 0 : 1;
+  }
+  return -1;  // job_accepted / cache_hit / point_done: keep streaming
+}
+
+/// Sends one request line and streams events until one is terminal.
+int service_exchange(const std::string& socket_path, const std::string& request) {
+  const service::unix_fd fd = service::unix_connect(socket_path);
+  if (!service::write_all(fd.get(), request + "\n")) {
+    std::fprintf(stderr, "submit: connection closed while sending the request\n");
+    return 1;
+  }
+  service::line_reader reader;
+  while (std::optional<std::string> line = reader.next_line(fd.get())) {
+    std::cout << *line << '\n' << std::flush;
+    const int verdict = classify_event(*line);
+    if (verdict >= 0) return verdict;
+  }
+  std::fprintf(stderr, "connection closed before a terminal event (daemon died?)\n");
+  return 1;
+}
+
+int cmd_submit(int argc, const char* const* argv) {
+  flag_set flags{"sociolearn_cli submit",
+                 "submit a scenario or sweep to a running sociolearnd and "
+                 "stream its JSONL events until the job finishes"};
+  flags.add_string("socket", "", "sociolearnd socket path (required)");
+  flags.add_string("name", "",
+                   "registry scenario name (see 'scenarios'); takes precedence "
+                   "over --file");
+  flags.add_string("file", "", "scenario spec file ('key = value' lines, see DESIGN.md)");
+  flags.add_string_list("set", "field override key=value, applied last (repeatable)");
+  flags.add_string_list("sweep",
+                        "sweep axis key=lo:hi:step or key=v1,v2,... (repeatable; "
+                        "cartesian product, last axis fastest)");
+  flags.add_string("probes", "",
+                   "comma-separated probe specs (default: the scenario's probes, "
+                   "else regret)");
+  flags.add_int64("horizon", 400, "steps T");
+  flags.add_int64("reps", 100, "replications");
+  flags.add_int64("seed", 1, "master RNG seed");
+  flags.add_int64("priority", 0, "queue priority (higher runs first)");
+  if (flags.parse(argc, argv) != parse_status::ok) return 2;
+  const std::string& socket_path = flags.get_string("socket");
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "submit: --socket is required\n");
+    return 2;
+  }
+
+  // Base spec, by the same precedence as `scenario`: file < registry <
+  // --set.  Overrides are applied locally and the *canonical serialized
+  // form* is sent, so what the daemon digests is exactly what a local run
+  // of the same flags would execute.
+  scenario::scenario_spec spec;
+  const std::string& file = flags.get_string("file");
+  std::string name = flags.get_string("name");
+  if (file.empty() && name.empty()) name = "quickstart";
+  if (!name.empty()) {
+    spec = scenario::get_scenario(name);
+  } else {
+    std::ifstream input{file};
+    if (!input) {
+      std::fprintf(stderr, "cannot open scenario file '%s'\n", file.c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << input.rdbuf();
+    spec = scenario::parse_scenario(buffer.str());
+  }
+  for (const std::string& assignment : flags.get_string_list("set")) {
+    scenario::apply_override(spec, assignment);
+  }
+
+  std::ostringstream request;
+  json_writer json{request, /*indent=*/0};
+  json.begin_object();
+  json.key("op").value("submit");
+  json.key("spec").value(scenario::serialize_scenario(spec));
+  if (!flags.get_string_list("sweep").empty()) {
+    json.key("sweep").begin_array();
+    for (const std::string& axis : flags.get_string_list("sweep")) json.value(axis);
+    json.end_array();
+  }
+  json.key("horizon").value(static_cast<std::uint64_t>(flags.get_int64("horizon")));
+  json.key("replications").value(static_cast<std::uint64_t>(flags.get_int64("reps")));
+  json.key("seed").value(static_cast<std::uint64_t>(flags.get_int64("seed")));
+  const std::vector<std::string> probes =
+      core::split_probe_specs(flags.get_string("probes"));
+  if (!probes.empty()) {
+    json.key("probes").begin_array();
+    for (const std::string& probe : probes) json.value(probe);
+    json.end_array();
+  }
+  json.key("priority").value(flags.get_int64("priority"));
+  json.end_object();
+  return service_exchange(socket_path, request.str());
+}
+
+/// `status` and `cancel` share everything but the op name.
+int cmd_job_op(const char* op, int argc, const char* const* argv) {
+  flag_set flags{std::string{"sociolearn_cli "} + op,
+                 std::string{op} + " a sociolearnd job by id"};
+  flags.add_string("socket", "", "sociolearnd socket path (required)");
+  flags.add_int64("job", 0, "job id (from the job_accepted event)");
+  if (flags.parse(argc, argv) != parse_status::ok) return 2;
+  const std::string& socket_path = flags.get_string("socket");
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "%s: --socket is required\n", op);
+    return 2;
+  }
+  if (flags.get_int64("job") <= 0) {
+    std::fprintf(stderr, "%s: --job must be a positive job id\n", op);
+    return 2;
+  }
+  std::ostringstream request;
+  json_writer json{request, /*indent=*/0};
+  json.begin_object();
+  json.key("op").value(op);
+  json.key("job").value(static_cast<std::uint64_t>(flags.get_int64("job")));
+  json.end_object();
+  return service_exchange(socket_path, request.str());
+}
+
 void print_usage() {
   std::printf(
       "sociolearn_cli — drive the distributed learning dynamics from the shell\n\n"
@@ -883,7 +1045,11 @@ void print_usage() {
       "             gossip_* scenarios run it under the full harness with\n"
       "             probes/sweeps via protocol.* keys)\n"
       "  check-trace  replay a recorded JSONL trace (scenario --trace-out)\n"
-      "             against the protocol invariants; exit 1 on violations\n\n"
+      "             against the protocol invariants; exit 1 on violations\n"
+      "  submit     submit a scenario/sweep to a running sociolearnd\n"
+      "             (--socket) and stream its JSONL events\n"
+      "  status     query a sociolearnd job by id (--socket --job N)\n"
+      "  cancel     cancel a sociolearnd job by id (--socket --job N)\n\n"
       "every subcommand accepts --format table|json|csv; 'scenario' and\n"
       "'sweep' emit one JSON document per run (spec echo + probe results +\n"
       "timing; sweeps wrap the documents in one array).\n"
@@ -910,6 +1076,10 @@ int main(int argc, char** argv) {
     if (command == "regret") return cmd_regret(sub_argc, sub_argv);
     if (command == "gossip") return cmd_gossip(sub_argc, sub_argv);
     if (command == "check-trace") return cmd_check_trace(sub_argc, sub_argv);
+    if (command == "submit") return cmd_submit(sub_argc, sub_argv);
+    if (command == "status" || command == "cancel") {
+      return cmd_job_op(command.c_str(), sub_argc, sub_argv);
+    }
     if (command == "--help" || command == "-h" || command == "help") {
       print_usage();
       return 0;

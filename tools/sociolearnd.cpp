@@ -1,0 +1,164 @@
+// sociolearnd — the long-lived experiment service.
+//
+//   sociolearnd --socket /tmp/sgl.sock --store /var/lib/sociolearn
+//       listens on a Unix-domain stream socket.  Each connection is one
+//       session: newline-delimited JSON requests in (submit / status /
+//       cancel), JSONL events out (job_accepted, cache_hit, point_done,
+//       job_done, ...).  See DESIGN.md "Service mode" for the protocol.
+//   sociolearnd --once --store /var/lib/sociolearn < requests.jsonl
+//       no socket: requests from stdin, events to stdout, exit when every
+//       submitted job has finished.  The same protocol, usable from CI
+//       and shell pipelines without managing a daemon.
+//
+// Jobs are decomposed into (point × shard) work items on the process-wide
+// worker pool; every point result is keyed by its content digest and
+// persisted to the store before its event is sent, so points already in
+// the store are served as cache_hit events without recomputation, and a
+// killed daemon resumes a resubmitted sweep from exactly the points it
+// had persisted.
+//
+// --exit-after-points N is a crash-test hook: the daemon calls _Exit
+// right after the Nth computed point's event is written, at a
+// deterministic point of the protocol, so the kill-and-resume contract is
+// testable from CI without signal races.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/job_queue.h"
+#include "service/result_store.h"
+#include "service/service.h"
+#include "service/socket.h"
+#include "support/flags.h"
+
+namespace {
+
+using namespace sgl;
+
+struct daemon_config {
+  service::job_queue* queue = nullptr;
+  std::int64_t exit_after_points = 0;        // 0 = never
+  std::atomic<std::int64_t> points_emitted{0};
+};
+
+service::session_options make_session_options(
+    daemon_config& daemon, std::function<bool(std::string_view)> write_line) {
+  service::session_options options;
+  options.write_line = std::move(write_line);
+  if (daemon.exit_after_points > 0) {
+    options.on_point_computed = [&daemon] {
+      const std::int64_t n =
+          daemon.points_emitted.fetch_add(1, std::memory_order_acq_rel) + 1;
+      if (n >= daemon.exit_after_points) {
+        // The crash under test: die without flushing, unwinding, or
+        // persisting anything further.  Everything already acknowledged
+        // is in the store (persist-then-emit), nothing else may be.
+        std::_Exit(0);
+      }
+    };
+  }
+  return options;
+}
+
+void serve_connection(service::unix_fd fd, daemon_config& daemon) {
+  service::session session{
+      *daemon.queue, make_session_options(daemon, [&fd](std::string_view line) {
+        std::string out{line};
+        out += '\n';
+        return service::write_all(fd.get(), out);
+      })};
+  try {
+    service::line_reader reader;
+    while (std::optional<std::string> line = reader.next_line(fd.get())) {
+      session.handle_line(*line);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sociolearnd: connection error: %s\n", e.what());
+  }
+  // The session destructor waits for this session's jobs (or cancels
+  // them when the peer is already gone) before the socket closes.
+}
+
+int run_once(daemon_config& daemon) {
+  service::session session{
+      *daemon.queue, make_session_options(daemon, [](std::string_view line) {
+        std::cout << line << '\n' << std::flush;
+        return static_cast<bool>(std::cout);
+      })};
+  std::string line;
+  while (std::getline(std::cin, line)) session.handle_line(line);
+  session.finish();
+  return 0;
+}
+
+int run_daemon(daemon_config& daemon, const std::string& socket_path) {
+  service::unix_fd listener = service::unix_listen(socket_path);
+  // The ready line is the startup handshake: scripts wait for it instead
+  // of polling the socket path.
+  std::printf("{\"event\":\"ready\",\"socket\":\"%s\"}\n", socket_path.c_str());
+  std::fflush(stdout);
+
+  std::vector<std::thread> connections;
+  for (;;) {
+    service::unix_fd fd = service::unix_accept(listener);
+    if (!fd.valid()) continue;  // EINTR and friends; keep serving
+    connections.emplace_back(
+        [&daemon](service::unix_fd conn) { serve_connection(std::move(conn), daemon); },
+        std::move(fd));
+  }
+  // Unreachable: the daemon runs until killed.  Connection threads die
+  // with the process; their jobs' persisted points are the resume state.
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  flag_set flags{"sociolearnd",
+                 "the sociolearn experiment service: a job queue with a "
+                 "content-addressed result cache over a Unix-domain socket "
+                 "(or stdin/stdout with --once)"};
+  flags.add_string("socket", "", "Unix-domain socket path to listen on");
+  flags.add_string("store", "", "result store directory (created if missing)");
+  flags.add_bool("once", false,
+                 "serve one session from stdin/stdout and exit when every "
+                 "submitted job has finished (no socket)");
+  flags.add_int64("threads", 0,
+                  "worker threads for replication shards (0 = all cores); "
+                  "results are bit-identical for any value");
+  flags.add_int64("exit-after-points", 0,
+                  "crash-test hook: _Exit right after this many computed "
+                  "points have been emitted (0 = never)");
+  if (flags.parse(argc, argv) != parse_status::ok) return 2;
+
+  const std::string& store_path = flags.get_string("store");
+  const std::string& socket_path = flags.get_string("socket");
+  const bool once = flags.get_bool("once");
+  if (store_path.empty()) {
+    std::fprintf(stderr, "sociolearnd: --store is required\n");
+    return 2;
+  }
+  if (once != socket_path.empty()) {  // exactly one of --once / --socket
+    std::fprintf(stderr, "sociolearnd: pass either --socket PATH or --once\n");
+    return 2;
+  }
+
+  try {
+    service::result_store store{store_path};
+    service::job_queue queue{store,
+                             static_cast<unsigned>(flags.get_int64("threads"))};
+    daemon_config daemon;
+    daemon.queue = &queue;
+    daemon.exit_after_points = flags.get_int64("exit-after-points");
+    return once ? run_once(daemon) : run_daemon(daemon, socket_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sociolearnd: %s\n", e.what());
+    return 1;
+  }
+}
