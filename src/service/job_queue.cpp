@@ -1,6 +1,7 @@
 #include "service/job_queue.h"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <span>
 #include <stdexcept>
@@ -8,6 +9,7 @@
 #include "scenario/serialize.h"
 #include "scenario/sweep.h"
 #include "service/payload.h"
+#include "support/failpoint.h"
 
 namespace sgl::service {
 
@@ -22,8 +24,8 @@ std::string_view job_state_name(job_state state) noexcept {
   return "unknown";
 }
 
-job_queue::job_queue(result_store& store, unsigned worker_threads)
-    : store_{store}, worker_threads_{worker_threads} {
+job_queue::job_queue(result_store& store, unsigned worker_threads, std::size_t max_queued)
+    : store_{store}, worker_threads_{worker_threads}, max_queued_{max_queued} {
   dispatcher_ = std::thread{[this] { dispatch_loop(); }};
 }
 
@@ -81,6 +83,16 @@ std::uint64_t job_queue::submit(job_request request, job_sinks sinks,
   {
     const std::lock_guard<std::mutex> lock{mutex_};
     if (shutdown_) throw std::runtime_error{"job_queue: shutting down"};
+    if (max_queued_ != 0) {
+      // Bound the *waiting* jobs (pending_ may hold tombstones, so count
+      // real queued state).  Nothing has been registered yet, so refusal
+      // leaves no trace — the client just retries later.
+      const std::size_t queued = static_cast<std::size_t>(
+          std::count_if(jobs_.begin(), jobs_.end(), [](const auto& entry) {
+            return entry.second->state == job_state::queued;
+          }));
+      if (queued >= max_queued_) throw queue_full_error{max_queued_};
+    }
     id = next_id_++;
     job->id = id;
     jobs_.emplace(id, job);
@@ -149,6 +161,20 @@ bool job_queue::cancel(std::uint64_t id) {
     settled_.notify_all();
   }
   return true;
+}
+
+std::size_t job_queue::cancel_all() {
+  std::vector<std::uint64_t> ids;
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    ids.reserve(jobs_.size());
+    for (const auto& [id, job] : jobs_) ids.push_back(id);
+  }
+  std::size_t cancelled = 0;
+  for (const std::uint64_t id : ids) {
+    if (cancel(id)) ++cancelled;
+  }
+  return cancelled;
 }
 
 void job_queue::pause() {
@@ -229,6 +255,44 @@ void job_queue::dispatch_loop() {
 }
 
 void job_queue::run_job(job_record& job) {
+  if (job.request.timeout_seconds <= 0.0) {
+    run_job_points(job);
+    return;
+  }
+  // Wall-clock watchdog: on expiry, raise the same stop flag cancel()
+  // uses — the sweep scheduler checks it between work items, so every
+  // point already completed stays persisted and the job finishes `failed`
+  // with a timeout error instead of hanging a slot forever.
+  std::mutex watchdog_mutex;
+  std::condition_variable watchdog_cv;
+  bool finished = false;
+  std::thread watchdog{[&] {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>{job.request.timeout_seconds});
+    std::unique_lock<std::mutex> lock{watchdog_mutex};
+    if (watchdog_cv.wait_until(lock, deadline, [&] { return finished; })) return;
+    {
+      const std::lock_guard<std::mutex> error_lock{job.error_mutex};
+      if (job.error.empty()) {
+        job.error = "job timed out after " +
+                    std::to_string(job.request.timeout_seconds) +
+                    " s; completed points are persisted and a resubmission resumes from them";
+      }
+    }
+    job.stop.store(true, std::memory_order_release);
+  }};
+  run_job_points(job);
+  {
+    const std::lock_guard<std::mutex> lock{watchdog_mutex};
+    finished = true;
+  }
+  watchdog_cv.notify_all();
+  watchdog.join();
+}
+
+void job_queue::run_job_points(job_record& job) {
   const std::size_t points = job.total();
   const core::run_config& config = job.request.config;
   const std::span<const std::string> probe_specs{job.request.probe_specs};
@@ -269,6 +333,10 @@ void job_queue::run_job(job_record& job) {
   hooks.on_point = [&](std::size_t sub_index, scenario::sweep_point_result&& result) {
     const std::size_t p = missing[sub_index];
     try {
+      if (failpoints::check("queue.point")) {
+        throw std::runtime_error{"injected fail point 'queue.point' at grid index " +
+                                 std::to_string(p)};
+      }
       const std::vector<core::probe_report> reports = core::collect_reports(result.probes);
       const std::string payload =
           build_point_payload(job.digests[p], result.spec, config, probe_specs, reports);

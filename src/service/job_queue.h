@@ -21,6 +21,15 @@
 /// and keeps every point that still completed (persisted as usual), so a
 /// cancelled sweep resubmitted later resumes from those points.
 ///
+/// Overload robustness (DESIGN.md "Failure model and recovery
+/// guarantees"): the queue can be bounded — submit() past the bound throws
+/// queue_full_error, which the session layer turns into an explicit
+/// `job_rejected` reply instead of letting memory grow without limit.  A
+/// job may carry a wall-clock timeout; on expiry the job's stop flag is
+/// raised (the same path cancel() uses), every point that already
+/// completed stays persisted, and the job finishes `failed` with a timeout
+/// error.  cancel_all() is the SIGTERM drain entry point.
+///
 /// Threading: sinks for one job are never invoked concurrently (cache
 /// hits fire from the dispatcher before the sweep starts; computed points
 /// fire from worker threads serialized by the sweep's emit mutex; job_done
@@ -36,6 +45,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -54,6 +64,21 @@ enum class job_state { queued, running, done, cancelled, failed };
 /// Stable lowercase name ("queued", "running", ...).
 [[nodiscard]] std::string_view job_state_name(job_state state) noexcept;
 
+/// submit() refused a job because the queue is at its bound.  Backpressure,
+/// not failure: nothing was enqueued, and an identical resubmission later
+/// is free of double-compute risk (the digests dedupe it).
+class queue_full_error : public std::runtime_error {
+ public:
+  explicit queue_full_error(std::size_t limit)
+      : std::runtime_error{"job queue full (limit " + std::to_string(limit) +
+                           " queued jobs); retry later"},
+        limit_{limit} {}
+  [[nodiscard]] std::size_t limit() const noexcept { return limit_; }
+
+ private:
+  std::size_t limit_;
+};
+
 /// One submission: a base spec, a grid of per-point overrides (empty =
 /// one point with no overrides, as in scenario/sweep.h), the run
 /// configuration, the probe set, and a scheduling priority (higher runs
@@ -64,6 +89,12 @@ struct job_request {
   core::run_config config;
   std::vector<std::string> probe_specs;
   int priority = 0;
+  /// Wall-clock budget in seconds; 0 = none.  Scheduling latency does not
+  /// count — the clock starts when the job starts running.  Not part of
+  /// the point digests (it changes when results arrive, never what they
+  /// are), so a timed-out sweep resubmitted with a bigger budget resumes
+  /// from its persisted points.
+  double timeout_seconds = 0.0;
 };
 
 /// One point reaching its terminal "result available" state.  `payload`
@@ -107,8 +138,10 @@ class job_queue {
   /// every job's run_config (0 = hardware concurrency): thread count is
   /// semantically inert (bit-identical results either way), so it is the
   /// daemon's capacity decision, not the client's, and it is excluded
-  /// from the digest.
-  explicit job_queue(result_store& store, unsigned worker_threads = 0);
+  /// from the digest.  `max_queued` bounds the number of jobs waiting to
+  /// run (0 = unbounded); submit() past the bound throws queue_full_error.
+  explicit job_queue(result_store& store, unsigned worker_threads = 0,
+                     std::size_t max_queued = 0);
 
   /// Cancels whatever is queued or running and joins the dispatcher.
   ~job_queue();
@@ -136,6 +169,11 @@ class job_queue {
   /// Requests cancellation.  Returns false for unknown ids and jobs
   /// already in a terminal state, true otherwise.
   bool cancel(std::uint64_t job);
+
+  /// Cancels every queued and running job (the SIGTERM drain path).
+  /// Returns the number of jobs that were not already terminal.  Follow
+  /// with drain() to wait for the running job to stop and persist.
+  std::size_t cancel_all();
 
   /// Stops the dispatcher from *starting* jobs (running jobs finish).
   /// For tests that need a deterministic queue to inspect or cancel.
@@ -173,10 +211,12 @@ class job_queue {
   void dispatch_loop();
   std::shared_ptr<job_record> take_next_locked();
   void run_job(job_record& job);
+  void run_job_points(job_record& job);
   void finish_job(job_record& job);
 
   result_store& store_;
   unsigned worker_threads_ = 0;
+  std::size_t max_queued_ = 0;  // 0 = unbounded
 
   mutable std::mutex mutex_;
   std::condition_variable wake_;      // dispatcher: work arrived / unpaused

@@ -1,35 +1,146 @@
 #include "service/result_store.h"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <system_error>
 
+#include "support/failpoint.h"
+
 #if defined(__unix__) || defined(__APPLE__)
-#include <unistd.h>  // getpid, for unique tmp names across processes
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+#define SGL_STORE_POSIX 1
 #endif
 
 namespace sgl::service {
 namespace {
 
 std::uint64_t process_id() noexcept {
-#if defined(__unix__) || defined(__APPLE__)
+#if defined(SGL_STORE_POSIX)
   return static_cast<std::uint64_t>(::getpid());
 #else
   return 0;
 #endif
 }
 
+/// Whether the writer pid embedded in a tmp file name is certainly gone.
+/// Our own pid counts as dead: any tmp file of ours predating this
+/// constructor is from before a crash-and-restart within one pid, or an
+/// abandoned error path — either way stale.
+bool writer_is_dead(std::uint64_t pid) noexcept {
+#if defined(SGL_STORE_POSIX)
+  if (pid == process_id()) return true;
+  if (::kill(static_cast<pid_t>(pid), 0) == 0) return false;
+  return errno == ESRCH;
+#else
+  (void)pid;
+  return true;
+#endif
+}
+
+/// Parses "<digest-hex>.<pid>.<seq>"; nullopt when the name is not one of
+/// ours (leave foreign files alone).
+std::optional<std::uint64_t> tmp_writer_pid(const std::string& name) {
+  const std::size_t first = name.find('.');
+  if (first == std::string::npos) return std::nullopt;
+  const std::size_t second = name.find('.', first + 1);
+  if (second == std::string::npos) return std::nullopt;
+  const std::string pid_text = name.substr(first + 1, second - first - 1);
+  if (pid_text.empty()) return std::nullopt;
+  std::uint64_t pid = 0;
+  for (const char c : pid_text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    pid = pid * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return pid;
+}
+
+/// Throws the std::runtime_error an injected firing of `site` simulates.
+[[noreturn]] void injected_failure(std::string_view site, const std::string& path) {
+  throw std::runtime_error{"result_store: injected fail point '" + std::string{site} +
+                           "' at '" + path + "'"};
+}
+
+/// Removes `tmp` on destruction unless disarmed — put()'s error paths must
+/// never leak an in-flight file, even when the cleanup itself is reached
+/// by an exception.
+class tmp_guard {
+ public:
+  explicit tmp_guard(std::filesystem::path tmp) : tmp_{std::move(tmp)} {}
+  ~tmp_guard() {
+    if (!armed_) return;
+    std::error_code ec;
+    std::filesystem::remove(tmp_, ec);  // best effort; never throws
+  }
+  void disarm() noexcept { armed_ = false; }
+
+ private:
+  std::filesystem::path tmp_;
+  bool armed_ = true;
+};
+
 }  // namespace
 
-result_store::result_store(std::filesystem::path root) : root_{std::move(root)} {
+std::string frame_object(std::string_view payload) {
+  std::string framed;
+  framed.reserve(payload.size() + 1 + k_object_trailer_magic.size() + 33);
+  framed.append(payload);
+  framed += '\n';
+  framed.append(k_object_trailer_magic);
+  framed += fnv1a_128(payload).hex();
+  framed += '\n';
+  return framed;
+}
+
+std::optional<std::string> unframe_object(std::string_view framed) {
+  // <payload>\n<magic><32 hex>\n — fixed-size trailer, so slice from the end.
+  const std::size_t trailer_size = k_object_trailer_magic.size() + 33;
+  if (framed.size() < trailer_size + 1 || framed.back() != '\n') return std::nullopt;
+  const std::size_t payload_size = framed.size() - trailer_size - 1;
+  if (framed[payload_size] != '\n') return std::nullopt;
+  const std::string_view trailer = framed.substr(payload_size + 1, trailer_size - 1);
+  if (trailer.substr(0, k_object_trailer_magic.size()) != k_object_trailer_magic) {
+    return std::nullopt;
+  }
+  const std::string_view payload = framed.substr(0, payload_size);
+  const std::string_view checksum = trailer.substr(k_object_trailer_magic.size());
+  if (checksum != fnv1a_128(payload).hex()) return std::nullopt;
+  return std::string{payload};
+}
+
+result_store::result_store(std::filesystem::path root, store_options options)
+    : root_{std::move(root)} {
   std::error_code ec;
   std::filesystem::create_directories(root_ / "objects", ec);
   if (!ec) std::filesystem::create_directories(root_ / "tmp", ec);
+  if (!ec) std::filesystem::create_directories(root_ / "quarantine", ec);
   if (ec) {
     throw std::runtime_error{"result_store: cannot create '" + root_.string() +
                              "': " + ec.message()};
   }
+  if (options.gc_stale_tmp) {
+    for (const std::filesystem::path& stale : stale_tmp_files()) {
+      std::filesystem::remove(stale, ec);
+      if (!ec) ++tmp_collected_;
+    }
+  }
+}
+
+std::vector<std::filesystem::path> result_store::stale_tmp_files() const {
+  std::vector<std::filesystem::path> stale;
+  std::error_code ec;
+  std::filesystem::directory_iterator it{root_ / "tmp", ec};
+  if (ec) return stale;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::optional<std::uint64_t> pid = tmp_writer_pid(entry.path().filename().string());
+    if (pid && writer_is_dead(*pid)) stale.push_back(entry.path());
+  }
+  return stale;
 }
 
 std::filesystem::path result_store::object_path(const digest128& digest) const {
@@ -37,20 +148,45 @@ std::filesystem::path result_store::object_path(const digest128& digest) const {
   return root_ / "objects" / hex.substr(0, 2) / (hex + ".json");
 }
 
+void result_store::quarantine_object(const std::filesystem::path& object) const {
+  std::error_code ec;
+  const std::filesystem::path target = root_ / "quarantine" / object.filename();
+  std::filesystem::rename(object, target, ec);
+  if (ec) std::filesystem::remove(object, ec);  // never serve it again
+  quarantined_.fetch_add(1, std::memory_order_relaxed);
+}
+
 std::optional<std::string> result_store::get(const digest128& digest) const {
-  std::ifstream in{object_path(digest), std::ios::binary};
-  if (!in) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    return std::nullopt;
+  const std::filesystem::path path = object_path(digest);
+  std::string framed;
+  {
+    std::ifstream in{path, std::ios::binary};
+    if (!in) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const bool read_failed =
+        (!in.good() && !in.eof()) || failpoints::check("store.read").has_value();
+    if (read_failed) {
+      // An unreadable object is a miss, not a corrupt one: the bytes on
+      // disk may be fine (EIO, mount hiccup), so don't quarantine.
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    framed = std::move(buffer).str();
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  if (!in.good() && !in.eof()) {
+  std::optional<std::string> payload = unframe_object(framed);
+  if (!payload) {
+    // Failed verification: torn bytes, truncation, or a pre-v2 object.
+    // Quarantine so it is never looked at again, and recompute.
+    quarantine_object(path);
     misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
-  return std::move(buffer).str();
+  return payload;
 }
 
 void result_store::put(const digest128& digest, std::string_view payload) {
@@ -69,24 +205,109 @@ void result_store::put(const digest128& digest, std::string_view payload) {
   const std::filesystem::path tmp =
       root_ / "tmp" /
       (digest.hex() + "." + std::to_string(process_id()) + "." + std::to_string(seq));
+  const std::string framed = frame_object(payload);
+  tmp_guard guard{tmp};
+
+#if defined(SGL_STORE_POSIX)
+  if (failpoints::check("store.tmp_open")) injected_failure("store.tmp_open", tmp.string());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    throw std::runtime_error{"result_store: cannot open '" + tmp.string() +
+                             "' for writing: " + std::strerror(errno)};
+  }
+  std::string_view remaining = framed;
+  bool write_failed = failpoints::check("store.write").has_value();
+  while (!write_failed && !remaining.empty()) {
+    const ssize_t n = ::write(fd, remaining.data(), remaining.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      write_failed = true;
+      break;
+    }
+    remaining.remove_prefix(static_cast<std::size_t>(n));
+  }
+  // fsync before rename: without it the rename can land while the data
+  // blocks are still in flight, and a power cut would leave a complete-
+  // looking name over torn bytes — exactly what the trailer exists to
+  // catch, but the durable path should not rely on the net.
+  const bool fsync_failed =
+      !write_failed &&
+      (failpoints::check("store.fsync").has_value() || ::fsync(fd) != 0);
+  const int saved_errno = errno;
+  ::close(fd);
+  if (write_failed) {
+    errno = saved_errno;
+    throw std::runtime_error{"result_store: short write to '" + tmp.string() + "'"};
+  }
+  if (fsync_failed) {
+    throw std::runtime_error{"result_store: fsync '" + tmp.string() +
+                             "' failed: " + std::strerror(saved_errno)};
+  }
+#else
   {
     std::ofstream out{tmp, std::ios::binary | std::ios::trunc};
     if (!out) {
       throw std::runtime_error{"result_store: cannot open '" + tmp.string() +
                                "' for writing"};
     }
-    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    out.write(framed.data(), static_cast<std::streamsize>(framed.size()));
     out.flush();
     if (!out.good()) {
       throw std::runtime_error{"result_store: short write to '" + tmp.string() + "'"};
     }
   }
+#endif
+
+  if (failpoints::check("store.rename")) injected_failure("store.rename", target.string());
   std::filesystem::rename(tmp, target, ec);
   if (ec) {
-    std::filesystem::remove(tmp);
     throw std::runtime_error{"result_store: cannot move object into place at '" +
                              target.string() + "': " + ec.message()};
   }
+  guard.disarm();
+}
+
+fsck_report result_store::fsck(bool repair) {
+  fsck_report report;
+  report.repaired = repair;
+  std::error_code ec;
+
+  // Objects: every one must unframe and verify.
+  std::filesystem::recursive_directory_iterator objects{root_ / "objects", ec};
+  if (!ec) {
+    for (const auto& entry : objects) {
+      if (!entry.is_regular_file(ec)) continue;
+      std::string framed;
+      {
+        std::ifstream in{entry.path(), std::ios::binary};
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        framed = std::move(buffer).str();
+      }
+      if (unframe_object(framed)) {
+        ++report.objects_ok;
+        continue;
+      }
+      report.corrupt.push_back(
+          entry.path().lexically_relative(root_).generic_string());
+      if (repair) quarantine_object(entry.path());
+    }
+  }
+
+  // tmp/: anything whose writer is dead is an orphan.
+  for (const std::filesystem::path& stale : stale_tmp_files()) {
+    report.orphaned_tmp.push_back(stale.lexically_relative(root_).generic_string());
+    if (repair) std::filesystem::remove(stale, ec);
+  }
+
+  // quarantine/: count what earlier verifications (or this repair) parked.
+  std::filesystem::directory_iterator quarantine{root_ / "quarantine", ec};
+  if (!ec) {
+    for (const auto& entry : quarantine) {
+      if (entry.is_regular_file(ec)) ++report.quarantined;
+    }
+  }
+  return report;
 }
 
 std::uint64_t result_store::object_count() const {

@@ -3,25 +3,42 @@
 /// \file result_store.h
 /// The on-disk content-addressed result cache behind sociolearnd.
 ///
-/// Layout (DESIGN.md "Service mode"):
+/// Layout (DESIGN.md "Service mode" / "Failure model and recovery
+/// guarantees"):
 ///
 ///   <root>/objects/<hh>/<32-hex-digest>.json   one completed point result
 ///   <root>/tmp/                                in-flight writes
+///   <root>/quarantine/                         objects that failed verify
 ///
 /// where <hh> is the first two hex characters of the digest (a fan-out so
 /// a million cached points never lands in one directory).  Every object is
 /// the *canonical compact JSON payload* of one completed (point, run
 /// config, probe set) — exactly the bytes the service streams in
-/// `point_done`/`cache_hit` events, so a cache hit is byte-identical to
-/// the original computation.
+/// `point_done`/`cache_hit` events — followed by a checksum trailer line
+/// (object format v2):
 ///
-/// Writes are crash-safe: the payload is written to a unique file under
-/// tmp/ and atomically rename()d into place, so a killed daemon leaves
-/// either a complete object or none — a half-written result can never be
-/// served.  put() is idempotent (last rename wins; every writer writes the
-/// same bytes, because the digest pins the content).  Checkpoint/resume is
-/// a consequence, not a feature: a restarted sweep recomputes exactly the
-/// points whose objects are missing.
+///   <payload bytes>\n
+///   sgl-object-v1 <32-hex fnv1a-128 of the payload bytes>\n
+///
+/// so every object proves its own integrity.  get() verifies the trailer
+/// and returns the payload alone; an object that fails verification (torn
+/// write that slipped past rename, bit rot, truncation, a pre-v2 object)
+/// is moved to quarantine/ and reported as a miss — a corrupt result is
+/// *never served*, it is recomputed.
+///
+/// Writes are crash-safe: the framed object is written to a unique file
+/// under tmp/, fsync()ed, and atomically rename()d into place, so a killed
+/// daemon leaves either a complete verified object or none.  put() is
+/// idempotent (last rename wins; every writer writes the same bytes,
+/// because the digest pins the content).  Construction garbage-collects
+/// tmp/ files whose writer pid is dead (a crashed writer's leftovers);
+/// fsck() audits the whole store and, with repair, quarantines bad objects
+/// and removes orphaned tmp files.
+///
+/// Fail-point sites (support/failpoint.h): store.tmp_open, store.write,
+/// store.fsync, store.rename (all throw the injected error from put()),
+/// and store.read (get() treats the object as unreadable — a miss, no
+/// quarantine).
 
 #include <atomic>
 #include <cstdint>
@@ -29,24 +46,65 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "service/digest.h"
 
 namespace sgl::service {
 
+/// The checksum trailer magic of object format v2.
+inline constexpr std::string_view k_object_trailer_magic = "sgl-object-v1 ";
+
+/// Frames a payload as the on-disk object bytes (payload + trailer).
+[[nodiscard]] std::string frame_object(std::string_view payload);
+
+/// Verifies framed object bytes and extracts the payload; nullopt when the
+/// trailer is missing, malformed, or the checksum does not match.
+[[nodiscard]] std::optional<std::string> unframe_object(std::string_view framed);
+
+struct store_options {
+  /// Remove tmp/ files left by dead writers during construction.  The
+  /// daemon wants this; fsck opens the store with it off so orphans can be
+  /// *reported* before anything touches them.
+  bool gc_stale_tmp = true;
+};
+
+/// fsck() findings.  `corrupt` and `orphaned_tmp` carry store-relative
+/// paths; with repair=true they name what was quarantined/removed.
+struct fsck_report {
+  std::uint64_t objects_ok = 0;
+  std::vector<std::string> corrupt;       ///< objects failing verification
+  std::vector<std::string> orphaned_tmp;  ///< tmp files from dead writers
+  std::uint64_t quarantined = 0;          ///< files already in quarantine/
+  bool repaired = false;
+
+  [[nodiscard]] bool clean() const noexcept {
+    return corrupt.empty() && orphaned_tmp.empty();
+  }
+};
+
 class result_store {
  public:
   /// Opens (creating if needed) a store rooted at `root`.  Throws
   /// std::runtime_error when the directories cannot be created.
-  explicit result_store(std::filesystem::path root);
+  explicit result_store(std::filesystem::path root, store_options options = {});
 
-  /// The cached payload for `digest`, or nullopt.  Thread-safe.
+  /// The cached payload for `digest`, or nullopt.  Verifies the checksum
+  /// trailer; a corrupt object is moved to quarantine/ and reported as a
+  /// miss.  Thread-safe.
   [[nodiscard]] std::optional<std::string> get(const digest128& digest) const;
 
-  /// Persists `payload` as the object for `digest` (atomic tmp + rename;
-  /// idempotent).  Throws std::runtime_error on I/O failure — a service
-  /// that silently failed to persist would break the resume contract.
+  /// Persists `payload` as the object for `digest` (framed; tmp + fsync +
+  /// atomic rename; idempotent).  Throws std::runtime_error on I/O failure
+  /// — a service that silently failed to persist would break the resume
+  /// contract.  Never leaves a tmp file behind, even on the error paths.
   void put(const digest128& digest, std::string_view payload);
+
+  /// Audits the store: verifies every object, lists tmp files from dead
+  /// writers, counts quarantine/.  With repair, corrupt objects are moved
+  /// to quarantine/ and orphaned tmp files removed (the report still lists
+  /// them, with repaired=true).
+  [[nodiscard]] fsck_report fsck(bool repair);
 
   /// Number of objects currently in the store (walks the directory; for
   /// tests and the status report, not hot paths).
@@ -54,21 +112,31 @@ class result_store {
 
   [[nodiscard]] const std::filesystem::path& root() const noexcept { return root_; }
 
-  /// Cumulative get() outcomes since construction (diagnostics/tests).
+  /// Cumulative counters since construction (diagnostics/tests).
   [[nodiscard]] std::uint64_t hits() const noexcept {
     return hits_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t misses() const noexcept {
     return misses_.load(std::memory_order_relaxed);
   }
+  /// Objects get() moved to quarantine/ after a failed verification.
+  [[nodiscard]] std::uint64_t quarantined() const noexcept {
+    return quarantined_.load(std::memory_order_relaxed);
+  }
+  /// Stale tmp files removed by the construction-time GC.
+  [[nodiscard]] std::uint64_t tmp_collected() const noexcept { return tmp_collected_; }
 
  private:
   [[nodiscard]] std::filesystem::path object_path(const digest128& digest) const;
+  void quarantine_object(const std::filesystem::path& object) const;
+  [[nodiscard]] std::vector<std::filesystem::path> stale_tmp_files() const;
 
   std::filesystem::path root_;
   // get() is logically const; the counters are observability only.
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};
+  mutable std::atomic<std::uint64_t> quarantined_{0};
+  std::uint64_t tmp_collected_ = 0;
   std::atomic<std::uint64_t> write_seq_{0};
 };
 

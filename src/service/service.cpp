@@ -140,6 +140,13 @@ void session::handle_submit(const json_value& request) {
   if (const json_value* field = request.find("priority")) {
     job.priority = static_cast<int>(field->as_int64("priority"));
   }
+  job.timeout_seconds = options_.default_timeout_seconds;
+  if (const json_value* field = request.find("timeout")) {
+    job.timeout_seconds = field->as_double("timeout");
+    if (!(job.timeout_seconds >= 0.0)) {
+      throw std::invalid_argument{"submit: 'timeout' must be >= 0 seconds"};
+    }
+  }
 
   // The digests are the submission's cache identity; echoing them in
   // job_accepted lets a client correlate results with its own store scans.
@@ -210,6 +217,23 @@ void session::handle_submit(const json_value& request) {
   }
   try {
     queue_.submit(std::move(job), std::move(sinks), on_accepted);
+  } catch (const queue_full_error& e) {
+    // Backpressure, not an error event: the explicit reply tells the
+    // client nothing was enqueued and a verbatim resubmission is safe
+    // (and free, once the points exist — the digests dedupe it).
+    {
+      const std::lock_guard<std::mutex> lock{mutex_};
+      --outstanding_;
+    }
+    std::ostringstream out;
+    json_writer json{out, /*indent=*/0};
+    json.begin_object();
+    json.key("event").value("job_rejected");
+    json.key("reason").value("queue_full");
+    json.key("limit").value(static_cast<std::uint64_t>(e.limit()));
+    json.key("message").value(e.what());
+    json.end_object();
+    emit(out.str());
   } catch (...) {
     const std::lock_guard<std::mutex> lock{mutex_};
     --outstanding_;

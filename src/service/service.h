@@ -11,7 +11,7 @@
 ///   {"op":"submit", "spec": "<canonical scenario text>",
 ///    "set": ["key=value", ...], "sweep": ["key=v1,v2", ...],
 ///    "horizon": T, "replications": R, "seed": S,
-///    "probes": ["regret", ...], "priority": 0}
+///    "probes": ["regret", ...], "priority": 0, "timeout": seconds}
 ///   {"op":"status", "job": N}
 ///   {"op":"cancel", "job": N}
 ///
@@ -24,7 +24,11 @@
 ///   {"event":"job_done","job":N,"status":"done|cancelled|failed", ...}
 ///
 /// plus {"event":"status",...}, {"event":"cancel_result",...} and
-/// {"event":"error","message":...} replies.  The `result` object of a
+/// {"event":"error","message":...} replies.  A submit refused by a full
+/// bounded queue gets {"event":"job_rejected","reason":"queue_full",
+/// "limit":L,...} instead of job_accepted — explicit backpressure the
+/// client retries with backoff (nothing was enqueued).  The `result`
+/// object of a
 /// cache_hit is byte-identical to the point_done `result` the original
 /// computation produced — that is the store's contract, and the
 /// service-smoke CI job asserts it over the real wire.
@@ -58,6 +62,10 @@ struct session_options {
   /// --exit-after-points uses it to die at a deterministic place so CI
   /// can test kill-and-resume.
   std::function<void()> on_point_computed;
+
+  /// Wall-clock budget applied to submissions that do not carry their own
+  /// "timeout" field (0 = none).  The daemon's --job-timeout.
+  double default_timeout_seconds = 0.0;
 };
 
 class session {

@@ -4,9 +4,12 @@
 #include <cstring>
 #include <stdexcept>
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
+
+#include "support/failpoint.h"
 
 namespace sgl::service {
 namespace {
@@ -61,12 +64,25 @@ unix_fd unix_listen(const std::string& path) {
 }
 
 unix_fd unix_accept(const unix_fd& listener) {
+  if (failpoints::check("socket.accept")) return unix_fd{};
   const int fd = ::accept(listener.get(), nullptr, nullptr);
   return unix_fd{fd};  // invalid on error; caller treats as "try again / stop"
 }
 
+unix_fd unix_accept_interruptible(const unix_fd& listener, int timeout_ms) {
+  pollfd waiter{};
+  waiter.fd = listener.get();
+  waiter.events = POLLIN;
+  const int ready = ::poll(&waiter, 1, timeout_ms);
+  if (ready <= 0) return unix_fd{};  // timeout, EINTR: let the caller poll its flag
+  return unix_accept(listener);
+}
+
 unix_fd unix_connect(const std::string& path) {
   const sockaddr_un address = make_address(path);
+  if (failpoints::check("socket.connect")) {
+    throw std::runtime_error{"connect '" + path + "': injected fail point 'socket.connect'"};
+  }
   unix_fd fd{::socket(AF_UNIX, SOCK_STREAM, 0)};
   if (!fd.valid()) fail("socket");
   if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&address), sizeof(address)) != 0) {
@@ -77,10 +93,18 @@ unix_fd unix_connect(const std::string& path) {
 
 bool write_all(int fd, std::string_view data) {
   while (!data.empty()) {
+    if (failpoints::check("socket.write_fail")) return false;
+    std::size_t attempt = data.size();
+    if (const auto cap = failpoints::check("socket.write_short")) {
+      // Simulated partial write: the kernel took only `arg` bytes (a full
+      // send buffer); the loop must finish the job on the next pass.
+      const std::size_t limit = *cap == 0 ? 1 : static_cast<std::size_t>(*cap);
+      if (limit < attempt) attempt = limit;
+    }
 #if defined(MSG_NOSIGNAL)
-    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    const ssize_t n = ::send(fd, data.data(), attempt, MSG_NOSIGNAL);
 #else
-    const ssize_t n = ::write(fd, data.data(), data.size());
+    const ssize_t n = ::write(fd, data.data(), attempt);
 #endif
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -101,7 +125,17 @@ std::optional<std::string> line_reader::next_line(int fd) {
         buffer_.clear();
         pos_ = 0;
       }
+      if (line.size() > max_line_) {
+        throw std::runtime_error{"line too long (" + std::to_string(line.size()) +
+                                 " bytes, limit " + std::to_string(max_line_) + ")"};
+      }
       return line;
+    }
+    // The unterminated tail is all one pending line; cap it *before* the
+    // newline arrives so a peer streaming garbage can't balloon buffer_.
+    if (buffer_.size() - pos_ > max_line_) {
+      throw std::runtime_error{"line too long (over " + std::to_string(max_line_) +
+                               " bytes without a newline)"};
     }
     if (eof_) {
       if (pos_ < buffer_.size()) {
@@ -112,8 +146,17 @@ std::optional<std::string> line_reader::next_line(int fd) {
       }
       return std::nullopt;
     }
+    if (failpoints::check("socket.read_eintr")) continue;  // as if EINTR restarted us
+    if (failpoints::check("socket.read_fail")) {
+      throw std::runtime_error{"read: injected fail point 'socket.read_fail'"};
+    }
     char chunk[4096];
-    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    std::size_t want = sizeof(chunk);
+    if (const auto cap = failpoints::check("socket.read_short")) {
+      const std::size_t limit = *cap == 0 ? 1 : static_cast<std::size_t>(*cap);
+      if (limit < want) want = limit;  // dribble bytes in; reassembly must still work
+    }
+    const ssize_t n = ::read(fd, chunk, want);
     if (n < 0) {
       if (errno == EINTR) continue;
       throw std::runtime_error{std::string{"read: "} + std::strerror(errno)};

@@ -10,7 +10,19 @@
 ///
 /// Everything here is POSIX-only, like the daemon itself; the simulation
 /// library never includes this header.
+///
+/// Fail-point sites (support/failpoint.h), for deterministic exercise of
+/// the paths a real network produces only probabilistically:
+///
+///   socket.accept       accept() reports a transient failure (EINTR-like)
+///   socket.connect      connect() fails (daemon briefly unreachable)
+///   socket.read_eintr   one read() is restarted as if interrupted
+///   socket.read_short   one read() returns at most `arg` bytes (default 1)
+///   socket.read_fail    read() fails hard (ECONNRESET-shaped)
+///   socket.write_short  one write() consumes at most `arg` bytes (default 1)
+///   socket.write_fail   write_all() reports a broken connection (EPIPE)
 
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -45,6 +57,11 @@ class unix_fd {
 /// Accepts one connection; empty fd on EINTR/shutdown-race.
 [[nodiscard]] unix_fd unix_accept(const unix_fd& listener);
 
+/// Accepts with a timeout: waits up to `timeout_ms` for a connection, then
+/// returns an empty fd so the caller can poll a shutdown flag.  Also empty
+/// on EINTR (a signal is exactly when the flag needs checking).
+[[nodiscard]] unix_fd unix_accept_interruptible(const unix_fd& listener, int timeout_ms);
+
 /// Connects to the daemon at `path`.  Throws std::runtime_error on
 /// failure (usual cause: no daemon running there).
 [[nodiscard]] unix_fd unix_connect(const std::string& path);
@@ -53,17 +70,28 @@ class unix_fd {
 /// on a broken connection (EPIPE and friends) — never raises SIGPIPE.
 [[nodiscard]] bool write_all(int fd, std::string_view data);
 
+/// Upper bound on one JSONL line accepted from a peer.  Generous for real
+/// requests (the largest legitimate submit is a few KiB of sweep grid) but
+/// small enough that a hostile or broken client cannot balloon the
+/// daemon's memory one connection at a time.
+inline constexpr std::size_t k_default_max_line = 4u << 20;  // 4 MiB
+
 /// Splits a byte stream into '\n'-terminated lines.
 class line_reader {
  public:
+  explicit line_reader(std::size_t max_line = k_default_max_line) noexcept
+      : max_line_{max_line} {}
+
   /// The next line (without the terminator), nullopt at end-of-stream.
   /// A final unterminated line is returned as-is before the nullopt.
-  /// Throws std::runtime_error on a read error.
+  /// Throws std::runtime_error on a read error, or when a line exceeds
+  /// the max-line bound before its newline arrives.
   [[nodiscard]] std::optional<std::string> next_line(int fd);
 
  private:
   std::string buffer_;
   std::size_t pos_ = 0;  // consumed prefix of buffer_
+  std::size_t max_line_;
   bool eof_ = false;
 };
 

@@ -265,10 +265,16 @@ class parser {
 
 const json_value* json_value::find(std::string_view key) const noexcept {
   if (type != kind::object) return nullptr;
+  // Last key wins on duplicates — the usual JSON-parser convention
+  // (RFC 8259 leaves it open), and the safer one on an untrusted wire:
+  // what this parser acts on is what a conventional reader would see, so
+  // a client can't smuggle one value past validation and have a different
+  // one take effect.
+  const json_value* found = nullptr;
   for (const auto& [name, value] : members) {
-    if (name == key) return &value;
+    if (name == key) found = &value;
   }
-  return nullptr;
+  return found;
 }
 
 const std::string& json_value::as_string(std::string_view what) const {

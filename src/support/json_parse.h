@@ -43,7 +43,11 @@ struct json_value {
   [[nodiscard]] bool is_number() const noexcept { return type == kind::number; }
 
   /// Object member by key; nullptr when absent (or not an object).  The
-  /// first member wins when a document repeats a key.
+  /// LAST member wins when a document repeats a key — the convention of
+  /// mainstream parsers, so a hostile client cannot make this parser act
+  /// on a different value than a conventional reader of the same bytes
+  /// (`members` still holds every duplicate, in document order, for
+  /// callers that care).
   [[nodiscard]] const json_value* find(std::string_view key) const noexcept;
 
   /// Checked accessors: throw std::invalid_argument naming `what` (the

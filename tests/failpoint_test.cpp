@@ -1,0 +1,175 @@
+// Tests for the deterministic fail-point framework (support/failpoint.h):
+// DSL parsing, count/range/Bernoulli triggers, the site argument, hit
+// accounting, and the env-var entry point the daemon uses.
+
+#include "support/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sgl {
+namespace {
+
+/// Every test starts and ends with a clean registry — fail points are
+/// process-global, and a leaked site would fire inside an unrelated test.
+class failpoint_test : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoints::clear(); }
+  void TearDown() override { failpoints::clear(); }
+};
+
+TEST_F(failpoint_test, off_by_default) {
+  EXPECT_FALSE(failpoints::active());
+  EXPECT_FALSE(failpoints::check("store.rename").has_value());
+  // Unconfigured sites are not even counted (the fast path never looks).
+  EXPECT_EQ(failpoints::hit_count("store.rename"), 0U);
+}
+
+TEST_F(failpoint_test, single_count_fires_exactly_once) {
+  failpoints::set("site.a", "3");
+  EXPECT_TRUE(failpoints::active());
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) fired.push_back(failpoints::check("site.a").has_value());
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false, false}));
+  EXPECT_EQ(failpoints::hit_count("site.a"), 6U);
+}
+
+TEST_F(failpoint_test, closed_and_open_ranges) {
+  failpoints::configure("site.a=2..4; site.b=5..");
+  std::vector<bool> a;
+  std::vector<bool> b;
+  for (int i = 0; i < 8; ++i) {
+    a.push_back(failpoints::check("site.a").has_value());
+    b.push_back(failpoints::check("site.b").has_value());
+  }
+  EXPECT_EQ(a, (std::vector<bool>{false, true, true, true, false, false, false, false}));
+  EXPECT_EQ(b, (std::vector<bool>{false, false, false, false, true, true, true, true}));
+}
+
+TEST_F(failpoint_test, argument_reaches_the_site) {
+  failpoints::configure("socket.read_short=1..(7)");
+  const auto fired = failpoints::check("socket.read_short");
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_EQ(*fired, 7U);
+  // Sites without an explicit argument get 0.
+  failpoints::set("site.a", "1");
+  EXPECT_EQ(failpoints::check("site.a").value(), 0U);
+}
+
+TEST_F(failpoint_test, off_mode_counts_but_never_fires) {
+  failpoints::set("site.a", "off");
+  EXPECT_TRUE(failpoints::active()) << "off sites still keep check() on the slow path";
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(failpoints::check("site.a").has_value());
+  EXPECT_EQ(failpoints::hit_count("site.a"), 5U) << "an A/B baseline needs the count";
+}
+
+TEST_F(failpoint_test, bernoulli_is_deterministic_per_seed) {
+  const auto sample = [](std::uint64_t seed) {
+    failpoints::set("site.p", "p=0.3@" + std::to_string(seed));
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) fired.push_back(failpoints::check("site.p").has_value());
+    failpoints::clear();
+    return fired;
+  };
+  const std::vector<bool> first = sample(42);
+  EXPECT_EQ(first, sample(42)) << "same seed, same schedule";
+  EXPECT_NE(first, sample(43)) << "different seed, different schedule";
+
+  // Frequency sanity: ~30% of 200 hits; a generous band, this is a hash
+  // stream, not a statistics test.
+  const auto fires = static_cast<std::size_t>(std::count(first.begin(), first.end(), true));
+  EXPECT_GT(fires, 30U);
+  EXPECT_LT(fires, 90U);
+
+  // Edge probabilities are absolute.
+  failpoints::set("site.p", "p=0@1");
+  EXPECT_FALSE(failpoints::check("site.p").has_value());
+  failpoints::set("site.p", "p=1@1");
+  EXPECT_TRUE(failpoints::check("site.p").has_value());
+}
+
+TEST_F(failpoint_test, bernoulli_schedule_is_thread_interleaving_independent) {
+  // The decision for hit index i depends only on (site, seed, i): with 4
+  // threads racing, the multiset of indices that fired must equal the
+  // serial schedule, whatever the interleaving.
+  failpoints::set("site.p", "p=0.5@7");
+  std::vector<bool> serial;
+  for (int i = 0; i < 400; ++i) serial.push_back(failpoints::check("site.p").has_value());
+  const auto serial_fires =
+      static_cast<std::size_t>(std::count(serial.begin(), serial.end(), true));
+
+  failpoints::set("site.p", "p=0.5@7");  // reset the hit counter
+  std::atomic<std::size_t> parallel_fires{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        if (failpoints::check("site.p")) parallel_fires.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(parallel_fires.load(), serial_fires);
+}
+
+TEST_F(failpoint_test, configure_replaces_and_clear_removes) {
+  failpoints::configure("a=1;b=2");
+  EXPECT_EQ(failpoints::configured_sites(), (std::vector<std::string>{"a", "b"}));
+  failpoints::configure("c=1");
+  EXPECT_EQ(failpoints::configured_sites(), (std::vector<std::string>{"c"}));
+  EXPECT_FALSE(failpoints::check("a").has_value()) << "replaced, not merged";
+
+  EXPECT_TRUE(failpoints::clear("c"));
+  EXPECT_FALSE(failpoints::clear("c")) << "already gone";
+  EXPECT_FALSE(failpoints::active());
+}
+
+TEST_F(failpoint_test, parse_errors_name_the_entry_and_keep_old_config) {
+  failpoints::configure("keep.me=1");
+  const auto expect_rejected = [&](std::string_view dsl) {
+    EXPECT_THROW(failpoints::configure(dsl), std::invalid_argument) << dsl;
+    EXPECT_EQ(failpoints::configured_sites(), (std::vector<std::string>{"keep.me"}))
+        << "a rejected configure must leave the old registry untouched: " << dsl;
+  };
+  expect_rejected("site.a");            // no '='
+  expect_rejected("=1");                // empty site
+  expect_rejected("site.a=");           // empty spec
+  expect_rejected("site.a=zero");       // not a count
+  expect_rejected("site.a=0");          // counts are 1-based
+  expect_rejected("site.a=5..3");       // empty range
+  expect_rejected("site.a=p=0.5");      // bernoulli without a seed
+  expect_rejected("site.a=p=1.5@1");    // probability out of range
+  expect_rejected("site.a=p=-0.1@1");   // probability out of range
+  expect_rejected("site.a=1(x)");       // non-numeric argument
+  expect_rejected("site.a=1)");         // unmatched paren
+}
+
+TEST_F(failpoint_test, dsl_tolerates_whitespace_and_empty_entries) {
+  failpoints::configure("  a = 1 ; ; b = 2..3 (9) ;");
+  EXPECT_EQ(failpoints::configured_sites(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(failpoints::check("a").has_value());
+  EXPECT_FALSE(failpoints::check("b").has_value());
+  EXPECT_EQ(failpoints::check("b").value(), 9U);
+}
+
+TEST_F(failpoint_test, init_from_env_reads_sgl_failpoints) {
+  ::setenv("SGL_FAILPOINTS", "env.site=1", 1);
+  failpoints::init_from_env();
+  ::unsetenv("SGL_FAILPOINTS");
+  EXPECT_EQ(failpoints::configured_sites(), (std::vector<std::string>{"env.site"}));
+  EXPECT_TRUE(failpoints::check("env.site").has_value());
+
+  // Unset (or empty) is a no-op, not a clear.
+  failpoints::init_from_env();
+  EXPECT_TRUE(failpoints::active());
+}
+
+}  // namespace
+}  // namespace sgl

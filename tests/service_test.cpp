@@ -1,8 +1,10 @@
 // Tests for the sociolearnd service layer: digest stability and
-// sensitivity, the content-addressed result store, cache/resume semantics
-// of the job queue (identical resubmission served entirely from cache,
-// byte-identically; a partial store resumes by recomputing only the
-// missing points), cancellation, priorities, and the wire session.
+// sensitivity, the content-addressed result store (checksum trailers,
+// quarantine, tmp GC, fsck), cache/resume semantics of the job queue
+// (identical resubmission served entirely from cache, byte-identically; a
+// partial store resumes by recomputing only the missing points),
+// cancellation, priorities, bounded-queue backpressure, per-job timeouts,
+// the wire session, and the fail-point-driven I/O edge paths.
 
 #include "service/digest.h"
 
@@ -11,10 +13,15 @@
 #include <algorithm>
 #include <atomic>
 #include <filesystem>
+#include <fstream>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include "core/experiment.h"
 #include "core/step_kernel.h"
@@ -25,6 +32,8 @@
 #include "service/payload.h"
 #include "service/result_store.h"
 #include "service/service.h"
+#include "service/socket.h"
+#include "support/failpoint.h"
 #include "support/json.h"
 #include "support/json_parse.h"
 
@@ -213,6 +222,197 @@ TEST(result_store, persists_across_instances) {
   }
   result_store reopened{root};
   EXPECT_EQ(reopened.get(digest), "survives the process");
+}
+
+// --- result_store: self-verification, quarantine, tmp GC, fsck --------------
+
+/// Clears the process-global fail-point registry around a test body.
+/// Every test that arms a fail point must hold one of these, or a failing
+/// test could leak its fault schedule into unrelated tests.
+struct failpoint_guard {
+  failpoint_guard() { failpoints::clear(); }
+  ~failpoint_guard() { failpoints::clear(); }
+};
+
+/// The store's on-disk path for a digest (mirrors the layout contract in
+/// result_store.h: objects/<hh>/<hex>.json).
+std::filesystem::path object_path_of(const result_store& store, const digest128& digest) {
+  const std::string hex = digest.hex();
+  return store.root() / "objects" / hex.substr(0, 2) / (hex + ".json");
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in{path, std::ios::binary};
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::size_t file_count(const std::filesystem::path& dir) {
+  std::size_t n = 0;
+  for (const auto& entry : std::filesystem::recursive_directory_iterator{dir}) {
+    if (entry.is_regular_file()) ++n;
+  }
+  return n;
+}
+
+TEST(result_store, object_framing_round_trips_and_rejects_tampering) {
+  const std::string payload = R"({"digest":"abc","values":[1,2,3]})";
+  const std::string framed = frame_object(payload);
+  EXPECT_NE(framed.find(k_object_trailer_magic), std::string::npos);
+  EXPECT_EQ(unframe_object(framed), payload);
+
+  // Any payload change breaks the checksum; any trailer damage breaks
+  // the frame.  Both must read as "corrupt", never as a payload.
+  std::string flipped = framed;
+  flipped[10] ^= 0x20;
+  EXPECT_EQ(unframe_object(flipped), std::nullopt);
+  EXPECT_EQ(unframe_object(framed.substr(0, framed.size() - 2)), std::nullopt);
+  EXPECT_EQ(unframe_object(payload), std::nullopt) << "pre-v2 object (no trailer)";
+  EXPECT_EQ(unframe_object(""), std::nullopt);
+}
+
+TEST(result_store, objects_on_disk_carry_the_checksum_trailer) {
+  result_store store{fresh_store_root("trailer")};
+  const digest128 digest = fnv1a_128("framed");
+  store.put(digest, "the payload");
+  const std::string on_disk = read_file(object_path_of(store, digest));
+  EXPECT_EQ(on_disk, frame_object("the payload"));
+  // get() strips the trailer: callers always see the exact payload bytes.
+  EXPECT_EQ(store.get(digest), "the payload");
+}
+
+TEST(result_store, corrupt_object_is_quarantined_and_treated_as_a_miss) {
+  result_store store{fresh_store_root("quarantine")};
+  const digest128 digest = fnv1a_128("rot");
+  store.put(digest, "good bytes");
+
+  // Flip one payload byte in place — the trailer no longer matches.
+  const std::filesystem::path object = object_path_of(store, digest);
+  std::string bytes = read_file(object);
+  bytes[2] ^= 0x01;
+  std::ofstream{object, std::ios::binary | std::ios::trunc} << bytes;
+
+  EXPECT_EQ(store.get(digest), std::nullopt) << "corrupt results are never served";
+  EXPECT_EQ(store.quarantined(), 1U);
+  EXPECT_FALSE(std::filesystem::exists(object)) << "moved out of objects/";
+  EXPECT_EQ(file_count(store.root() / "quarantine"), 1U);
+
+  // The digest is now a plain miss; a recompute re-populates it cleanly.
+  store.put(digest, "good bytes");
+  EXPECT_EQ(store.get(digest), "good bytes");
+}
+
+TEST(result_store, pre_v2_object_without_trailer_is_quarantined) {
+  result_store store{fresh_store_root("prev2")};
+  const digest128 digest = fnv1a_128("legacy");
+  const std::filesystem::path object = object_path_of(store, digest);
+  std::filesystem::create_directories(object.parent_path());
+  std::ofstream{object, std::ios::binary} << "raw payload with no trailer";
+  EXPECT_EQ(store.get(digest), std::nullopt);
+  EXPECT_EQ(store.quarantined(), 1U);
+  EXPECT_FALSE(std::filesystem::exists(object));
+}
+
+TEST(result_store, construction_collects_tmp_files_of_dead_writers_only) {
+  const std::filesystem::path root = fresh_store_root("tmpgc");
+  std::filesystem::create_directories(root / "tmp");
+  // Our own pid counts as dead (a fresh store instance cannot have
+  // in-flight writes from this process); pid 1 is alive and not ours.
+  const std::string dead = "aaaa." + std::to_string(::getpid()) + ".0";
+  std::ofstream{root / "tmp" / dead} << "torn write";
+  std::ofstream{root / "tmp" / "bbbb.1.0"} << "live writer";
+  std::ofstream{root / "tmp" / "unrecognized-name"} << "not ours to judge";
+
+  result_store store{root};
+  EXPECT_EQ(store.tmp_collected(), 1U);
+  EXPECT_FALSE(std::filesystem::exists(root / "tmp" / dead));
+  EXPECT_TRUE(std::filesystem::exists(root / "tmp" / "bbbb.1.0"));
+  EXPECT_TRUE(std::filesystem::exists(root / "tmp" / "unrecognized-name"));
+
+  // fsck's opening mode: gc off preserves the evidence.
+  std::ofstream{root / "tmp" / dead} << "torn write again";
+  result_store no_gc{root, store_options{.gc_stale_tmp = false}};
+  EXPECT_EQ(no_gc.tmp_collected(), 0U);
+  EXPECT_TRUE(std::filesystem::exists(root / "tmp" / dead));
+}
+
+TEST(result_store, put_failures_throw_and_leave_no_tmp_files) {
+  const failpoint_guard guard;
+  result_store store{fresh_store_root("putfail")};
+  const digest128 digest = fnv1a_128("doomed");
+  for (const char* site :
+       {"store.tmp_open", "store.write", "store.fsync", "store.rename"}) {
+    failpoints::clear();
+    failpoints::set(site, "1");
+    EXPECT_THROW(store.put(digest, "payload"), std::runtime_error) << site;
+    EXPECT_TRUE(std::filesystem::is_empty(store.root() / "tmp"))
+        << site << ": the failed write leaked its tmp file";
+    EXPECT_FALSE(std::filesystem::exists(object_path_of(store, digest))) << site;
+  }
+  // After the schedule is exhausted the same put succeeds.
+  failpoints::clear();
+  store.put(digest, "payload");
+  EXPECT_EQ(store.get(digest), "payload");
+}
+
+TEST(result_store, read_failure_is_a_miss_without_quarantine) {
+  const failpoint_guard guard;
+  result_store store{fresh_store_root("readfail")};
+  const digest128 digest = fnv1a_128("transient");
+  store.put(digest, "still good");
+  failpoints::set("store.read", "1");
+  EXPECT_EQ(store.get(digest), std::nullopt);
+  EXPECT_EQ(store.quarantined(), 0U)
+      << "an unreadable object is not evidence of corruption";
+  EXPECT_TRUE(std::filesystem::exists(object_path_of(store, digest)));
+  failpoints::clear();
+  EXPECT_EQ(store.get(digest), "still good");
+}
+
+TEST(result_store, fsck_reports_and_repairs) {
+  const std::filesystem::path root = fresh_store_root("fsck");
+  const digest128 good = fnv1a_128("good");
+  const digest128 bad = fnv1a_128("bad");
+  std::string dead_tmp;
+  {
+    result_store store{root};
+    store.put(good, "intact");
+    store.put(bad, "will rot");
+    const std::filesystem::path object = object_path_of(store, bad);
+    std::string bytes = read_file(object);
+    bytes[1] ^= 0x08;
+    std::ofstream{object, std::ios::binary | std::ios::trunc} << bytes;
+    dead_tmp = "cccc." + std::to_string(::getpid()) + ".7";
+    std::ofstream{root / "tmp" / dead_tmp} << "orphan";
+  }
+
+  // Report pass: everything is named, nothing is touched.
+  result_store store{root, store_options{.gc_stale_tmp = false}};
+  fsck_report report = store.fsck(/*repair=*/false);
+  EXPECT_FALSE(report.clean());
+  EXPECT_FALSE(report.repaired);
+  EXPECT_EQ(report.objects_ok, 1U);
+  ASSERT_EQ(report.corrupt.size(), 1U);
+  EXPECT_NE(report.corrupt[0].find(bad.hex()), std::string::npos);
+  ASSERT_EQ(report.orphaned_tmp.size(), 1U);
+  EXPECT_NE(report.orphaned_tmp[0].find(dead_tmp), std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(root / "tmp" / dead_tmp));
+
+  // Repair pass: corrupt object quarantined, orphan removed, store clean.
+  report = store.fsck(/*repair=*/true);
+  EXPECT_TRUE(report.repaired);
+  EXPECT_EQ(report.corrupt.size(), 1U);
+  EXPECT_FALSE(std::filesystem::exists(root / "tmp" / dead_tmp));
+  EXPECT_EQ(file_count(root / "quarantine"), 1U);
+
+  const fsck_report after = store.fsck(/*repair=*/false);
+  EXPECT_TRUE(after.clean());
+  EXPECT_EQ(after.objects_ok, 1U);
+  EXPECT_EQ(after.quarantined, 1U);
+  // The quarantined digest is recomputable: it is simply a miss now.
+  EXPECT_EQ(store.get(bad), std::nullopt);
+  EXPECT_EQ(store.get(good), "intact");
 }
 
 // --- payload ----------------------------------------------------------------
@@ -561,6 +761,258 @@ TEST(session, cancel_round_trip_over_the_wire) {
   EXPECT_EQ(parse_json(out.lines[1]).find("status")->as_string("s"), "cancelled");
   EXPECT_TRUE(parse_json(out.lines[2]).find("cancelled")->as_bool("c"));
   EXPECT_EQ(parse_json(out.lines[3]).find("state")->as_string("s"), "cancelled");
+}
+
+// --- job_queue: overload and fault robustness --------------------------------
+
+TEST(job_queue, bounded_queue_rejects_submissions_past_the_limit) {
+  result_store store{fresh_store_root("bounded")};
+  job_queue queue{store, 1, /*max_queued=*/1};
+  queue.pause();
+
+  event_log first;
+  (void)queue.submit(sweep_request(), first.sinks());
+  event_log second;
+  try {
+    (void)queue.submit(sweep_request(), second.sinks());
+    FAIL() << "submit past the bound must throw queue_full_error";
+  } catch (const queue_full_error& e) {
+    EXPECT_EQ(e.limit(), 1U);
+  }
+  // Nothing was enqueued for the rejected job...
+  queue.drain();
+  EXPECT_TRUE(second.done.empty());
+  ASSERT_EQ(first.done.size(), 1U);
+  EXPECT_EQ(first.done[0].state, job_state::done);
+
+  // ...and once the queue settles, the identical resubmission is accepted
+  // and served entirely from cache — backpressure costs no compute.
+  event_log retry;
+  (void)queue.submit(sweep_request(), retry.sinks());
+  queue.drain();
+  ASSERT_EQ(retry.done.size(), 1U);
+  EXPECT_EQ(retry.done[0].cached, 3U);
+  EXPECT_EQ(retry.done[0].computed, 0U);
+}
+
+TEST(job_queue, timeout_fails_the_job_but_keeps_persisted_points) {
+  result_store store{fresh_store_root("timeout")};
+  job_queue queue{store, 1};
+
+  // A budget far below the job's real cost: the watchdog raises the stop
+  // flag mid-run.  The job must finish `failed` with a timeout error, and
+  // whatever points completed first must already be in the store.
+  job_request timed = sweep_request();
+  timed.config.horizon = 20000;
+  timed.config.replications = 8;
+  timed.timeout_seconds = 1e-3;
+  event_log log;
+  (void)queue.submit(std::move(timed), log.sinks());
+  queue.drain();
+  ASSERT_EQ(log.done.size(), 1U);
+  EXPECT_EQ(log.done[0].state, job_state::failed);
+  EXPECT_NE(log.done[0].error.find("timed out"), std::string::npos)
+      << log.done[0].error;
+  EXPECT_LT(log.done[0].computed, 3U);
+  EXPECT_EQ(store.object_count(), log.done[0].computed);
+
+  // Resubmitted with no budget, the sweep resumes from the persisted
+  // points and completes.
+  job_request again = sweep_request();
+  again.config.horizon = 20000;
+  again.config.replications = 8;
+  event_log resumed;
+  (void)queue.submit(std::move(again), resumed.sinks());
+  queue.drain();
+  ASSERT_EQ(resumed.done.size(), 1U);
+  EXPECT_EQ(resumed.done[0].state, job_state::done);
+  EXPECT_EQ(resumed.done[0].cached, log.done[0].computed);
+  EXPECT_EQ(resumed.done[0].cached + resumed.done[0].computed, 3U);
+  EXPECT_EQ(store.object_count(), 3U);
+}
+
+TEST(job_queue, injected_point_failure_resumes_byte_identically) {
+  const failpoint_guard guard;
+  // Control: the same sweep, undisturbed, in its own store.
+  result_store control_store{fresh_store_root("pointfail_control")};
+  std::vector<std::string> control_payloads;
+  {
+    job_queue queue{control_store, 1};
+    event_log log;
+    (void)queue.submit(sweep_request(), log.sinks());
+    queue.drain();
+    control_payloads = log.payloads;
+    std::sort(control_payloads.begin(), control_payloads.end());
+  }
+
+  // Faulted run: the first computed point's delivery throws.
+  result_store store{fresh_store_root("pointfail")};
+  job_queue queue{store, 1};
+  failpoints::set("queue.point", "1");
+  event_log failed;
+  (void)queue.submit(sweep_request(), failed.sinks());
+  queue.drain();
+  ASSERT_EQ(failed.done.size(), 1U);
+  EXPECT_EQ(failed.done[0].state, job_state::failed);
+  EXPECT_FALSE(failed.done[0].error.empty());
+
+  // Recovery: clear the fault, resubmit, and the store converges to the
+  // exact bytes the undisturbed run produced.
+  failpoints::clear();
+  event_log resumed;
+  (void)queue.submit(sweep_request(), resumed.sinks());
+  queue.drain();
+  ASSERT_EQ(resumed.done.size(), 1U);
+  EXPECT_EQ(resumed.done[0].state, job_state::done);
+  EXPECT_EQ(resumed.done[0].cached + resumed.done[0].computed, 3U);
+  std::vector<std::string> payloads = resumed.payloads;
+  std::sort(payloads.begin(), payloads.end());
+  EXPECT_EQ(payloads, control_payloads)
+      << "a faulted-then-resumed sweep must converge to the control bytes";
+}
+
+TEST(session, full_queue_replies_with_job_rejected) {
+  result_store store{fresh_store_root("rejected")};
+  job_queue queue{store, 1, /*max_queued=*/1};
+  queue.pause();
+  wire out;
+  session s{queue, out.options()};
+  s.handle_line(submit_line());
+  s.handle_line(submit_line());
+  {
+    const std::vector<std::string> events = out.events();
+    ASSERT_EQ(events.size(), 2U);
+    EXPECT_EQ(events[0], "job_accepted");
+    EXPECT_EQ(events[1], "job_rejected");
+    const json_value rejected = parse_json(out.lines[1]);
+    EXPECT_EQ(rejected.find("reason")->as_string("reason"), "queue_full");
+    EXPECT_EQ(rejected.find("limit")->as_uint64("limit"), 1U);
+    EXPECT_NE(rejected.find("message"), nullptr);
+  }
+  // The rejected submit left nothing outstanding: finish() returns once
+  // the accepted job completes, with exactly one job_done.
+  queue.resume();
+  s.finish();
+  const std::vector<std::string> events = out.events();
+  EXPECT_EQ(std::count(events.begin(), events.end(), "job_done"), 1);
+  EXPECT_EQ(std::count(events.begin(), events.end(), "job_rejected"), 1);
+}
+
+TEST(session, peer_disconnect_mid_reply_cancels_outstanding_jobs) {
+  result_store store{fresh_store_root("disconnect")};
+  job_queue queue{store, 1};
+  // A wire whose peer vanishes after the first event line (job_accepted):
+  // the first point_done write fails, the session must cancel its jobs
+  // and drop further events instead of wedging or crashing.
+  std::mutex mutex;
+  std::vector<std::string> lines;
+  session_options options;
+  options.write_line = [&](std::string_view line) {
+    const std::lock_guard<std::mutex> lock{mutex};
+    if (lines.size() >= 1) return false;  // peer gone
+    lines.emplace_back(line);
+    return true;
+  };
+  {
+    session s{queue, std::move(options)};
+    s.handle_line(submit_line());
+    s.finish();
+    EXPECT_TRUE(s.peer_closed());
+  }
+  queue.drain();
+  const std::lock_guard<std::mutex> lock{mutex};
+  ASSERT_EQ(lines.size(), 1U);
+  EXPECT_NE(lines[0].find("job_accepted"), std::string::npos);
+}
+
+// --- socket edge paths (driven by fail points over a socketpair) ------------
+
+struct socket_pair {
+  unix_fd a;
+  unix_fd b;
+  socket_pair() {
+    int fds[2] = {-1, -1};
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+      ADD_FAILURE() << "socketpair failed";
+    }
+    a = unix_fd{fds[0]};
+    b = unix_fd{fds[1]};
+  }
+};
+
+TEST(socket, write_all_completes_through_short_writes) {
+  const failpoint_guard guard;
+  socket_pair pair;
+  // Every one of the first eight writes is capped at 3 bytes; write_all
+  // must loop until the whole line is on the wire.
+  failpoints::set("socket.write_short", "1..8(3)");
+  const std::string data = "a line that takes many short writes\n";
+  ASSERT_TRUE(write_all(pair.a.get(), data));
+  pair.a.reset();  // EOF for the reader
+  line_reader reader;
+  const std::optional<std::string> line = reader.next_line(pair.b.get());
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(*line, "a line that takes many short writes");
+  EXPECT_EQ(reader.next_line(pair.b.get()), std::nullopt);
+}
+
+TEST(socket, write_all_reports_a_broken_connection) {
+  const failpoint_guard guard;
+  socket_pair pair;
+  failpoints::set("socket.write_fail", "1");
+  EXPECT_FALSE(write_all(pair.a.get(), "never arrives\n"));
+  failpoints::clear();
+  EXPECT_TRUE(write_all(pair.a.get(), "arrives\n"));
+}
+
+TEST(socket, line_reader_reassembles_through_eintr_and_short_reads) {
+  const failpoint_guard guard;
+  socket_pair pair;
+  ASSERT_TRUE(write_all(pair.a.get(), "alpha\nbeta\n"));
+  pair.a.reset();
+  // First read interrupted, the next several capped at 2 bytes: the
+  // reader must still produce exactly the two lines, byte-perfect.
+  failpoints::configure("socket.read_eintr=1;socket.read_short=1..8(2)");
+  line_reader reader;
+  EXPECT_EQ(reader.next_line(pair.b.get()), "alpha");
+  EXPECT_EQ(reader.next_line(pair.b.get()), "beta");
+  EXPECT_EQ(reader.next_line(pair.b.get()), std::nullopt);
+}
+
+TEST(socket, line_reader_surfaces_hard_read_errors) {
+  const failpoint_guard guard;
+  socket_pair pair;
+  ASSERT_TRUE(write_all(pair.a.get(), "doomed\n"));
+  failpoints::set("socket.read_fail", "1");
+  line_reader reader;
+  EXPECT_THROW((void)reader.next_line(pair.b.get()), std::runtime_error);
+}
+
+TEST(socket, line_reader_rejects_oversized_lines) {
+  // A hostile peer streaming one endless line must hit the bound, both
+  // with and without ever sending the newline.
+  {
+    socket_pair pair;
+    ASSERT_TRUE(write_all(pair.a.get(), std::string(64, 'x') + "\n"));
+    pair.a.reset();
+    line_reader reader{/*max_line=*/16};
+    EXPECT_THROW((void)reader.next_line(pair.b.get()), std::runtime_error);
+  }
+  {
+    socket_pair pair;
+    ASSERT_TRUE(write_all(pair.a.get(), std::string(64, 'y')));  // no newline
+    pair.a.reset();
+    line_reader reader{/*max_line=*/16};
+    EXPECT_THROW((void)reader.next_line(pair.b.get()), std::runtime_error);
+  }
+  {
+    // At the bound is fine; the cap is on a line longer than max_line.
+    socket_pair pair;
+    ASSERT_TRUE(write_all(pair.a.get(), std::string(16, 'z') + "\n"));
+    pair.a.reset();
+    line_reader reader{/*max_line=*/16};
+    EXPECT_EQ(reader.next_line(pair.b.get()), std::string(16, 'z'));
+  }
 }
 
 }  // namespace

@@ -41,6 +41,8 @@
 // probe-based runner (core/experiment.h, core/probe.h); everything is
 // deterministic given --seed.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -50,6 +52,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/trace_check.h"
@@ -64,7 +67,9 @@
 #include "scenario/scenario.h"
 #include "scenario/serialize.h"
 #include "scenario/sweep.h"
+#include "service/result_store.h"
 #include "service/socket.h"
+#include "support/failpoint.h"
 #include "support/flags.h"
 #include "support/json.h"
 #include "support/json_parse.h"
@@ -888,9 +893,13 @@ int cmd_gossip(int argc, const char* const* argv) {
 /// verbatim — the client adds no framing of its own, so piping `submit`
 /// output to a file yields the same JSONL the daemon spoke.
 
-/// Classifies one event line into "keep reading" (-1) or a final exit
-/// code.  Unparseable lines are the daemon's bug, not ours: surface and
-/// keep going.
+/// classify_event verdicts: negative = keep streaming, 0/1 = final exit
+/// code, k_retryable = the request should be retried (backpressure).
+constexpr int k_retryable = 100;
+
+/// Classifies one event line into "keep reading" (-1), a final exit code,
+/// or k_retryable.  Unparseable lines are the daemon's bug, not ours:
+/// surface and keep going.
 int classify_event(const std::string& line) {
   json_value event;
   try {
@@ -901,6 +910,7 @@ int classify_event(const std::string& line) {
   const json_value* kind = event.find("event");
   if (kind == nullptr || !kind->is_string()) return -1;
   if (kind->text == "error") return 1;
+  if (kind->text == "job_rejected") return k_retryable;  // backpressure, not failure
   if (kind->text == "job_done") {
     const json_value* status = event.find("status");
     return (status != nullptr && status->is_string() && status->text == "done") ? 0 : 1;
@@ -913,21 +923,66 @@ int classify_event(const std::string& line) {
   return -1;  // job_accepted / cache_hit / point_done: keep streaming
 }
 
-/// Sends one request line and streams events until one is terminal.
-int service_exchange(const std::string& socket_path, const std::string& request) {
-  const service::unix_fd fd = service::unix_connect(socket_path);
-  if (!service::write_all(fd.get(), request + "\n")) {
-    std::fprintf(stderr, "submit: connection closed while sending the request\n");
-    return 1;
+/// One connect + request + event stream.  Returns the final exit code, or
+/// k_retryable when the daemon was unreachable, rejected the job
+/// (queue_full backpressure), or died before a terminal event.
+int service_exchange_once(const std::string& socket_path, const std::string& request) {
+  std::optional<service::unix_fd> fd;
+  try {
+    fd.emplace(service::unix_connect(socket_path));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return k_retryable;
+  }
+  if (!service::write_all(fd->get(), request + "\n")) {
+    std::fprintf(stderr, "connection closed while sending the request\n");
+    return k_retryable;
   }
   service::line_reader reader;
-  while (std::optional<std::string> line = reader.next_line(fd.get())) {
+  while (std::optional<std::string> line = reader.next_line(fd->get())) {
     std::cout << *line << '\n' << std::flush;
     const int verdict = classify_event(*line);
     if (verdict >= 0) return verdict;
   }
+  // A vanished daemon mid-stream: every acknowledged point is persisted
+  // on its side (persist-then-emit), so resubmitting the identical
+  // request is safe — the points come back as cache hits.
   std::fprintf(stderr, "connection closed before a terminal event (daemon died?)\n");
-  return 1;
+  return k_retryable;
+}
+
+/// Deterministic jitter: the same (request, attempt) always waits the same
+/// extra milliseconds, so a scripted torture run reproduces exactly, while
+/// distinct requests still decorrelate.
+std::uint64_t backoff_jitter_ms(const std::string& request, int attempt,
+                                std::uint64_t spread_ms) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a 64
+  for (const char c : request) {
+    hash = (hash ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+  }
+  hash = (hash ^ static_cast<std::uint64_t>(attempt)) * 0x100000001b3ULL;
+  return spread_ms == 0 ? 0 : hash % spread_ms;
+}
+
+/// Sends one request line and streams events until one is terminal,
+/// retrying retryable outcomes with exponential backoff + deterministic
+/// jitter.  `retries` is the number of *re*-attempts after the first try.
+int service_exchange(const std::string& socket_path, const std::string& request,
+                     int retries = 0, std::uint64_t base_ms = 100) {
+  for (int attempt = 0;; ++attempt) {
+    const int verdict = service_exchange_once(socket_path, request);
+    if (verdict != k_retryable) return verdict;
+    if (attempt >= retries) {
+      std::fprintf(stderr, "giving up after %d attempt%s\n", attempt + 1,
+                   attempt == 0 ? "" : "s");
+      return 1;
+    }
+    const std::uint64_t delay =
+        (base_ms << std::min(attempt, 16)) + backoff_jitter_ms(request, attempt, base_ms);
+    std::fprintf(stderr, "retrying in %llu ms (attempt %d of %d)\n",
+                 static_cast<unsigned long long>(delay), attempt + 2, retries + 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds{delay});
+  }
 }
 
 int cmd_submit(int argc, const char* const* argv) {
@@ -950,10 +1005,23 @@ int cmd_submit(int argc, const char* const* argv) {
   flags.add_int64("reps", 100, "replications");
   flags.add_int64("seed", 1, "master RNG seed");
   flags.add_int64("priority", 0, "queue priority (higher runs first)");
+  flags.add_int64("timeout", 0, "per-job wall-clock budget in seconds (0 = none)");
+  flags.add_int64("retries", 4,
+                  "re-attempts after connect failure, job_rejected backpressure, "
+                  "or a daemon that died mid-stream; resubmission is idempotent "
+                  "(persisted points return as cache hits)");
+  flags.add_int64("retry-base-ms", 100,
+                  "backoff base: attempt k waits base*2^k ms plus deterministic "
+                  "jitter");
   if (flags.parse(argc, argv) != parse_status::ok) return 2;
   const std::string& socket_path = flags.get_string("socket");
   if (socket_path.empty()) {
     std::fprintf(stderr, "submit: --socket is required\n");
+    return 2;
+  }
+  if (flags.get_int64("retries") < 0 || flags.get_int64("retry-base-ms") < 0 ||
+      flags.get_int64("timeout") < 0) {
+    std::fprintf(stderr, "submit: --retries, --retry-base-ms and --timeout must be >= 0\n");
     return 2;
   }
 
@@ -1002,8 +1070,13 @@ int cmd_submit(int argc, const char* const* argv) {
     json.end_array();
   }
   json.key("priority").value(flags.get_int64("priority"));
+  if (flags.get_int64("timeout") > 0) {
+    json.key("timeout").value(static_cast<double>(flags.get_int64("timeout")));
+  }
   json.end_object();
-  return service_exchange(socket_path, request.str());
+  return service_exchange(socket_path, request.str(),
+                          static_cast<int>(flags.get_int64("retries")),
+                          static_cast<std::uint64_t>(flags.get_int64("retry-base-ms")));
 }
 
 /// `status` and `cancel` share everything but the op name.
@@ -1012,6 +1085,8 @@ int cmd_job_op(const char* op, int argc, const char* const* argv) {
                  std::string{op} + " a sociolearnd job by id"};
   flags.add_string("socket", "", "sociolearnd socket path (required)");
   flags.add_int64("job", 0, "job id (from the job_accepted event)");
+  flags.add_int64("retries", 0, "re-attempts after a connect failure");
+  flags.add_int64("retry-base-ms", 100, "backoff base in milliseconds");
   if (flags.parse(argc, argv) != parse_status::ok) return 2;
   const std::string& socket_path = flags.get_string("socket");
   if (socket_path.empty()) {
@@ -1028,7 +1103,82 @@ int cmd_job_op(const char* op, int argc, const char* const* argv) {
   json.key("op").value(op);
   json.key("job").value(static_cast<std::uint64_t>(flags.get_int64("job")));
   json.end_object();
-  return service_exchange(socket_path, request.str());
+  return service_exchange(socket_path, request.str(),
+                          static_cast<int>(std::max<std::int64_t>(flags.get_int64("retries"), 0)),
+                          static_cast<std::uint64_t>(
+                              std::max<std::int64_t>(flags.get_int64("retry-base-ms"), 0)));
+}
+
+// --- store audit ------------------------------------------------------------
+
+/// `sociolearn_cli fsck --store DIR [--repair]` — walk the result store,
+/// verify every object's checksum trailer, list tmp files orphaned by dead
+/// writers, and (with --repair) quarantine/remove them.  Exit 0 when the
+/// store is clean, 1 when anything was found (even if repaired).
+int cmd_fsck(int argc, const char* const* argv) {
+  flag_set flags{"sociolearn_cli fsck",
+                 "audit a sociolearnd result store: verify object checksums, "
+                 "find orphaned tmp files, report quarantine"};
+  flags.add_string("store", "", "result store directory (required)");
+  flags.add_bool("repair", false,
+                 "quarantine corrupt objects and remove orphaned tmp files");
+  add_format_flag(flags, "table");
+  if (flags.parse(argc, argv) != parse_status::ok) return 2;
+  output_format format = output_format::table;
+  if (!read_format(flags, format)) return 2;
+  const std::string& store_path = flags.get_string("store");
+  if (store_path.empty()) {
+    std::fprintf(stderr, "fsck: --store is required\n");
+    return 2;
+  }
+  if (!std::filesystem::is_directory(store_path)) {
+    // Opening would *create* an empty store here, and a typo'd path would
+    // audit it as spotlessly clean.  Auditing demands an existing store.
+    std::fprintf(stderr, "fsck: no store at '%s'\n", store_path.c_str());
+    return 2;
+  }
+
+  // gc_stale_tmp off: fsck *reports* orphans; only --repair removes them.
+  service::store_options options;
+  options.gc_stale_tmp = false;
+  service::result_store store{store_path, options};
+  const service::fsck_report report = store.fsck(flags.get_bool("repair"));
+
+  if (format == output_format::json) {
+    json_writer json{std::cout};
+    json.begin_object();
+    json.key("store").value(store_path);
+    json.key("clean").value(report.clean());
+    json.key("objects_ok").value(report.objects_ok);
+    json.key("corrupt").begin_array();
+    for (const std::string& path : report.corrupt) json.value(path);
+    json.end_array();
+    json.key("orphaned_tmp").begin_array();
+    for (const std::string& path : report.orphaned_tmp) json.value(path);
+    json.end_array();
+    json.key("quarantined").value(report.quarantined);
+    json.key("repaired").value(report.repaired);
+    json.end_object();
+    std::cout << '\n';
+  } else {
+    for (const std::string& path : report.corrupt) {
+      std::printf("corrupt: %s%s\n", path.c_str(),
+                  report.repaired ? " (moved to quarantine/)" : "");
+    }
+    for (const std::string& path : report.orphaned_tmp) {
+      std::printf("orphaned tmp: %s%s\n", path.c_str(),
+                  report.repaired ? " (removed)" : "");
+    }
+    std::printf("%s: %llu object%s ok, %zu corrupt, %zu orphaned tmp, "
+                "%llu quarantined — %s\n",
+                store_path.c_str(),
+                static_cast<unsigned long long>(report.objects_ok),
+                report.objects_ok == 1 ? "" : "s", report.corrupt.size(),
+                report.orphaned_tmp.size(),
+                static_cast<unsigned long long>(report.quarantined),
+                report.clean() ? "clean" : "issues found");
+  }
+  return report.clean() ? 0 : 1;
 }
 
 void print_usage() {
@@ -1049,7 +1199,9 @@ void print_usage() {
       "  submit     submit a scenario/sweep to a running sociolearnd\n"
       "             (--socket) and stream its JSONL events\n"
       "  status     query a sociolearnd job by id (--socket --job N)\n"
-      "  cancel     cancel a sociolearnd job by id (--socket --job N)\n\n"
+      "  cancel     cancel a sociolearnd job by id (--socket --job N)\n"
+      "  fsck       audit a result store: verify object checksums, find\n"
+      "             orphans (--store DIR [--repair]); exit 1 on any finding\n\n"
       "every subcommand accepts --format table|json|csv; 'scenario' and\n"
       "'sweep' emit one JSON document per run (spec echo + probe results +\n"
       "timing; sweeps wrap the documents in one array).\n"
@@ -1067,6 +1219,7 @@ int main(int argc, char** argv) {
   const int sub_argc = argc - 1;
   const char* const* sub_argv = argv + 1;
   try {
+    failpoints::init_from_env();  // SGL_FAILPOINTS= (torture testing)
     if (command == "bounds") return cmd_bounds(sub_argc, sub_argv);
     if (command == "scenarios") return cmd_scenarios(sub_argc, sub_argv);
     if (command == "scenario" || command == "sweep") {
@@ -1080,6 +1233,7 @@ int main(int argc, char** argv) {
     if (command == "status" || command == "cancel") {
       return cmd_job_op(command.c_str(), sub_argc, sub_argv);
     }
+    if (command == "fsck") return cmd_fsck(sub_argc, sub_argv);
     if (command == "--help" || command == "-h" || command == "help") {
       print_usage();
       return 0;
