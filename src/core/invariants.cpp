@@ -1,0 +1,61 @@
+#include "core/invariants.h"
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace sgl::core {
+namespace {
+
+std::string describe(const char* what, std::size_t index, double value) {
+  return std::string{what} + " at option " + std::to_string(index) + " (value " +
+         std::to_string(value) + ")";
+}
+
+}  // namespace
+
+std::string state_invariant_error(const dynamics_engine& engine,
+                                  double popularity_tolerance) {
+  const std::span<const double> q = engine.popularity();
+  if (q.empty()) return "popularity() is empty";
+  double total_mass = 0.0;
+  for (std::size_t j = 0; j < q.size(); ++j) {
+    if (!std::isfinite(q[j])) return describe("non-finite popularity", j, q[j]);
+    if (q[j] < 0.0) return describe("negative popularity", j, q[j]);
+    if (q[j] > 1.0) return describe("popularity above 1", j, q[j]);
+    total_mass += q[j];
+  }
+  if (std::abs(total_mass - 1.0) > popularity_tolerance) {
+    return "popularity sums to " + std::to_string(total_mass) + ", not 1";
+  }
+
+  const std::span<const std::uint64_t> counts = engine.adopter_counts();
+  if (!counts.empty()) {
+    if (counts.size() != q.size()) {
+      return "adopter_counts() has " + std::to_string(counts.size()) +
+             " entries but num_options() = " + std::to_string(q.size());
+    }
+    std::uint64_t committed = 0;
+    for (const std::uint64_t c : counts) committed += c;
+    for (std::size_t j = 0; j < counts.size(); ++j) {
+      const double expected = committed == 0
+                                  ? 1.0 / static_cast<double>(q.size())
+                                  : static_cast<double>(counts[j]) /
+                                        static_cast<double>(committed);
+      if (std::abs(q[j] - expected) > popularity_tolerance) {
+        return "popularity[" + std::to_string(j) + "] = " + std::to_string(q[j]) +
+               " does not match adopter_counts (" + std::to_string(counts[j]) + " of " +
+               std::to_string(committed) + " committed)";
+      }
+    }
+  }
+
+  if (engine.empty_steps() > engine.steps()) {
+    return "empty_steps() = " + std::to_string(engine.empty_steps()) +
+           " exceeds steps() = " + std::to_string(engine.steps());
+  }
+  return {};
+}
+
+}  // namespace sgl::core

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file invariants.h
+/// The universal dynamics_engine state contract, as a checkable predicate.
+///
+/// dynamics_engine.h documents what every engine promises after
+/// construction, after reset(), and after every step():
+///
+///   * popularity() is a probability vector of size num_options(): every
+///     entry finite and in [0, 1], the entries summing to 1;
+///   * adopter_counts() is empty (engines without individual counts — the
+///     infinite-population dynamics) or has size num_options();
+///   * when individual counts exist and anyone is committed, popularity is
+///     exactly the normalized counts; when nobody is committed, popularity
+///     is exactly uniform (DESIGN.md "Uniform popularity after an empty
+///     step");
+///   * empty_steps() never exceeds steps().
+///
+/// state_invariant_error() checks all of it against one live engine and
+/// returns the first violation as a message (empty string = clean).  The
+/// generator-driven property tier (tests/property/) calls it after every
+/// step of every randomly drawn scenario; it is exposed from src/core so
+/// in-process debugging tools can assert the same contract.
+
+#include <string>
+
+#include "core/dynamics_engine.h"
+
+namespace sgl::core {
+
+/// First violated state invariant of `engine`, or empty when clean.
+/// `popularity_tolerance` bounds |sum(popularity) - 1| and the distance of
+/// each popularity entry from its reconstruction (counts_j / total when
+/// counts exist, 1/m when empty or nobody committed).  Engines that
+/// normalize by plain summation keep the error within a few ulps; the
+/// default leaves room for an m in the thousands without masking a real
+/// floor violation.
+[[nodiscard]] std::string state_invariant_error(const dynamics_engine& engine,
+                                                double popularity_tolerance = 1e-9);
+
+}  // namespace sgl::core

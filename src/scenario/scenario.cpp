@@ -236,6 +236,54 @@ engine_kind resolved_engine(const scenario_spec& spec) noexcept {
   return engine_kind::aggregate;
 }
 
+std::string topology_build_error(const topology_spec& spec, std::size_t num_agents) {
+  using family = topology_spec::family_kind;
+  if (spec.family == family::none) return "topology.family is none (nothing to build)";
+  if (num_agents == 0) return "a topology needs num_agents >= 1";
+  switch (spec.family) {
+    case family::none:
+      break;  // handled above
+    case family::complete:
+    case family::ring:
+    case family::star:
+      break;
+    case family::grid:
+    case family::torus:
+      if ((spec.rows != 0 || spec.cols != 0) && spec.rows * spec.cols != num_agents) {
+        return "topology.rows * topology.cols != num_agents";
+      }
+      break;
+    case family::erdos_renyi:
+      if (!(spec.edge_probability >= 0.0 && spec.edge_probability <= 1.0)) {
+        return "topology.edge_probability outside [0, 1]";
+      }
+      break;
+    case family::watts_strogatz:
+      if (num_agents < 3) return "watts_strogatz needs num_agents >= 3";
+      if (spec.degree == 0 || 2 * spec.degree >= num_agents) {
+        return "watts_strogatz needs 0 < 2 * topology.degree < num_agents";
+      }
+      if (!(spec.rewire_probability >= 0.0 && spec.rewire_probability <= 1.0)) {
+        return "topology.rewire_probability outside [0, 1]";
+      }
+      break;
+    case family::barabasi_albert:
+      if (spec.degree == 0) return "barabasi_albert needs topology.degree >= 1";
+      if (num_agents <= spec.degree) {
+        return "barabasi_albert needs num_agents > topology.degree";
+      }
+      break;
+    case family::two_cliques:
+      if (num_agents % 2 != 0) return "two_cliques needs even num_agents";
+      if (num_agents / 2 < 2) return "two_cliques needs num_agents >= 4";
+      if (spec.bridges == 0 || spec.bridges > num_agents / 2) {
+        return "topology.bridges must be in [1, num_agents / 2]";
+      }
+      break;
+  }
+  return {};
+}
+
 graph::graph build_topology(const topology_spec& spec, std::size_t num_agents) {
   using family = topology_spec::family_kind;
   rng gen{spec.seed};
@@ -554,6 +602,71 @@ void validate_spec(const scenario_spec& spec) {
               "can dispatch to; use kernel = \"auto\" (falls back to scalar) "
               "or \"scalar\"")};
   }
+
+  // Everything make_engine / the factories would reject is rejected here
+  // too, so "validate_spec passes" means the run cannot die later inside a
+  // graph/engine/environment constructor (the contract validate_spec_error
+  // and the property-test generator build on).
+  const bool networked = spec.topology.family != topology_spec::family_kind::none;
+  if (networked && kind != engine_kind::agent_based && kind != engine_kind::protocol) {
+    throw std::invalid_argument{
+        where("a topology requires the agent-based or protocol engine")};
+  }
+  if (networked && spec.prebuilt_graph == nullptr) {
+    const std::string error =
+        topology_build_error(spec.topology, static_cast<std::size_t>(spec.num_agents));
+    if (!error.empty()) throw std::invalid_argument{where(error.c_str())};
+  }
+  if (kind == engine_kind::agent_based && spec.num_agents == 0) {
+    throw std::invalid_argument{where("the agent-based engine needs num_agents >= 1")};
+  }
+  if (!spec.agent_rules.empty() && spec.agent_rules.size() != spec.num_agents) {
+    throw std::invalid_argument{
+        where("agent_rules has ") + std::to_string(spec.agent_rules.size()) +
+        " entries but num_agents = " + std::to_string(spec.num_agents) +
+        " (they must match)"};
+  }
+  for (std::size_t i = 0; i < spec.agent_rules.size(); ++i) {
+    const core::adoption_rule& rule = spec.agent_rules[i];
+    if (!(rule.alpha >= 0.0 && rule.alpha <= rule.beta && rule.beta <= 1.0)) {
+      throw std::invalid_argument{where("agent_rules.") + std::to_string(i) +
+                                  " needs 0 <= alpha <= beta <= 1"};
+    }
+  }
+  if (kind == engine_kind::grouped && spec.groups.empty()) {
+    throw std::invalid_argument{where("the grouped engine needs groups")};
+  }
+  for (std::size_t i = 0; i < spec.groups.size(); ++i) {
+    const core::rule_group& group = spec.groups[i];
+    if (group.size == 0) {
+      throw std::invalid_argument{where("groups.") + std::to_string(i) +
+                                  ".size must be >= 1"};
+    }
+    if (!(group.rule.alpha >= 0.0 && group.rule.alpha <= group.rule.beta &&
+          group.rule.beta <= 1.0)) {
+      throw std::invalid_argument{where("groups.") + std::to_string(i) +
+                                  " needs 0 <= alpha <= beta <= 1"};
+    }
+  }
+  if (!spec.start.empty()) {
+    double total = 0.0;
+    for (const double x : spec.start) {
+      if (!(x >= 0.0)) throw std::invalid_argument{where("start has negative mass")};
+      total += x;
+    }
+    if (std::abs(total - 1.0) > 1e-9) {
+      throw std::invalid_argument{where("start must sum to 1")};
+    }
+  }
+  // Environment bounds (eta ranges, exclusive win-probability sum, period /
+  // drift-horizon minimums) live in the env constructors; building one
+  // instance here is O(m) and surfaces them with the scenario's name
+  // attached instead of exploding mid-run inside a worker.
+  try {
+    (void)make_environment(spec.environment)();
+  } catch (const std::invalid_argument& error) {
+    throw std::invalid_argument{where("environment: ") + error.what()};
+  }
   if (kind == engine_kind::protocol) {
     if (spec.num_agents == 0) {
       throw std::invalid_argument{where("the protocol engine needs num_agents >= 1")};
@@ -580,6 +693,16 @@ void validate_spec(const scenario_spec& spec) {
                 "protocol engine (set engine = \"protocol\" or drop them)")};
     }
   }
+}
+
+std::string validate_spec_error(const scenario_spec& spec) {
+  try {
+    validate_spec(spec);
+  } catch (const std::invalid_argument& error) {
+    std::string message{error.what()};
+    return message.empty() ? std::string{"invalid spec"} : message;
+  }
+  return {};
 }
 
 core::run_result run(const scenario_spec& spec, const core::run_config& config) {

@@ -231,6 +231,26 @@ struct topology_cache_stats {
 /// throw inside the runner.
 void validate_spec(const scenario_spec& spec);
 
+/// Non-throwing validate_spec: the validation error message, or an empty
+/// string when the spec is valid.  This is the predicate generator-driven
+/// tests (tests/property/) build on — a generator can ask "would this spec
+/// run?" without paying an exception per rejected candidate, and a shrinker
+/// can discard invalid shrink candidates the same way.
+[[nodiscard]] std::string validate_spec_error(const scenario_spec& spec);
+
+/// Non-throwing build_topology precondition check: the error message
+/// build_topology would throw for this (spec, N) — family none, zero
+/// vertices, lattice shape mismatch, family-specific bounds (watts_strogatz
+/// needs N >= 3 and 0 < 2·degree < N, barabasi_albert N > degree >= 1,
+/// two_cliques even N >= 4 with bridges in [1, N/2], probabilities in
+/// [0, 1]) — or an empty string when the graph would build.  Checks the
+/// preconditions only; never builds the graph, so it is O(1) regardless
+/// of N.  validate_spec calls this for specs that would build a topology,
+/// so "validate_spec passes" means the run cannot die inside the graph
+/// factory later.
+[[nodiscard]] std::string topology_build_error(const topology_spec& spec,
+                                               std::size_t num_agents);
+
 /// One-call convenience: run the scenario under the generic Monte-Carlo
 /// harness.  Calls validate_spec first.
 [[nodiscard]] core::run_result run(const scenario_spec& spec,

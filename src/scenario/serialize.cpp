@@ -755,6 +755,14 @@ sweep_axis parse_sweep_axis(std::string_view text) {
                                   "' must be lo:hi:step"};
     }
     const auto [lo, hi, step] = parts;
+    // Non-finite endpoints must be rejected up front: NaN slips past both
+    // relational guards below (every comparison is false), so the point
+    // count itself goes NaN and the size_t cast is UB — in practice a
+    // near-2^63 count that loops forever.  inf - inf is the same trap.
+    if (!std::isfinite(lo) || !std::isfinite(hi) || !std::isfinite(step)) {
+      throw std::invalid_argument{"sweep range '" + std::string{values} +
+                                  "': lo, hi and step must be finite"};
+    }
     if (!(step > 0.0)) {
       throw std::invalid_argument{"sweep range '" + std::string{values} +
                                   "': step must be > 0"};

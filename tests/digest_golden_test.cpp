@@ -1,0 +1,100 @@
+// Golden spec_digest values for every registry scenario — the pinned
+// content addresses of the service result cache (service/digest.h).
+//
+// A digest names a cached probe result; if any digest here moves, every
+// result cached by a previous build is silently unreachable (cache miss —
+// annoying) or, far worse, a STALE result could be served as current if a
+// semantic change failed to move the digest.  This table turns both into a
+// loud tier-1 failure: it must change exactly when a semantic input
+// changes — spec fields, run shape, probe resolution, header format, or
+// the k_stream_derivation_id epoch — and never otherwise.
+//
+// The capture recipe (rerun ONLY on an intentional break, and say so in
+// the commit message): for each registry scenario, pin kernel = scalar,
+// hash with horizon 40 / 2 replications / seed 7 / no probe override, and
+// replace the table.  Kernel is pinned because spec_digest hashes the
+// *resolved* kernel — `auto` digests differently on hosts with and without
+// a vector ISA, by design, and a golden table must not depend on the host.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "core/experiment.h"
+#include "core/finite_dynamics.h"
+#include "scenario/registry.h"
+#include "service/digest.h"
+
+namespace {
+
+using namespace sgl;
+
+const std::map<std::string, std::string>& golden_digests() {
+  static const std::map<std::string, std::string> golden{
+      {"quickstart", "6ebe7d127dca680556f1b4a7ae16d313"},
+      {"theorem-infinite", "a94cda995c17cc035c63bcf4b998462c"},
+      {"theorem-finite", "51b14c31cb69c09b8e7465f45e06fe68"},
+      {"nonuniform-start", "02c6621df8e59007dfc8238fe0229ecb"},
+      {"ef-exclusive", "d0e641bd195138effda525b8348a3b0b"},
+      {"switching-stocks", "a8b9c088ad253a6bc5757fdbdcc1fd79"},
+      {"drifting-crossover", "8f94b5a517c479025bb3eafdefff72fa"},
+      {"ring", "472da8348568330c1627a59d1549b1c8"},
+      {"small-world", "9d751249a9944f02eec1e58ee3fdb0b2"},
+      {"two-cliques", "6b468df41ae647149fd336516f164c89"},
+      {"torus", "49c7a88bb3723faa8b8b00be078b8949"},
+      {"network_ring_1e5", "9c293ea365eb506aafde05bc0d324704"},
+      {"network_ba_1e6", "83f3d26d359a26da4051905a81e7eb4e"},
+      {"network_smallworld_1e6", "b57a72e48b965a3d677735898e1da8ea"},
+      // Same fields as theorem-finite under another name: names are
+      // documentation, so the digests MUST collide — the cache reuses the
+      // result.
+      {"mixed_baseline", "51b14c31cb69c09b8e7465f45e06fe68"},
+      {"switching_recovery", "ef0c8ee284ced0890eee935911087da3"},
+      {"two_cliques_consensus", "198c87709c34c0f7ae57f3880f7425c6"},
+      {"drift_tracking_1e5", "9870cc78b261a2a08d2b53db829e8cc7"},
+      {"gossip_sensor_1e4", "3739b11891ea728db72b4328dc3726e7"},
+      {"gossip_lossy_sweep", "16029f113a2c6985cf62031c6e82e0dc"},
+      {"gossip_crash_recovery", "2eb7a2820f0a3a58e10674cd444f3f0d"},
+      {"gossip_ring_300", "7fed6872bb70d9f04caa0b783b92a18d"},
+      {"gossip_sync_ideal", "66f10c65c7cd745c42cab3696848bdc3"},
+      {"gossip_partition_heal", "7bd623a16b89c3efb26b433ff2ad1d81"},
+      {"gossip_crash_waves", "32cf4481143cb4d291897c1c6730466b"},
+      {"gossip_degraded_links", "46038315014415646d105eec0aa8af0a"},
+      {"mixture-discernment", "5cbf7f1f68a5cab57bef20abaa2971cb"},
+  };
+  return golden;
+}
+
+core::run_config capture_config() {
+  core::run_config config;
+  config.horizon = 40;
+  config.replications = 2;
+  config.seed = 7;
+  return config;
+}
+
+TEST(digest_golden, every_registry_scenario_is_pinned) {
+  const auto& golden = golden_digests();
+  std::size_t covered = 0;
+  const std::vector<std::string> no_probes;
+  for (auto spec : scenario::all_scenarios()) {
+    const auto it = golden.find(spec.name);
+    ASSERT_NE(it, golden.end())
+        << "scenario '" << spec.name
+        << "' has no golden digest; extend the table (capture recipe in "
+           "this file's header)";
+    ++covered;
+    spec.engine_kernel = core::kernel_kind::scalar;
+    EXPECT_EQ(service::spec_digest(spec, capture_config(), no_probes).hex(),
+              it->second)
+        << "digest moved for scenario '" << spec.name
+        << "' — every previously cached result for it is now unreachable. "
+           "If the semantic change is intentional, recapture the table (and "
+           "bump k_stream_derivation_id if a stream derivation changed).";
+  }
+  // Retiring a scenario must retire its golden entry too.
+  EXPECT_EQ(covered, golden.size());
+}
+
+}  // namespace

@@ -15,10 +15,17 @@
 #include <utility>
 #include <vector>
 
+#include "property/generators.h"
 #include "support/json.h"
 
 namespace sgl {
 namespace {
+
+using testgen::emit_node;
+using testgen::expect_node_equal;
+using testgen::gen_node;
+using testgen::prng;
+using testgen::random_node;
 
 TEST(json_parse, scalars) {
   EXPECT_TRUE(parse_json("null").is_null());
@@ -110,187 +117,10 @@ TEST(json_parse, checked_accessors_name_the_field) {
 // ---------------------------------------------------------------------------
 // Property-based round-trip: seeded random JSON documents emitted through
 // the writer (support/json) and read back through this parser must be
-// value-exact.  First brick of the generator-driven test tier (ROADMAP):
-// the generator is a plain counter-free PRNG, so a failure reproduces from
-// the seed printed in the assertion message alone.
-
-namespace {
-
-/// splitmix64 — tiny, seedable, and good enough to explore the space.
-class prng {
- public:
-  explicit prng(std::uint64_t seed) : state_{seed} {}
-
-  std::uint64_t next() {
-    state_ += 0x9e3779b97f4a7c15ULL;
-    std::uint64_t z = state_;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return z ^ (z >> 31);
-  }
-  /// Uniform in [0, n).
-  std::uint64_t below(std::uint64_t n) { return next() % n; }
-
- private:
-  std::uint64_t state_;
-};
-
-/// A generated document node.  Integer-valued numbers are tracked apart
-/// from doubles because they take different writer overloads and different
-/// exactness checks (raw-token reparse vs shortest-round-trip double).
-struct gen_node {
-  enum class kind { null, boolean, number_double, number_uint, string, array, object };
-  kind type = kind::null;
-  bool boolean = false;
-  double number = 0.0;
-  std::uint64_t integer = 0;
-  std::string text;
-  std::vector<gen_node> items;
-  std::vector<std::pair<std::string, gen_node>> members;
-};
-
-std::string random_string(prng& rng) {
-  // A deliberately hostile alphabet: quotes, backslashes, control bytes,
-  // and multi-byte UTF-8 — everything json_escape has a code path for.
-  static const std::vector<std::string> pieces = {
-      "a", "Z", "0", " ", "\"", "\\", "\n", "\t", "\r", "\x01", "\x1f",
-      "{", "}", "[", "]", ":", ",", "é", "😀", "\\u0041", "end"};
-  std::string out;
-  const std::size_t length = rng.below(8);
-  for (std::size_t i = 0; i < length; ++i) out += pieces[rng.below(pieces.size())];
-  return out;
-}
-
-double random_double(prng& rng) {
-  switch (rng.below(6)) {
-    case 0: return 0.0;
-    case 1: return static_cast<double>(rng.next()) * 0x1.0p-64;  // [0,1)
-    case 2: return 0.1 * static_cast<double>(rng.below(1000));
-    case 3: return 1e300 * (static_cast<double>(rng.below(2000)) - 1000.0);
-    case 4: return 1e-300 * static_cast<double>(rng.below(1000));
-    default: {
-      // Raw bit patterns reach the denormals and odd mantissas that
-      // shortest-round-trip formatting gets wrong first; skip non-finite
-      // (JSON has no encoding for them — the writer emits null).
-      double bits = 0.0;
-      const std::uint64_t raw = rng.next();
-      static_assert(sizeof(bits) == sizeof(raw));
-      std::memcpy(&bits, &raw, sizeof(bits));
-      return std::isfinite(bits) ? bits : 0.5;
-    }
-  }
-}
-
-gen_node random_node(prng& rng, std::size_t depth) {
-  gen_node node;
-  // Containers get rarer with depth so documents stay small and under the
-  // parser's 64-level limit.
-  const std::uint64_t roll = rng.below(depth >= 5 ? 5 : 7);
-  switch (roll) {
-    case 0: node.type = gen_node::kind::null; break;
-    case 1:
-      node.type = gen_node::kind::boolean;
-      node.boolean = rng.below(2) == 1;
-      break;
-    case 2:
-      node.type = gen_node::kind::number_double;
-      node.number = random_double(rng);
-      break;
-    case 3:
-      node.type = gen_node::kind::number_uint;
-      // Include values past 2^53, where double precision alone fails.
-      node.integer = rng.below(2) == 0 ? rng.below(1000) : rng.next();
-      break;
-    case 4:
-      node.type = gen_node::kind::string;
-      node.text = random_string(rng);
-      break;
-    case 5: {
-      node.type = gen_node::kind::array;
-      const std::size_t size = rng.below(4);
-      for (std::size_t i = 0; i < size; ++i) {
-        node.items.push_back(random_node(rng, depth + 1));
-      }
-      break;
-    }
-    default: {
-      node.type = gen_node::kind::object;
-      const std::size_t size = rng.below(4);
-      for (std::size_t i = 0; i < size; ++i) {
-        node.members.emplace_back(random_string(rng), random_node(rng, depth + 1));
-      }
-      break;
-    }
-  }
-  return node;
-}
-
-void emit_node(const gen_node& node, json_writer& json) {
-  switch (node.type) {
-    case gen_node::kind::null: json.null(); break;
-    case gen_node::kind::boolean: json.value(node.boolean); break;
-    case gen_node::kind::number_double: json.value(node.number); break;
-    case gen_node::kind::number_uint: json.value(node.integer); break;
-    case gen_node::kind::string: json.value(node.text); break;
-    case gen_node::kind::array:
-      json.begin_array();
-      for (const gen_node& item : node.items) emit_node(item, json);
-      json.end_array();
-      break;
-    case gen_node::kind::object:
-      json.begin_object();
-      for (const auto& [key, value] : node.members) {
-        json.key(key);
-        emit_node(value, json);
-      }
-      json.end_object();
-      break;
-  }
-}
-
-void expect_node_equal(const gen_node& expected, const json_value& actual,
-                       const std::string& where) {
-  switch (expected.type) {
-    case gen_node::kind::null:
-      EXPECT_TRUE(actual.is_null()) << where;
-      break;
-    case gen_node::kind::boolean:
-      EXPECT_EQ(actual.as_bool(where), expected.boolean) << where;
-      break;
-    case gen_node::kind::number_double:
-      // Bit-exact: json_number promises the shortest text that parses
-      // back to exactly this double.
-      EXPECT_EQ(actual.as_double(where), expected.number) << where;
-      break;
-    case gen_node::kind::number_uint:
-      EXPECT_EQ(actual.as_uint64(where), expected.integer) << where;
-      break;
-    case gen_node::kind::string:
-      EXPECT_EQ(actual.as_string(where), expected.text) << where;
-      break;
-    case gen_node::kind::array: {
-      ASSERT_TRUE(actual.is_array()) << where;
-      ASSERT_EQ(actual.items.size(), expected.items.size()) << where;
-      for (std::size_t i = 0; i < expected.items.size(); ++i) {
-        expect_node_equal(expected.items[i], actual.items[i],
-                          where + "[" + std::to_string(i) + "]");
-      }
-      break;
-    }
-    case gen_node::kind::object: {
-      ASSERT_TRUE(actual.is_object()) << where;
-      ASSERT_EQ(actual.members.size(), expected.members.size()) << where;
-      for (std::size_t i = 0; i < expected.members.size(); ++i) {
-        EXPECT_EQ(actual.members[i].first, expected.members[i].first) << where;
-        expect_node_equal(expected.members[i].second, actual.members[i].second,
-                          where + "." + expected.members[i].first);
-      }
-      break;
-    }
-  }
-}
-
-}  // namespace
+// value-exact.  The generators (splitmix64 prng, gen_node, emit_node,
+// expect_node_equal) live in the shared seeded-generator library behind the
+// whole property tier, tests/property/generators.h — a failure reproduces
+// from the seed printed in the assertion message alone.
 
 TEST(json_parse, property_random_documents_round_trip_exactly) {
   constexpr std::uint64_t k_base_seed = 0x5eed0f'20260809ULL;

@@ -1,0 +1,134 @@
+#pragma once
+
+/// \file generators.h
+/// The seeded generator library behind the property test tier (DESIGN.md
+/// "Property test tier") and the JSON round-trip suite.
+///
+/// Everything here is a pure function of an explicit seed: a failing
+/// iteration reproduces from (SGL_PROPERTY_SEED, iteration index) alone, on
+/// any machine, at any thread count.  Two generator families live here:
+///
+///   * random JSON documents (gen_node) — hostile strings, doubles drawn
+///     from raw bit patterns, 64-bit integers past 2^53 — feeding the
+///     writer/parser round-trip suite (tests/json_parse_test.cpp);
+///   * random *valid* scenario_specs (draw_scenario) — every engine kind,
+///     topology family, environment family, protocol/fault knob, and probe
+///     set, plus a curated table of hostile-but-valid corners (N = 1,
+///     m = 1, beta in {0, 1}, drop = 1, single-group mixtures, ...) that a
+///     uniform draw would rarely reach.  Every spec this header hands out
+///     satisfies scenario::validate_spec, by construction and by a final
+///     check — a generator bug fails loudly, it does not silently shrink
+///     coverage.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "scenario/scenario.h"
+#include "support/json.h"
+#include "support/json_parse.h"
+
+namespace sgl::testgen {
+
+/// splitmix64 — tiny, seedable, and good enough to explore the space.
+class prng {
+ public:
+  explicit prng(std::uint64_t seed) : state_{seed} {}
+
+  std::uint64_t next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  /// Uniform in [0, n).
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+  /// Uniform in [0, 1).
+  double unit() { return static_cast<double>(next()) * 0x1.0p-64; }
+  /// True with probability p.
+  bool chance(double p) { return unit() < p; }
+  /// One element of a non-empty list.
+  template <typename T>
+  const T& pick(const std::vector<T>& options) {
+    return options[below(options.size())];
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// --- random JSON documents --------------------------------------------------
+
+/// A generated document node.  Integer-valued numbers are tracked apart
+/// from doubles because they take different writer overloads and different
+/// exactness checks (raw-token reparse vs shortest-round-trip double).
+struct gen_node {
+  enum class kind { null, boolean, number_double, number_uint, string, array, object };
+  kind type = kind::null;
+  bool boolean = false;
+  double number = 0.0;
+  std::uint64_t integer = 0;
+  std::string text;
+  std::vector<gen_node> items;
+  std::vector<std::pair<std::string, gen_node>> members;
+};
+
+/// A short string over a deliberately hostile alphabet: quotes,
+/// backslashes, control bytes, and multi-byte UTF-8 — everything
+/// json_escape has a code path for.
+[[nodiscard]] std::string random_string(prng& rng);
+
+/// Doubles that stress shortest-round-trip formatting: exact zeros, units,
+/// huge/tiny magnitudes, and finite values from raw bit patterns.
+[[nodiscard]] double random_double(prng& rng);
+
+/// A random document subtree; containers get rarer with depth so documents
+/// stay small and under the parser's 64-level limit.
+[[nodiscard]] gen_node random_node(prng& rng, std::size_t depth);
+
+/// Emits `node` through the JSON writer.
+void emit_node(const gen_node& node, json_writer& json);
+
+/// gtest-asserts that `actual` is value-exact against the generated node
+/// (bit-exact doubles, exact uint64 reparse, structural equality).
+void expect_node_equal(const gen_node& expected, const json_value& actual,
+                       const std::string& where);
+
+// --- random valid scenario specs --------------------------------------------
+
+/// A random valid scenario_spec.  Spans every engine kind (the engine field
+/// is sometimes left auto_select to exercise resolution), every topology
+/// and environment family the chosen population admits, protocol and fault
+/// knobs for protocol specs, per-agent rules and group mixtures, and a
+/// random probe set.  Postcondition: scenario::validate_spec_error(result)
+/// is empty (enforced; a violation throws std::logic_error naming the
+/// generator bug).
+[[nodiscard]] scenario::scenario_spec random_scenario(prng& rng);
+
+/// The curated hostile-but-valid corner table: one-agent and one-option
+/// populations, beta in {0, 1}, mu in {0, 1}, full packet loss, lockstep
+/// sync, single-group mixtures, nonuniform starts, minimal lattices.
+/// Covers all five engine kinds.  Every entry validates.
+[[nodiscard]] const std::vector<scenario::scenario_spec>& corner_specs();
+
+/// The deterministic iteration plan shared by every property suite:
+/// iteration i draws corner_specs()[i] while i is in corner range, then
+/// random_scenario seeded with (seed, i).  Same (seed, i) -> same spec,
+/// regardless of which test or machine asks.
+[[nodiscard]] scenario::scenario_spec draw_scenario(std::uint64_t seed,
+                                                    std::uint64_t iteration);
+
+// --- environment knobs -------------------------------------------------------
+
+/// The (seed, iterations) pair a property run uses: SGL_PROPERTY_SEED /
+/// SGL_PROPERTY_ITERS when set (decimal), the given defaults otherwise.
+struct property_plan {
+  std::uint64_t seed = 0;
+  std::uint64_t iterations = 0;
+};
+[[nodiscard]] property_plan property_run_plan(std::uint64_t default_iterations,
+                                              std::uint64_t default_seed = 0x5eedULL);
+
+}  // namespace sgl::testgen

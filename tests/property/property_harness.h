@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file property_harness.h
+/// The driver behind the property test tier (DESIGN.md "Property test
+/// tier").  A *property* is a predicate over a whole scenario_spec: it runs
+/// the spec however it likes and returns the first violation as a message
+/// (empty string = holds).  The harness supplies everything around the
+/// predicate:
+///
+///   * the iteration loop — draw_scenario(seed, i) for i in [0, iters),
+///     corners first, seeded randoms after, with (seed, iters) taken from
+///     SGL_PROPERTY_SEED / SGL_PROPERTY_ITERS when set;
+///   * shrinking — a failing spec is greedily shrunk toward the
+///     default-constructed spec, axis by axis (serialized `key = value`
+///     lines and indexed-family clusters removed while the property still
+///     fails and the spec still validates), to a local minimum;
+///   * reporting — one gtest failure carrying the minimal spec as
+///     `--file`-loadable text, the property's message on it, and the exact
+///     environment + --gtest_filter command that reproduces the failure;
+///     when SGL_PROPERTY_ARTIFACT_DIR is set the spec text is also written
+///     there (CI uploads the directory on failure).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "property/generators.h"
+#include "scenario/scenario.h"
+
+namespace sgl::testgen {
+
+/// A property over one spec: empty string when it holds, the first
+/// violation otherwise.  Must be deterministic (the shrinker re-evaluates
+/// it on every candidate) and must not throw — wrap risky work in
+/// try/catch and return the exception text, so "this spec throws" is a
+/// reportable, shrinkable failure rather than a test abort.
+using spec_property = std::function<std::string(const scenario::scenario_spec&)>;
+
+/// One shrunk, reported failure (returned for the harness's own tests).
+struct failure_report {
+  std::uint64_t seed = 0;       ///< the run's seed
+  std::uint64_t iteration = 0;  ///< failing iteration index
+  std::string message;          ///< property violation on the minimal spec
+  std::string spec_text;        ///< serialize_scenario of the minimal spec
+  std::string repro;            ///< env + gtest command reproducing it
+};
+
+/// Greedily shrinks `spec` toward scenario_spec{} while `fails` keeps
+/// returning non-empty: serialized lines and indexed-family clusters
+/// (groups.N.*, agent_rules.N.*, faults.N.* — highest index first, so the
+/// family stays contiguous) are dropped one unit at a time, plus direct
+/// num_agents reductions; a candidate must parse, validate, and still fail
+/// to be kept.  Iterates to a fixpoint.  Precondition: fails(spec) is
+/// non-empty.
+[[nodiscard]] scenario::scenario_spec shrink_failing_spec(
+    const scenario::scenario_spec& spec, const spec_property& fails);
+
+/// Runs `property` over the standard iteration plan
+/// (property_run_plan(default_iterations)).  Each failing iteration is
+/// shrunk and reported as one gtest ADD_FAILURE; at most
+/// `max_reported_failures` iterations are reported before the loop stops
+/// (every corner + random draw before that still runs).  Returns the
+/// number of failures found (0 = the property held everywhere).
+std::size_t check_scenario_property(const spec_property& property,
+                                    std::uint64_t default_iterations = 60,
+                                    std::size_t max_reported_failures = 1);
+
+/// check_scenario_property's engine room, without gtest reporting: runs
+/// `property` for exactly the given plan and returns the shrunk reports.
+/// The harness's own self-tests (deliberately broken invariants) call this
+/// to inspect shrinking without failing themselves.
+[[nodiscard]] std::vector<failure_report> run_property(
+    const spec_property& property, const property_plan& plan,
+    std::size_t max_failures = 1);
+
+/// Canonical text dump of merged probe reports (%.17g doubles, scalars and
+/// series in report order) — the same recipe as the golden-hash capture in
+/// harness_determinism_test.cpp.  Two runs are bit-identical exactly when
+/// their dumps compare equal.
+[[nodiscard]] std::string dump_probe_reports(const core::probe_list& probes);
+
+/// 64-bit FNV-1a, for compact fingerprints of dump_probe_reports text.
+[[nodiscard]] std::uint64_t fnv1a64(const std::string& text);
+
+/// run_probes(spec, config) reduced to one comparable fingerprint string.
+/// Every property that claims "these two runs are bit-identical" compares
+/// two of these.
+[[nodiscard]] std::string run_fingerprint(const scenario::scenario_spec& spec,
+                                          const core::run_config& config);
+
+/// The run shape every bit-identity property uses: short horizon, two
+/// replications, fixed seed — big enough to exercise merge paths, small
+/// enough that hundreds of random specs stay fast.
+[[nodiscard]] core::run_config property_run_config();
+
+}  // namespace sgl::testgen

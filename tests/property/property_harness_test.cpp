@@ -1,0 +1,159 @@
+// Self-tests of the property tier's own machinery: generator determinism
+// and coverage, the env-knob plan, and — the acceptance test for the whole
+// tier — a deliberately broken invariant must come back as a shrunk,
+// still-failing, `--file`-loadable minimal spec with a reproduction
+// command.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "property/generators.h"
+#include "property/property_harness.h"
+#include "scenario/scenario.h"
+#include "scenario/serialize.h"
+
+namespace {
+
+using namespace sgl;
+
+TEST(generators, every_draw_is_valid_and_deterministic) {
+  for (std::uint64_t i = 0; i < 120; ++i) {
+    const scenario::scenario_spec first = testgen::draw_scenario(99, i);
+    const scenario::scenario_spec again = testgen::draw_scenario(99, i);
+    EXPECT_TRUE(scenario::validate_spec_error(first).empty())
+        << "iteration " << i << ": " << scenario::validate_spec_error(first);
+    EXPECT_EQ(scenario::serialize_scenario(first),
+              scenario::serialize_scenario(again))
+        << "draw_scenario is not a pure function of (seed, iteration) at " << i;
+  }
+  // Different seeds explore different specs (past the fixed corner table).
+  const std::uint64_t i = testgen::corner_specs().size() + 3;
+  EXPECT_NE(scenario::serialize_scenario(testgen::draw_scenario(99, i)),
+            scenario::serialize_scenario(testgen::draw_scenario(100, i)));
+}
+
+TEST(generators, corner_table_covers_every_engine_kind) {
+  std::set<scenario::engine_kind> covered;
+  for (const scenario::scenario_spec& spec : testgen::corner_specs()) {
+    EXPECT_TRUE(scenario::validate_spec_error(spec).empty())
+        << "corner '" << spec.name
+        << "': " << scenario::validate_spec_error(spec);
+    covered.insert(scenario::resolved_engine(spec));
+  }
+  EXPECT_EQ(covered.size(), 5U)
+      << "the corner table must reach all five engine kinds";
+}
+
+TEST(generators, random_draws_reach_every_engine_kind) {
+  std::set<scenario::engine_kind> covered;
+  const std::uint64_t first_random = testgen::corner_specs().size();
+  for (std::uint64_t i = first_random; i < first_random + 200; ++i) {
+    covered.insert(scenario::resolved_engine(testgen::draw_scenario(0x5eed, i)));
+  }
+  EXPECT_EQ(covered.size(), 5U);
+}
+
+TEST(property_plan, env_knobs_override_defaults) {
+  unsetenv("SGL_PROPERTY_SEED");
+  unsetenv("SGL_PROPERTY_ITERS");
+  const testgen::property_plan defaults = testgen::property_run_plan(60, 0x5eed);
+  EXPECT_EQ(defaults.seed, 0x5eedULL);
+  EXPECT_EQ(defaults.iterations, 60U);
+
+  setenv("SGL_PROPERTY_SEED", "12345", 1);
+  setenv("SGL_PROPERTY_ITERS", "7", 1);
+  const testgen::property_plan overridden = testgen::property_run_plan(60, 0x5eed);
+  EXPECT_EQ(overridden.seed, 12345U);
+  EXPECT_EQ(overridden.iterations, 7U);
+
+  setenv("SGL_PROPERTY_SEED", "not a number", 1);
+  const testgen::property_plan fallback = testgen::property_run_plan(60, 0x5eed);
+  EXPECT_EQ(fallback.seed, 0x5eedULL) << "garbage env values fall back";
+
+  unsetenv("SGL_PROPERTY_SEED");
+  unsetenv("SGL_PROPERTY_ITERS");
+}
+
+// The acceptance test: break an invariant on purpose — "no spec may use
+// the watts_strogatz topology" — and the harness must (a) find a failing
+// draw, (b) shrink it to a minimal spec that still fails and still
+// validates, and (c) hand back loadable text plus a repro command.
+TEST(property_harness, broken_invariant_yields_minimal_reloadable_spec) {
+  const testgen::spec_property no_small_worlds =
+      [](const scenario::scenario_spec& spec) -> std::string {
+    if (spec.topology.family ==
+        scenario::topology_spec::family_kind::watts_strogatz) {
+      return "deliberately broken: watts_strogatz drawn";
+    }
+    return {};
+  };
+  testgen::property_plan plan;
+  plan.seed = 0x5eed;
+  plan.iterations = 400;  // plenty to reach a watts_strogatz draw
+  const std::vector<testgen::failure_report> reports =
+      testgen::run_property(no_small_worlds, plan, 1);
+  ASSERT_EQ(reports.size(), 1U) << "the broken invariant was never tripped";
+  const testgen::failure_report& report = reports.front();
+
+  // Still failing, still valid, reloadable from its own text.
+  const scenario::scenario_spec minimal =
+      scenario::parse_scenario(report.spec_text);
+  EXPECT_FALSE(no_small_worlds(minimal).empty());
+  EXPECT_TRUE(scenario::validate_spec_error(minimal).empty());
+  EXPECT_EQ(scenario::serialize_scenario(minimal), report.spec_text);
+
+  // Actually minimal: the spec kept its load-bearing axis and dropped the
+  // incidental ones (no probes, no groups, no per-agent rules survive a
+  // shrink that only needs the topology family).
+  EXPECT_EQ(minimal.topology.family,
+            scenario::topology_spec::family_kind::watts_strogatz);
+  EXPECT_TRUE(minimal.probes.empty());
+  EXPECT_TRUE(minimal.groups.empty());
+  EXPECT_TRUE(minimal.agent_rules.empty());
+  EXPECT_LE(minimal.num_agents, 4U)
+      << "population should shrink to the smallest still-failing N";
+
+  // The repro command names the knobs and the failing iteration.
+  EXPECT_NE(report.repro.find("SGL_PROPERTY_SEED=" + std::to_string(plan.seed)),
+            std::string::npos);
+  EXPECT_NE(report.repro.find("SGL_PROPERTY_ITERS=" +
+                              std::to_string(report.iteration + 1)),
+            std::string::npos);
+  EXPECT_NE(report.repro.find("--gtest_filter="), std::string::npos);
+  EXPECT_EQ(report.message, "deliberately broken: watts_strogatz drawn");
+}
+
+// Shrinking a failure that depends on an indexed family must keep the
+// family contiguous and drop everything else.
+TEST(property_harness, shrink_keeps_indexed_families_contiguous) {
+  const testgen::spec_property needs_two_groups =
+      [](const scenario::scenario_spec& spec) -> std::string {
+    return spec.groups.size() >= 2 ? "deliberately broken: >= 2 groups" : "";
+  };
+  scenario::scenario_spec bulky;
+  bulky.name = "bulky";
+  bulky.description = "carries incidental fields the shrinker should drop";
+  bulky.params.num_options = 4;
+  bulky.params.beta = 0.75;
+  bulky.num_agents = 60;
+  bulky.groups = {{20, {0.1, 0.6}}, {20, {0.2, 0.7}}, {20, {0.3, 0.8}}};
+  bulky.environment.etas = {0.9, 0.6, 0.3, 0.1};
+  bulky.probes = {"regret", "trajectory", "final_histogram"};
+  ASSERT_TRUE(scenario::validate_spec_error(bulky).empty());
+  ASSERT_FALSE(needs_two_groups(bulky).empty());
+
+  const scenario::scenario_spec minimal =
+      testgen::shrink_failing_spec(bulky, needs_two_groups);
+  EXPECT_EQ(minimal.groups.size(), 2U);
+  EXPECT_TRUE(scenario::validate_spec_error(minimal).empty());
+  EXPECT_FALSE(needs_two_groups(minimal).empty());
+  EXPECT_TRUE(minimal.probes.empty());
+  EXPECT_TRUE(minimal.description.empty());
+}
+
+}  // namespace

@@ -201,6 +201,22 @@ TEST(sweep_grammar, list_axis_keeps_value_texts) {
   EXPECT_EQ(families.values[1], "torus");
 }
 
+TEST(sweep_grammar, rejects_non_finite_range_endpoints) {
+  // Regression (found by fuzzing parse_sweep_axis with generated hostile
+  // inputs): a NaN endpoint sailed past every ordered comparison — lo > hi
+  // is false for NaN, and so is count > 10000 — so the expansion loop ran
+  // on a NaN-derived count cast to ~2^63 and the call never returned.
+  // Non-finite lo/hi/step must throw like any other malformed axis.
+  EXPECT_THROW((void)parse_sweep_axis("params.beta=nan:1:1"), std::invalid_argument);
+  EXPECT_THROW((void)parse_sweep_axis("params.beta=0:nan:1"), std::invalid_argument);
+  EXPECT_THROW((void)parse_sweep_axis("params.beta=0:1:nan"), std::invalid_argument);
+  EXPECT_THROW((void)parse_sweep_axis("params.beta=inf:1:1"), std::invalid_argument);
+  EXPECT_THROW((void)parse_sweep_axis("params.beta=0:inf:1"), std::invalid_argument);
+  EXPECT_THROW((void)parse_sweep_axis("params.beta=0:1:inf"), std::invalid_argument);
+  EXPECT_THROW((void)parse_sweep_axis("params.beta=-inf:inf:1"),
+               std::invalid_argument);
+}
+
 TEST(sweep_grammar, grid_is_cartesian_last_axis_fastest) {
   const std::vector<sweep_axis> axes{parse_sweep_axis("params.beta=0.6,0.7"),
                                      parse_sweep_axis("num_agents=100,200,300")};
